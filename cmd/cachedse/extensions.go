@@ -1,0 +1,290 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/example/cachedse/internal/bus"
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/cacti"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/dse"
+	"github.com/example/cachedse/internal/report"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Extension subcommands covering the paper's future-work axes: line size,
+// replacement policies, energy, bus activity, two-level hierarchies and
+// exact trace reduction.
+
+func cmdLinesize(args []string) error {
+	fs := flag.NewFlagSet("linesize", flag.ExitOnError)
+	k := fs.Int("k", 0, "miss budget K (non-cold misses)")
+	capWords := fs.Int("cap", 1<<20, "capacity limit in words")
+	lines := fs.String("lines", "1,2,4,8", "comma list of line sizes (words)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("linesize needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	lineWords, err := parseInts(*lines)
+	if err != nil {
+		return err
+	}
+	results, err := core.ExploreLineSizes(tr, core.Options{}, lineWords)
+	if err != nil {
+		return err
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Line size exploration, K=%d", *k),
+		Headers: []string{"Line (words)", "Cold misses", "Best depth", "Assoc", "Size (words)", "Total misses"},
+	}
+	for _, lr := range results {
+		bestD, bestA, bestTotal, bestSize := 0, 0, -1, 0
+		for _, l := range lr.Result.Levels {
+			a := l.MinAssoc(*k)
+			size := l.Depth * a * lr.LineWords
+			if size > *capWords {
+				continue
+			}
+			total := lr.Cold + l.Misses(a)
+			if bestTotal < 0 || total < bestTotal || (total == bestTotal && size < bestSize) {
+				bestD, bestA, bestTotal, bestSize = l.Depth, a, total, size
+			}
+		}
+		if bestTotal < 0 {
+			tab.AddRow(lr.LineWords, lr.Cold, "-", "-", "-", "-")
+			continue
+		}
+		tab.AddRow(lr.LineWords, lr.Cold, bestD, bestA, bestSize, bestTotal)
+	}
+	fmt.Print(tab.Render())
+	if lw, ins, ok := core.BestLine(results, *k, *capWords); ok {
+		fmt.Printf("best: %d-word lines, %v\n", lw, ins)
+	}
+	return nil
+}
+
+func cmdPolicies(args []string) error {
+	fs := flag.NewFlagSet("policies", flag.ExitOnError)
+	depth := fs.Int("depth", 64, "cache depth")
+	assoc := fs.Int("assoc", 4, "associativity")
+	line := fs.Int("line", 1, "line size (words)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("policies needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Replacement policy comparison, D=%d A=%d L=%d", *depth, *assoc, *line),
+		Headers: []string{"Policy", "Hits", "Cold", "Misses", "Miss rate"},
+	}
+	for _, repl := range []cache.Replacement{cache.LRU, cache.FIFO, cache.PLRU, cache.Random} {
+		res, err := cache.Simulate(cache.Config{
+			Depth: *depth, Assoc: *assoc, LineWords: *line, Repl: repl,
+		}, tr)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(repl, res.Hits, res.ColdMisses, res.Misses, fmt.Sprintf("%.4f", res.MissRate()))
+	}
+	fmt.Print(tab.Render())
+	return nil
+}
+
+func cmdEnergy(args []string) error {
+	fs := flag.NewFlagSet("energy", flag.ExitOnError)
+	k := fs.Int("k", 0, "miss budget K (non-cold misses)")
+	capWords := fs.Int("cap", 8192, "capacity limit in words")
+	lines := fs.String("lines", "1,2,4", "comma list of line sizes (words)")
+	penalty := fs.Float64("penalty", 2000, "off-chip miss penalty (pJ)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("energy needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	lineWords, err := parseInts(*lines)
+	if err != nil {
+		return err
+	}
+	choice, err := dse.EnergyAware(tr, *k, lineWords, *capWords, cacti.DefaultParams(), *penalty)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimum-energy configuration meeting K=%d within %d words:\n", *k, *capWords)
+	fmt.Printf("  line size:    %d words\n", choice.LineWords)
+	fmt.Printf("  instance:     %v (%d words)\n", choice.Instance, choice.Instance.SizeWords()*choice.LineWords)
+	fmt.Printf("  total misses: %d (cold + conflict)\n", choice.Misses)
+	fmt.Printf("  energy:       %.1f nJ over the trace\n", choice.EnergyPJ/1000)
+	fmt.Printf("  area:         %.0f um^2, access %.2f ns, read %.2f pJ\n",
+		choice.Estimate.AreaUM2, choice.Estimate.AccessNS, choice.Estimate.ReadPJ)
+	return nil
+}
+
+func cmdBus(args []string) error {
+	fs := flag.NewFlagSet("bus", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bus needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("address-bus activity over %d references:\n", tr.Len())
+	for _, r := range bus.Compare(tr) {
+		fmt.Println(" ", r)
+	}
+	return nil
+}
+
+func cmdHierarchy(args []string) error {
+	fs := flag.NewFlagSet("hierarchy", flag.ExitOnError)
+	l1d := fs.Int("l1depth", 16, "L1 depth")
+	l1a := fs.Int("l1assoc", 1, "L1 associativity")
+	l2d := fs.Int("l2depth", 256, "L2 depth")
+	l2a := fs.Int("l2assoc", 4, "L2 associativity")
+	lat := fs.String("lat", "1,10,100", "latencies l1,l2,mem")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("hierarchy needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	lats, err := parseInts(*lat)
+	if err != nil || len(lats) != 3 {
+		return fmt.Errorf("bad -lat %q, want three comma-separated numbers", *lat)
+	}
+	h, err := cache.NewHierarchy(
+		cache.Config{Depth: *l1d, Assoc: *l1a},
+		cache.Config{Depth: *l2d, Assoc: *l2a},
+	)
+	if err != nil {
+		return err
+	}
+	counts := h.Run(tr)
+	fmt.Printf("L1 hits:      %d\n", counts[1])
+	fmt.Printf("L2 hits:      %d\n", counts[2])
+	fmt.Printf("memory reads: %d\n", counts[0])
+	fmt.Printf("mem writes:   %d (dirty L2 evictions)\n", h.MemWrites)
+	fmt.Printf("AMAT:         %.3f\n", h.AMAT(float64(lats[0]), float64(lats[1]), float64(lats[2])))
+	return nil
+}
+
+func cmdDedup(args []string) error {
+	fs := flag.NewFlagSet("dedup", flag.ExitOnError)
+	out := fs.String("o", "", "output trace file (text format); empty prints stats only")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dedup needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	reduced, removed := trace.Dedup(tr)
+	fmt.Printf("N: %d -> %d (removed %d immediate repeats, %.1f%%)\n",
+		tr.Len(), reduced.Len(), removed, 100*float64(removed)/float64(max(1, tr.Len())))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteText(f, reduced); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	windows := fs.String("windows", "16,64,256,1024", "working-set window lengths")
+	histMax := fs.Int("hist", 16, "print reuse-distance histogram up to this distance")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("profile needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ws, err := parseInts(*windows)
+	if err != nil {
+		return err
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("N=%d N'=%d max misses=%d\n\n", st.N, st.NUnique, st.MaxMisses)
+
+	tab := &report.Table{
+		Title:   "Working set (tiled windows)",
+		Headers: []string{"Window", "Avg distinct", "Max distinct"},
+	}
+	for _, p := range trace.WorkingSet(tr, ws) {
+		tab.AddRow(p.Window, fmt.Sprintf("%.1f", p.AvgSize), p.MaxSize)
+	}
+	fmt.Println(tab.Render())
+
+	hist, cold := trace.ReuseHistogram(tr)
+	fmt.Printf("Reuse distances (cold refs: %d):\n", cold)
+	for d := 0; d < *histMax && d < len(hist); d++ {
+		fmt.Printf("  d=%-4d %8d\n", d, hist[d])
+	}
+	if len(hist) > *histMax {
+		tail := trace.MissesAtCapacity(hist, *histMax)
+		fmt.Printf("  d>=%-3d %8d\n", *histMax, tail)
+	}
+	fmt.Printf("\nfully-associative LRU misses by capacity:\n")
+	for c := 1; c <= st.NUnique*2; c *= 2 {
+		fmt.Printf("  %5d lines: %d\n", c, trace.MissesAtCapacity(hist, c))
+		if trace.MissesAtCapacity(hist, c) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,275 @@
+// Command cachedse is the analytical cache design-space explorer: the
+// user-facing tool of the repository. It operates on trace files in the
+// Dinero-style text format (.din) or the compact binary format (.ctr,
+// auto-detected by magic).
+//
+// Subcommands:
+//
+//	cachedse stats    TRACE            trace statistics (N, N', max misses)
+//	cachedse strip    TRACE            stripped trace (unique refs + ids)
+//	cachedse explore  [-k N | -kpct P] [-maxdepth D] [-verify] TRACE
+//	                                   optimal (D, A) instances for budget K
+//	cachedse simulate -depth D -assoc A [-line W] [-repl P] TRACE
+//	                                   simulate one configuration
+//	cachedse verify   -k N TRACE D:A [D:A ...]
+//	                                   certify instances against budget K
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/dse"
+	"github.com/example/cachedse/internal/report"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "strip":
+		err = cmdStrip(os.Args[2:])
+	case "explore":
+		err = cmdExplore(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "linesize":
+		err = cmdLinesize(os.Args[2:])
+	case "policies":
+		err = cmdPolicies(os.Args[2:])
+	case "energy":
+		err = cmdEnergy(os.Args[2:])
+	case "bus":
+		err = cmdBus(os.Args[2:])
+	case "hierarchy":
+		err = cmdHierarchy(os.Args[2:])
+	case "dedup":
+		err = cmdDedup(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cachedse: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachedse:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cachedse <subcommand> [flags] TRACE
+
+core:        stats  strip  explore  simulate  verify
+extensions:  linesize  policies  energy  bus  hierarchy  dedup  profile`)
+}
+
+// loadTrace reads a trace file, auto-detecting binary by magic.
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	n, _ := f.Read(magic[:])
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	if n == 4 && string(magic[:]) == "CTR1" {
+		return trace.ReadBinary(f)
+	}
+	return trace.ReadText(f)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("size N:             %d\n", st.N)
+	fmt.Printf("unique refs N':     %d\n", st.NUnique)
+	fmt.Printf("max misses:         %d\n", st.MaxMisses)
+	fmt.Printf("address bits:       %d\n", tr.AddrBits())
+	return nil
+}
+
+func cmdStrip(args []string) error {
+	fs := flag.NewFlagSet("strip", flag.ExitOnError)
+	limit := fs.Int("n", 0, "print at most n unique references (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("strip needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s := trace.Strip(tr)
+	fmt.Printf("# N=%d N'=%d\n", s.N(), s.NUnique())
+	for id := 0; id < s.NUnique(); id++ {
+		if *limit > 0 && id >= *limit {
+			fmt.Printf("# ... %d more\n", s.NUnique()-id)
+			break
+		}
+		fmt.Printf("%d %x\n", id+1, s.Addr(id))
+	}
+	return nil
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	k := fs.Int("k", -1, "miss budget K (absolute)")
+	kpct := fs.Float64("kpct", -1, "miss budget as percent of max misses")
+	maxDepth := fs.Int("maxdepth", 0, "largest cache depth to explore (power of two)")
+	verify := fs.Bool("verify", false, "simulate each emitted instance")
+	pareto := fs.Bool("pareto", false, "print only the size-Pareto frontier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explore needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st := trace.ComputeStats(tr)
+	budget := *k
+	if budget < 0 && *kpct >= 0 {
+		budget = int(float64(st.MaxMisses) * *kpct / 100)
+	}
+	if budget < 0 {
+		return fmt.Errorf("explore needs -k or -kpct")
+	}
+	r, err := core.Explore(tr, core.Options{MaxDepth: *maxDepth})
+	if err != nil {
+		return err
+	}
+	instances := r.OptimalSet(budget)
+	if *pareto {
+		instances = r.ParetoSet(budget)
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Optimal cache instances for K=%d (max misses %d)", budget, st.MaxMisses),
+		Headers: []string{"Depth D", "Assoc A", "Size (words)", "Misses"},
+	}
+	for _, ins := range instances {
+		tab.AddRow(ins.Depth, ins.Assoc, ins.SizeWords(), r.Level(ins.Depth).Misses(ins.Assoc))
+	}
+	fmt.Print(tab.Render())
+	if *verify {
+		if err := dse.Verify(tr, instances, budget); err != nil {
+			return err
+		}
+		fmt.Println("verified: all instances meet the budget under simulation")
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	depth := fs.Int("depth", 256, "cache depth (sets)")
+	assoc := fs.Int("assoc", 1, "associativity")
+	line := fs.Int("line", 1, "line size in words")
+	replName := fs.String("repl", "lru", "replacement policy: lru, fifo, random, plru")
+	wt := fs.Bool("wt", false, "write-through instead of write-back")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("simulate needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var repl cache.Replacement
+	switch strings.ToLower(*replName) {
+	case "lru":
+		repl = cache.LRU
+	case "fifo":
+		repl = cache.FIFO
+	case "random":
+		repl = cache.Random
+	case "plru":
+		repl = cache.PLRU
+	default:
+		return fmt.Errorf("unknown replacement policy %q", *replName)
+	}
+	cfg := cache.Config{Depth: *depth, Assoc: *assoc, LineWords: *line, Repl: repl, Allocate: true}
+	if *wt {
+		cfg.Write = cache.WriteThrough
+	}
+	res, err := cache.Simulate(cfg, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("config:      %s\n", cfg)
+	fmt.Printf("accesses:    %d\n", res.Accesses)
+	fmt.Printf("hits:        %d\n", res.Hits)
+	fmt.Printf("cold misses: %d\n", res.ColdMisses)
+	fmt.Printf("misses:      %d (non-cold)\n", res.Misses)
+	fmt.Printf("writebacks:  %d\n", res.Writebacks)
+	fmt.Printf("miss rate:   %.4f (non-cold / accesses)\n", res.MissRate())
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	k := fs.Int("k", 0, "miss budget K")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("verify needs a trace file and at least one D:A instance")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var instances []core.Instance
+	for _, arg := range fs.Args()[1:] {
+		d, a, ok := strings.Cut(arg, ":")
+		if !ok {
+			return fmt.Errorf("bad instance %q, want D:A", arg)
+		}
+		depth, err1 := strconv.Atoi(d)
+		assoc, err2 := strconv.Atoi(a)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad instance %q, want D:A", arg)
+		}
+		instances = append(instances, core.Instance{Depth: depth, Assoc: assoc})
+	}
+	if err := dse.Verify(tr, instances, *k); err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d instances meet budget K=%d\n", len(instances), *k)
+	return nil
+}

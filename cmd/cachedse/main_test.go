@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,4")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+// loadTrace auto-detects binary vs text by magic.
+func TestLoadTraceAutodetect(t *testing.T) {
+	dir := t.TempDir()
+	tr := trace.FromAddrs(trace.DataRead, []uint32{1, 2, 3, 1})
+
+	textPath := filepath.Join(dir, "t.din")
+	f, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	binPath := filepath.Join(dir, "t.ctr")
+	f, err = os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, path := range []string{textPath, binPath} {
+		got, err := loadTrace(path)
+		if err != nil {
+			t.Fatalf("loadTrace(%s): %v", path, err)
+		}
+		if got.Len() != 4 || got.Refs[3].Addr != 1 {
+			t.Fatalf("loadTrace(%s) = %+v", path, got.Refs)
+		}
+	}
+	if _, err := loadTrace(filepath.Join(dir, "missing.din")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// The subcommand entry points run end to end against a real trace file.
+func TestSubcommandsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tr := trace.New(0)
+	for rep := 0; rep < 20; rep++ {
+		for i := uint32(0); i < 24; i++ {
+			k := trace.DataRead
+			if i%5 == 0 {
+				k = trace.DataWrite
+			}
+			tr.Append(trace.Ref{Addr: i * 3, Kind: k})
+		}
+	}
+	path := filepath.Join(dir, "w.din")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Silence stdout during the run.
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"stats", func() error { return cmdStats([]string{path}) }},
+		{"strip", func() error { return cmdStrip([]string{"-n", "5", path}) }},
+		{"explore", func() error { return cmdExplore([]string{"-kpct", "10", "-verify", path}) }},
+		{"explore pareto", func() error { return cmdExplore([]string{"-k", "3", "-pareto", path}) }},
+		{"simulate", func() error { return cmdSimulate([]string{"-depth", "8", "-assoc", "2", path}) }},
+		{"simulate plru wt", func() error {
+			return cmdSimulate([]string{"-depth", "8", "-repl", "plru", "-wt", path})
+		}},
+		{"verify", func() error { return cmdVerify([]string{"-k", "1000", path, "8:2", "16:1"}) }},
+		{"linesize", func() error { return cmdLinesize([]string{"-k", "5", path}) }},
+		{"policies", func() error { return cmdPolicies([]string{"-depth", "8", "-assoc", "2", path}) }},
+		{"energy", func() error { return cmdEnergy([]string{"-k", "10", path}) }},
+		{"bus", func() error { return cmdBus([]string{path}) }},
+		{"hierarchy", func() error { return cmdHierarchy([]string{path}) }},
+		{"dedup", func() error { return cmdDedup([]string{"-o", filepath.Join(dir, "out.din"), path}) }},
+		{"profile", func() error { return cmdProfile([]string{"-windows", "8,32", path}) }},
+	}
+	for _, c := range cases {
+		if err := c.run(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+
+	// Error paths.
+	bad := []struct {
+		name string
+		run  func() error
+	}{
+		{"stats no file", func() error { return cmdStats(nil) }},
+		{"explore no budget", func() error { return cmdExplore([]string{path}) }},
+		{"simulate bad repl", func() error { return cmdSimulate([]string{"-repl", "zzz", path}) }},
+		{"verify bad instance", func() error { return cmdVerify([]string{"-k", "0", path, "whoops"}) }},
+		{"verify violated", func() error { return cmdVerify([]string{"-k", "0", path, "1:1"}) }},
+		{"hierarchy bad lat", func() error { return cmdHierarchy([]string{"-lat", "1,2", path}) }},
+	}
+	for _, c := range bad {
+		if err := c.run(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command minicc is the minic compiler driver: it compiles a minic source
+// file to the VM's assembly and can assemble, run, trace and disassemble
+// the result.
+//
+// Usage:
+//
+//	minicc [-O] [-S] [-dis] [-run] [-trace DIR] [-mem WORDS] [-steps N] FILE
+//
+//	-O       enable optimisation (constant folding + peephole)
+//	-S       print the generated assembly and stop
+//	-dis     print the disassembled machine program and stop
+//	-run     execute and print each out() word (default if no mode given)
+//	-trace   also write FILE-derived .instr.din / .data.din traces to DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/example/cachedse/internal/asm"
+	"github.com/example/cachedse/internal/minic"
+	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/vm"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "optimise (constant folding + peephole)")
+	emitAsm := flag.Bool("S", false, "print generated assembly and stop")
+	dis := flag.Bool("dis", false, "print disassembly and stop")
+	runIt := flag.Bool("run", false, "execute the program")
+	traceDir := flag.String("trace", "", "write instruction/data traces to this directory")
+	mem := flag.Int("mem", 1<<16, "data memory size in words")
+	steps := flag.Uint64("steps", 100_000_000, "execution step limit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] FILE")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	compile := minic.Compile
+	if *optimize {
+		compile = minic.CompileOptimized
+	}
+	asmSrc, err := compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *emitAsm {
+		fmt.Print(asmSrc)
+		return
+	}
+	prog, err := asm.Assemble(asmSrc)
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		fmt.Print(vm.Disassemble(prog.Instrs))
+		return
+	}
+	_ = runIt // default mode is run
+	cpu := prog.NewCPU(*mem)
+	var col *vm.Collector
+	if *traceDir != "" {
+		col = &vm.Collector{Trace: trace.New(0), IBase: 0}
+		cpu.Tracer = col
+	}
+	if err := cpu.Run(*steps); err != nil {
+		fatal(err)
+	}
+	for _, w := range cpu.Out {
+		fmt.Printf("%d\n", int32(w))
+	}
+	if col != nil {
+		stem := strings.TrimSuffix(filepath.Base(flag.Arg(0)), filepath.Ext(flag.Arg(0)))
+		instr, data := col.Trace.Split()
+		for _, s := range []struct {
+			kind string
+			tr   *trace.Trace
+		}{{"instr", instr}, {"data", data}} {
+			path := filepath.Join(*traceDir, fmt.Sprintf("%s.%s.din", stem, s.kind))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteText(f, s.tr); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d refs)\n", path, s.tr.Len())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

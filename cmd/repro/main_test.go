@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseSelection(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"5", []int{5}, false},
+		{"5,6", []int{5, 6}, false},
+		{"7-10", []int{7, 8, 9, 10}, false},
+		{"5, 7-9 ,31", []int{5, 7, 8, 9, 31}, false},
+		{"x", nil, true},
+		{"9-7", nil, true},
+		{"1-x", nil, true},
+		{"", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseSelection(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseSelection(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseSelection(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for _, n := range c.want {
+			if !got[n] {
+				t.Errorf("parseSelection(%q) missing %d", c.in, n)
+			}
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Table 5: data trace statistics", "table-5-data-trace-statistics"},
+		{"Extension: bus, stuff (x)", "extension-bus-stuff-x"},
+		{"---", ""},
+		{"A  B", "a-b"},
+	}
+	for _, c := range cases {
+		if got := slug(c.in); got != c.want {
+			t.Errorf("slug(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOneBased(t *testing.T) {
+	if got := oneBased([]int{0, 2, 4}); got != "{1,3,5}" {
+		t.Errorf("oneBased = %q", got)
+	}
+	if got := oneBased(nil); got != "{}" {
+		t.Errorf("oneBased(nil) = %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"github.com/example/cachedse/internal/experiments"
+)
+
+// silence redirects stdout to /dev/null for the duration of fn, so the
+// end-to-end table printers can run under `go test` without drowning the
+// output.
+func silence(t *testing.T, fn func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return fn()
+}
+
+func TestRunningExample(t *testing.T) {
+	if err := silence(t, func() error { runningExample(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluationSelectedTables(t *testing.T) {
+	suite, err := experiments.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := &emitter{}
+	err = silence(t, func() error {
+		// Tables 5, 6, one data grid (crc = 11), one instruction grid
+		// (30), with verification on the selected grids.
+		return evaluation(em, suite, map[int]bool{5: true, 6: true, 11: true, 30: true}, false, false, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluationCompiledSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiled suite in short mode")
+	}
+	suite, err := experiments.LoadCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := &emitter{}
+	err = silence(t, func() error {
+		return evaluation(em, suite, map[int]bool{5: true, 6: true}, false, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluationFigure4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing study in short mode")
+	}
+	suite, err := experiments.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := &emitter{}
+	if err := silence(t, func() error { return evaluation(em, suite, nil, false, true, false) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full extension sweep in short mode")
+	}
+	em := &emitter{csvDir: t.TempDir()}
+	if err := silence(t, func() error { return extensionExperiments(em) }); err != nil {
+		t.Fatal(err)
+	}
+	// CSV mirroring produced files.
+	entries, err := os.ReadDir(em.csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("only %d CSV files written", len(entries))
+	}
+}

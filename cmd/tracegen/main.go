@@ -1,0 +1,89 @@
+// Command tracegen executes PowerStone kernels on the VM and writes their
+// instruction and data reference traces to disk, in the Dinero-style text
+// format (default) or the compact binary format.
+//
+// Usage:
+//
+//	tracegen [-out DIR] [-format text|binary] [-list] [benchmark ...]
+//
+// With no benchmark arguments, the whole suite is traced. Each benchmark
+// produces two files, <name>.instr.<ext> and <name>.data.<ext>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/example/cachedse/internal/powerstone"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	format := flag.String("format", "text", "trace format: text or binary")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range powerstone.Names() {
+			fmt.Printf("%-10s %s\n", name, powerstone.Get(name).Description)
+		}
+		return
+	}
+	var write func(path string, t *trace.Trace) error
+	var ext string
+	switch *format {
+	case "text":
+		ext, write = "din", writeWith(trace.WriteText)
+	case "binary":
+		ext, write = "ctr", writeWith(trace.WriteBinary)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = powerstone.Names()
+	}
+	for _, name := range names {
+		b := powerstone.Get(name)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		res, err := b.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, s := range []struct {
+			kind string
+			tr   *trace.Trace
+		}{{"instr", res.Instr}, {"data", res.Data}} {
+			path := filepath.Join(*out, fmt.Sprintf("%s.%s.%s", name, s.kind, ext))
+			if err := write(path, s.tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: %d references\n", path, s.tr.Len())
+		}
+	}
+}
+
+func writeWith(enc func(w io.Writer, t *trace.Trace) error) func(string, *trace.Trace) error {
+	return func(path string, t *trace.Trace) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := enc(f, t); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}

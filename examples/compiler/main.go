@@ -1,0 +1,54 @@
+// Compiler: the paper traces *compiled* benchmarks; this example measures
+// what compilation does to cache requirements. The same fir kernel — same
+// algorithm, same inputs, bit-identical checksum — runs twice: hand-written
+// assembly versus minic-compiled code, and the analytical explorer sizes
+// caches for both instruction streams.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/minicbench"
+	"github.com/example/cachedse/internal/powerstone"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func main() {
+	hand, err := powerstone.Get("fir").Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := minicbench.Fir.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if hand.Out[0] != compiled.Out[0] {
+		log.Fatalf("checksums differ: %#x vs %#x", hand.Out[0], compiled.Out[0])
+	}
+	fmt.Printf("fir checksum agrees: %#x\n\n", hand.Out[0])
+
+	for _, v := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"hand assembly, I-stream", hand.Instr},
+		{"minic compiled, I-stream", compiled.Instr},
+		{"hand assembly, D-stream", hand.Data},
+		{"minic compiled, D-stream", compiled.Data},
+	} {
+		st := trace.ComputeStats(v.tr)
+		k := st.MaxMisses / 20 // 5%
+		r, err := core.Explore(v.tr, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		frontier := r.ParetoSet(k)
+		best := frontier[len(frontier)-1]
+		fmt.Printf("%-26s N=%8d N'=%5d  K=%7d  smallest zero-ish point %v (%d words)\n",
+			v.name, st.N, st.NUnique, k, best, best.SizeWords())
+	}
+	fmt.Println("\ncompilation grows the instruction footprint and adds stack traffic;")
+	fmt.Println("the required cache grows with it — same algorithm, different memory behaviour.")
+}

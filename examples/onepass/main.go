@@ -1,0 +1,50 @@
+// Onepass: three independent ways to count the same misses. For one trace
+// and a grid of configurations, compare (1) the event-driven simulator,
+// (2) the Mattson stack-distance one-pass profile, and (3) the paper's
+// analytical BCAT+MRCT computation. All three agree exactly — the
+// analytical numbers are not approximations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/onepass"
+	"github.com/example/cachedse/internal/tracegen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	tr := tracegen.Mixed(
+		tracegen.Loop(0, 20, 100),
+		tracegen.Uniform(rng, 64, 200, 3000),
+	)
+
+	r, err := core.Explore(tr, core.Options{MaxDepth: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%7s %6s | %10s %10s %10s\n", "depth", "assoc", "simulator", "one-pass", "analytical")
+	for _, depth := range []int{1, 4, 16, 64} {
+		prof, err := onepass.Run(tr, depth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, assoc := range []int{1, 2, 4, 8} {
+			sim, err := cache.Simulate(cache.Config{Depth: depth, Assoc: assoc}, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			an := r.Level(depth).Misses(assoc)
+			fmt.Printf("%7d %6d | %10d %10d %10d\n", depth, assoc, sim.Misses, prof.Misses(assoc), an)
+			if sim.Misses != prof.Misses(assoc) || sim.Misses != an {
+				log.Fatal("mismatch: the three counters disagree")
+			}
+		}
+	}
+	fmt.Println("\nall three agree on every configuration.")
+}

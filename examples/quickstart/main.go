@@ -1,0 +1,46 @@
+// Quickstart: the smallest useful program. Build a memory reference trace,
+// ask the analytical explorer for the optimal cache instances at a miss
+// budget, and print them — no simulation anywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func main() {
+	// A toy workload: two arrays walked together in a loop, plus a hot
+	// counter. The arrays collide in small direct-mapped caches.
+	tr := trace.New(0)
+	for iter := 0; iter < 50; iter++ {
+		for i := uint32(0); i < 16; i++ {
+			tr.Append(trace.Ref{Addr: 0x000 + i, Kind: trace.DataRead}) // a[i]
+			tr.Append(trace.Ref{Addr: 0x100 + i, Kind: trace.DataRead}) // b[i]
+			tr.Append(trace.Ref{Addr: 0x200, Kind: trace.DataWrite})    // counter
+		}
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("trace: N=%d unique=%d max misses=%d\n\n", st.N, st.NUnique, st.MaxMisses)
+
+	// Explore the whole depth x associativity space analytically.
+	r, err := core.Explore(tr, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Budget: at most 1% of the worst case misses.
+	k := st.MaxMisses / 100
+	fmt.Printf("optimal instances for K=%d misses:\n", k)
+	for _, ins := range r.OptimalSet(k) {
+		fmt.Printf("  depth %4d  assoc %2d  size %4d words  -> %d misses\n",
+			ins.Depth, ins.Assoc, ins.SizeWords(), r.Level(ins.Depth).Misses(ins.Assoc))
+	}
+
+	fmt.Println("\nsize-Pareto frontier:")
+	for _, ins := range r.ParetoSet(k) {
+		fmt.Printf("  %v  (%d words)\n", ins, ins.SizeWords())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/example/cachedse
+
+go 1.22

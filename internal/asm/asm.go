@@ -1,0 +1,683 @@
+// Package asm implements a two-pass assembler for the vm package's
+// MIPS-like ISA. It exists so the PowerStone benchmark kernels can be
+// written as readable assembly source — the way the paper's benchmarks were
+// compiled for its MIPS R3000 simulator — rather than as hand-built
+// instruction slices.
+//
+// Syntax summary:
+//
+//	# comment, ; comment, // comment
+//	        .data
+//	tab:    .word 1, 2, 0x10, label   # words or addresses of labels
+//	buf:    .space 64                 # 64 zero words
+//	        .text
+//	main:   li   $t0, 100000          # pseudo: lui+ori
+//	loop:   lw   $t1, 0($t0)
+//	        addi $t0, $t0, 1
+//	        bne  $t0, $t2, loop
+//	        halt
+//
+// Registers accept MIPS conventional names ($zero, $at, $v0-$v1, $a0-$a3,
+// $t0-$t9, $s0-$s7, $k0-$k1, $gp, $sp, $fp, $ra) or plain numbers ($0-$31).
+// Text labels resolve to instruction indices, data labels to word addresses
+// in the data segment. Pseudo-instructions: li, la, move, nop, b, beqz,
+// bnez, bgt, ble, subi, neg, not.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/example/cachedse/internal/vm"
+)
+
+// Program is the output of assembly: a program image plus its initial data
+// segment and symbol table.
+type Program struct {
+	Instrs  []vm.Instr
+	Data    []uint32
+	Symbols map[string]Symbol
+}
+
+// Segment identifies which address space a symbol lives in.
+type Segment uint8
+
+// Segments.
+const (
+	SegText Segment = iota
+	SegData
+)
+
+// Symbol is a resolved label.
+type Symbol struct {
+	Value   uint32
+	Segment Segment
+}
+
+// Entry returns the entry PC: the "main" label if defined, else 0.
+func (p *Program) Entry() uint32 {
+	if s, ok := p.Symbols["main"]; ok && s.Segment == SegText {
+		return s.Value
+	}
+	return 0
+}
+
+// NewCPU instantiates a CPU for the program with a data memory of at least
+// memWords words (grown to fit the data segment), the data segment loaded,
+// and the PC at the entry point.
+func (p *Program) NewCPU(memWords int) *vm.CPU {
+	if memWords < len(p.Data) {
+		memWords = len(p.Data)
+	}
+	mem := vm.NewMemory(memWords)
+	copy(mem.Words(), p.Data)
+	c := vm.NewCPU(p.Instrs, mem)
+	c.PC = p.Entry()
+	return c
+}
+
+var regNames = map[string]uint8{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+// Error is an assembly diagnostic carrying its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// dataItem is a pending word in the data segment: either a literal value or
+// a label whose address is patched in pass 2.
+type dataItem struct {
+	value uint32
+	label string
+	line  int
+}
+
+// stmt is one parsed instruction statement awaiting emission.
+type stmt struct {
+	line int
+	op   string
+	args []string
+	pc   uint32 // index of first emitted instruction
+}
+
+// Assemble parses and assembles a source file.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Symbols: make(map[string]Symbol)}
+	var stmts []stmt
+	var data []dataItem
+	seg := SegText
+	pc := uint32(0)
+
+	// Pass 1: labels, sizing, data collection.
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// Labels (possibly several) at the start of the line.
+		for {
+			trimmed := strings.TrimSpace(line)
+			idx := strings.Index(trimmed, ":")
+			if idx <= 0 || strings.ContainsAny(trimmed[:idx], " \t.$,(") {
+				line = trimmed
+				break
+			}
+			name := trimmed[:idx]
+			if _, dup := p.Symbols[name]; dup {
+				return nil, errf(lineno+1, "duplicate label %q", name)
+			}
+			if seg == SegText {
+				p.Symbols[name] = Symbol{Value: pc, Segment: SegText}
+			} else {
+				p.Symbols[name] = Symbol{Value: uint32(len(data)), Segment: SegData}
+			}
+			line = trimmed[idx+1:]
+		}
+		if line == "" {
+			continue
+		}
+		fields := splitOperands(line)
+		op := strings.ToLower(fields[0])
+		args := fields[1:]
+		switch op {
+		case ".text":
+			seg = SegText
+		case ".data":
+			seg = SegData
+		case ".word":
+			if seg != SegData {
+				return nil, errf(lineno+1, ".word outside .data")
+			}
+			if len(args) == 0 {
+				return nil, errf(lineno+1, ".word needs at least one value")
+			}
+			for _, a := range args {
+				if v, err := parseImm(a); err == nil {
+					data = append(data, dataItem{value: uint32(v)})
+				} else {
+					data = append(data, dataItem{label: a, line: lineno + 1})
+				}
+			}
+		case ".space":
+			if seg != SegData {
+				return nil, errf(lineno+1, ".space outside .data")
+			}
+			if len(args) != 1 {
+				return nil, errf(lineno+1, ".space needs a word count")
+			}
+			n, err := parseImm(args[0])
+			if err != nil || n < 0 {
+				return nil, errf(lineno+1, "bad .space count %q", args[0])
+			}
+			for i := int64(0); i < n; i++ {
+				data = append(data, dataItem{})
+			}
+		default:
+			if strings.HasPrefix(op, ".") {
+				return nil, errf(lineno+1, "unknown directive %q", op)
+			}
+			if seg != SegText {
+				return nil, errf(lineno+1, "instruction %q outside .text", op)
+			}
+			size, err := instrSize(op, args)
+			if err != nil {
+				return nil, errf(lineno+1, "%v", err)
+			}
+			stmts = append(stmts, stmt{line: lineno + 1, op: op, args: args, pc: pc})
+			pc += size
+		}
+	}
+
+	// Materialise the data segment, patching label references.
+	p.Data = make([]uint32, len(data))
+	for i, d := range data {
+		if d.label == "" {
+			p.Data[i] = d.value
+			continue
+		}
+		sym, ok := p.Symbols[d.label]
+		if !ok {
+			return nil, errf(d.line, "undefined symbol %q in .word", d.label)
+		}
+		p.Data[i] = sym.Value
+	}
+
+	// Pass 2: emit instructions.
+	for _, st := range stmts {
+		ins, err := emit(p, st)
+		if err != nil {
+			return nil, err
+		}
+		p.Instrs = append(p.Instrs, ins...)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for embedded programs
+// whose source is fixed at compile time.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{"#", ";", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+// splitOperands splits "op a, b, c" into ["op", "a", "b", "c"].
+func splitOperands(line string) []string {
+	var head string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		head, line = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		return []string{line}
+	}
+	out := []string{head}
+	for _, part := range strings.Split(line, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	name := s[1:]
+	if r, ok := regNames[name]; ok {
+		return r, nil
+	}
+	n, err := strconv.Atoi(name)
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseMem parses "off($reg)" or "($reg)".
+func parseMem(s string) (off int32, reg uint8, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr != "" {
+		v, err := parseImm(offStr)
+		if err != nil || v < -0x8000 || v > 0x7FFF {
+			return 0, 0, fmt.Errorf("bad displacement in %q", s)
+		}
+		off = int32(v)
+	}
+	reg, err = parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	return off, reg, err
+}
+
+// instrSize returns how many machine instructions a statement expands to.
+func instrSize(op string, args []string) (uint32, error) {
+	switch op {
+	case "li", "la":
+		return 2, nil // always lui+ori for deterministic sizing
+	case "add", "sub", "and", "or", "xor", "nor", "slt", "sltu", "sllv",
+		"srlv", "srav", "mul", "div", "rem", "jr", "jalr", "out", "halt",
+		"addi", "andi", "ori", "xori", "slti", "sll", "srl", "sra", "lui",
+		"lw", "sw", "beq", "bne", "blt", "bge", "j", "jal",
+		"move", "nop", "b", "beqz", "bnez", "bgt", "ble", "subi", "neg", "not":
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("unknown instruction %q", op)
+	}
+}
+
+// resolve returns the value of a label or numeric operand.
+func (p *Program) resolve(s string, line int) (int64, error) {
+	if v, err := parseImm(s); err == nil {
+		return v, nil
+	}
+	sym, ok := p.Symbols[s]
+	if !ok {
+		return 0, errf(line, "undefined symbol %q", s)
+	}
+	return int64(sym.Value), nil
+}
+
+// branchTarget computes the pc-relative offset for a branch at pc.
+func (p *Program) branchTarget(s string, pc uint32, line int) (int32, error) {
+	v, err := p.resolve(s, line)
+	if err != nil {
+		return 0, err
+	}
+	if sym, ok := p.Symbols[s]; ok && sym.Segment != SegText {
+		return 0, errf(line, "branch target %q is not a text label", s)
+	}
+	off := v - int64(pc) - 1
+	if off < -0x8000 || off > 0x7FFF {
+		return 0, errf(line, "branch to %q out of range (%d)", s, off)
+	}
+	return int32(off), nil
+}
+
+func emit(p *Program, st stmt) ([]vm.Instr, error) {
+	need := func(n int) error {
+		if len(st.args) != n {
+			return errf(st.line, "%s needs %d operands, got %d", st.op, n, len(st.args))
+		}
+		return nil
+	}
+	reg := func(i int) (uint8, error) {
+		r, err := parseReg(st.args[i])
+		if err != nil {
+			return 0, errf(st.line, "%s: %v", st.op, err)
+		}
+		return r, nil
+	}
+
+	rrr := func(op vm.Op) ([]vm.Instr, error) {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: op, Rd: rd, Rs: rs, Rt: rt}}, nil
+	}
+	rri := func(op vm.Op, lo, hi int64) ([]vm.Instr, error) {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.resolve(st.args[2], st.line)
+		if err != nil {
+			return nil, err
+		}
+		if v < lo || v > hi {
+			return nil, errf(st.line, "%s: immediate %d outside [%d,%d]", st.op, v, lo, hi)
+		}
+		return []vm.Instr{{Op: op, Rt: rt, Rs: rs, Imm: int32(v)}}, nil
+	}
+	mem := func(op vm.Op) ([]vm.Instr, error) {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, rs, err := parseMem(st.args[1])
+		if err != nil {
+			return nil, errf(st.line, "%s: %v", st.op, err)
+		}
+		return []vm.Instr{{Op: op, Rt: rt, Rs: rs, Imm: off}}, nil
+	}
+	branch := func(op vm.Op, swap bool) ([]vm.Instr, error) {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		if swap {
+			rs, rt = rt, rs
+		}
+		off, err := p.branchTarget(st.args[2], st.pc, st.line)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: op, Rs: rs, Rt: rt, Imm: off}}, nil
+	}
+	loadConst := func(rt uint8, v int64) []vm.Instr {
+		// Deterministic two-instruction expansion: lui upper, ori lower.
+		u := uint32(v)
+		return []vm.Instr{
+			{Op: vm.OpLui, Rt: rt, Imm: int32(u >> 16)},
+			{Op: vm.OpOri, Rt: rt, Rs: rt, Imm: int32(u & 0xFFFF)},
+		}
+	}
+
+	switch st.op {
+	case "add":
+		return rrr(vm.OpAdd)
+	case "sub":
+		return rrr(vm.OpSub)
+	case "and":
+		return rrr(vm.OpAnd)
+	case "or":
+		return rrr(vm.OpOr)
+	case "xor":
+		return rrr(vm.OpXor)
+	case "nor":
+		return rrr(vm.OpNor)
+	case "slt":
+		return rrr(vm.OpSlt)
+	case "sltu":
+		return rrr(vm.OpSltu)
+	case "sllv":
+		return rrr(vm.OpSllv)
+	case "srlv":
+		return rrr(vm.OpSrlv)
+	case "srav":
+		return rrr(vm.OpSrav)
+	case "mul":
+		return rrr(vm.OpMul)
+	case "div":
+		return rrr(vm.OpDiv)
+	case "rem":
+		return rrr(vm.OpRem)
+
+	case "addi":
+		return rri(vm.OpAddi, -0x8000, 0x7FFF)
+	case "subi":
+		ins, err := rri(vm.OpAddi, -0x7FFF, 0x8000)
+		if err != nil {
+			return nil, err
+		}
+		ins[0].Imm = -ins[0].Imm
+		return ins, nil
+	case "andi":
+		return rri(vm.OpAndi, 0, 0xFFFF)
+	case "ori":
+		return rri(vm.OpOri, 0, 0xFFFF)
+	case "xori":
+		return rri(vm.OpXori, 0, 0xFFFF)
+	case "slti":
+		return rri(vm.OpSlti, -0x8000, 0x7FFF)
+	case "sll":
+		return rri(vm.OpSll, 0, 31)
+	case "srl":
+		return rri(vm.OpSrl, 0, 31)
+	case "sra":
+		return rri(vm.OpSra, 0, 31)
+
+	case "lui":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.resolve(st.args[1], st.line)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 0xFFFF {
+			return nil, errf(st.line, "lui: immediate %d outside uint16", v)
+		}
+		return []vm.Instr{{Op: vm.OpLui, Rt: rt, Imm: int32(v)}}, nil
+
+	case "lw":
+		return mem(vm.OpLw)
+	case "sw":
+		return mem(vm.OpSw)
+
+	case "beq":
+		return branch(vm.OpBeq, false)
+	case "bne":
+		return branch(vm.OpBne, false)
+	case "blt":
+		return branch(vm.OpBlt, false)
+	case "bge":
+		return branch(vm.OpBge, false)
+	case "bgt": // rs > rt == rt < rs
+		return branch(vm.OpBlt, true)
+	case "ble": // rs <= rt == rt >= rs
+		return branch(vm.OpBge, true)
+
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := p.branchTarget(st.args[1], st.pc, st.line)
+		if err != nil {
+			return nil, err
+		}
+		op := vm.OpBeq
+		if st.op == "bnez" {
+			op = vm.OpBne
+		}
+		return []vm.Instr{{Op: op, Rs: rs, Rt: 0, Imm: off}}, nil
+
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := p.branchTarget(st.args[0], st.pc, st.line)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpBeq, Imm: off}}, nil
+
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := p.resolve(st.args[0], st.line)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v >= 1<<26 {
+			return nil, errf(st.line, "%s: target %d outside 26 bits", st.op, v)
+		}
+		op := vm.OpJ
+		if st.op == "jal" {
+			op = vm.OpJal
+		}
+		return []vm.Instr{{Op: op, Imm: int32(v)}}, nil
+
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpJr, Rs: rs}}, nil
+
+	case "jalr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpJalr, Rd: rd, Rs: rs}}, nil
+
+	case "out":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpOut, Rs: rs}}, nil
+
+	case "halt":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpHalt}}, nil
+
+	case "nop":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpSll}}, nil
+
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpOr, Rd: rd, Rs: rs, Rt: 0}}, nil
+
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpSub, Rd: rd, Rs: 0, Rt: rs}}, nil
+
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpNor, Rd: rd, Rs: rs, Rt: 0}}, nil
+
+	case "li", "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.resolve(st.args[1], st.line)
+		if err != nil {
+			return nil, err
+		}
+		if v < -(1<<31) || v > (1<<32)-1 {
+			return nil, errf(st.line, "%s: constant %d outside 32 bits", st.op, v)
+		}
+		return loadConst(rt, v), nil
+	}
+	return nil, errf(st.line, "unknown instruction %q", st.op)
+}

@@ -1,0 +1,348 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/example/cachedse/internal/vm"
+)
+
+// run assembles and executes a source file, returning the CPU.
+func run(t *testing.T, src string) *vm.CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	c := p.NewCPU(4096)
+	if err := c.Run(1000000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+func TestSumLoop(t *testing.T) {
+	c := run(t, `
+# sum 1..100
+main:   li   $t0, 0         # sum
+        li   $t1, 1         # i
+        li   $t2, 101
+loop:   add  $t0, $t0, $t1
+        addi $t1, $t1, 1
+        bne  $t1, $t2, loop
+        out  $t0
+        halt
+`)
+	if len(c.Out) != 1 || c.Out[0] != 5050 {
+		t.Fatalf("Out = %v, want [5050]", c.Out)
+	}
+}
+
+func TestDataSegmentAndLa(t *testing.T) {
+	c := run(t, `
+        .data
+arr:    .word 10, 20, 30, 40
+n:      .word 4
+sum:    .space 1
+        .text
+main:   la   $t0, arr
+        la   $t1, n
+        lw   $t1, 0($t1)      # n = 4
+        li   $t2, 0           # sum
+        li   $t3, 0           # i
+loop:   add  $t4, $t0, $t3
+        lw   $t5, 0($t4)
+        add  $t2, $t2, $t5
+        addi $t3, $t3, 1
+        bne  $t3, $t1, loop
+        la   $t6, sum
+        sw   $t2, 0($t6)
+        out  $t2
+        halt
+`)
+	if len(c.Out) != 1 || c.Out[0] != 100 {
+		t.Fatalf("Out = %v, want [100]", c.Out)
+	}
+	// sum label = word 5 in the data segment.
+	if v, _ := c.Mem.Load(5); v != 100 {
+		t.Fatalf("mem[sum] = %d, want 100", v)
+	}
+}
+
+func TestWordWithLabelReference(t *testing.T) {
+	p, err := Assemble(`
+        .data
+a:      .word 7
+ptr:    .word a
+        .text
+main:   la   $t0, ptr
+        lw   $t1, 0($t0)   # t1 = address of a = 0
+        lw   $t2, 0($t1)   # t2 = 7
+        out  $t2
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data[1] != 0 {
+		t.Fatalf("ptr word = %d, want 0 (address of a)", p.Data[1])
+	}
+	c := p.NewCPU(64)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Out) != 1 || c.Out[0] != 7 {
+		t.Fatalf("Out = %v, want [7]", c.Out)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	c := run(t, `
+main:   li   $a0, 6
+        jal  square
+        out  $v0
+        halt
+square: mul  $v0, $a0, $a0
+        jr   $ra
+`)
+	if len(c.Out) != 1 || c.Out[0] != 36 {
+		t.Fatalf("Out = %v, want [36]", c.Out)
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	c := run(t, `
+main:   li   $t0, 5
+        move $t1, $t0        # 5
+        neg  $t2, $t0        # -5
+        not  $t3, $0         # ~0
+        subi $t4, $t0, 2     # 3
+        nop
+        li   $t5, 0x12345678 # 32-bit constant via lui+ori
+        beqz $0, skip1
+        li   $t6, 111
+skip1:  bnez $t0, skip2
+        li   $t7, 222
+skip2:  li   $s0, 1
+        li   $s1, 2
+        bgt  $s1, $s0, skip3 # 2 > 1: taken
+        li   $s2, 333
+skip3:  ble  $s1, $s0, bad   # 2 <= 1: not taken
+        b    done
+bad:    li   $s3, 444
+done:   halt
+`)
+	check := map[int]uint32{
+		9:  5,
+		10: ^uint32(4), // -5 two's complement
+		11: ^uint32(0),
+		12: 3,
+		13: 0x12345678,
+		14: 0, // skipped by beqz
+		15: 0, // skipped by bnez
+		18: 0, // skipped by bgt
+		19: 0, // bad not reached
+	}
+	for r, w := range check {
+		if c.Reg[r] != w {
+			t.Errorf("r%d = %#x, want %#x", r, c.Reg[r], w)
+		}
+	}
+}
+
+func TestRegisterNamesAndNumbers(t *testing.T) {
+	p, err := Assemble(`
+main:   add $t0, $8, $zero
+        add $31, $ra, $0
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Rd != 8 || p.Instrs[0].Rs != 8 || p.Instrs[0].Rt != 0 {
+		t.Errorf("instr 0 = %+v", p.Instrs[0])
+	}
+	if p.Instrs[1].Rd != 31 || p.Instrs[1].Rs != 31 {
+		t.Errorf("instr 1 = %+v", p.Instrs[1])
+	}
+}
+
+func TestCommentsStyles(t *testing.T) {
+	c := run(t, `
+main:  li $t0, 1   # hash
+       li $t1, 2   ; semicolon
+       li $t2, 3   // slashes
+       halt
+`)
+	if c.Reg[8] != 1 || c.Reg[9] != 2 || c.Reg[10] != 3 {
+		t.Fatal("comments corrupted operands")
+	}
+}
+
+func TestEntryDefaultsToZero(t *testing.T) {
+	p, err := Assemble("start: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry() != 0 {
+		t.Fatalf("Entry = %d, want 0 without main", p.Entry())
+	}
+}
+
+func TestEntryMainLabel(t *testing.T) {
+	p, err := Assemble(`
+sub:    jr $ra
+main:   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry() != 1 {
+		t.Fatalf("Entry = %d, want 1", p.Entry())
+	}
+}
+
+func TestNegativeDisplacement(t *testing.T) {
+	c := run(t, `
+main:   li  $t0, 10
+        li  $t1, 77
+        sw  $t1, -2($t0)    # mem[8]
+        lw  $t2, -2($t0)
+        out $t2
+        halt
+`)
+	if len(c.Out) != 1 || c.Out[0] != 77 {
+		t.Fatalf("Out = %v", c.Out)
+	}
+	if v, _ := c.Mem.Load(8); v != 77 {
+		t.Fatalf("mem[8] = %d, want 77", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown instruction", "main: frob $t0, $t1\n"},
+		{"unknown directive", ".bss\n"},
+		{"bad register", "main: add $t0, $zz, $t1\n"},
+		{"register out of range", "main: add $t0, $32, $t1\n"},
+		{"wrong operand count", "main: add $t0, $t1\n"},
+		{"undefined branch label", "main: beq $t0, $t1, nowhere\n"},
+		{"undefined word label", ".data\nx: .word nowhere\n.text\nmain: halt\n"},
+		{"duplicate label", "a: halt\na: halt\n"},
+		{"word outside data", "main: .word 1\n"},
+		{"space outside data", "main: .space 4\n"},
+		{"bad space count", ".data\nb: .space -1\n"},
+		{"instruction in data", ".data\nadd $t0, $t1, $t2\n"},
+		{"imm out of range", "main: addi $t0, $t0, 40000\n"},
+		{"shift out of range", "main: sll $t0, $t0, 33\n"},
+		{"bad memory operand", "main: lw $t0, $t1\n"},
+		{"branch to data label", ".data\nd: .word 1\n.text\nmain: beq $0, $0, d\n"},
+		{"empty word list", ".data\nw: .word\n.text\nmain: halt\n"},
+		{"lui out of range", "main: lui $t0, 65536\n"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("%s: error %v is not *asm.Error", c.name, err)
+		}
+	}
+}
+
+func TestErrorCarriesLine(t *testing.T) {
+	_, err := Assemble("main: halt\n\n frob\n")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error %v is not *asm.Error", err)
+	}
+	if aerr.Line != 3 {
+		t.Fatalf("Line = %d, want 3", aerr.Line)
+	}
+	if !strings.Contains(aerr.Error(), "line 3") {
+		t.Fatalf("Error() = %q", aerr.Error())
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("bogus!\n")
+}
+
+func TestNewCPUGrowsMemoryToData(t *testing.T) {
+	p, err := Assemble(`
+        .data
+big:    .space 100
+        .text
+main:   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.NewCPU(10)
+	if c.Mem.Size() < 100 {
+		t.Fatalf("memory %d words, want >= data segment 100", c.Mem.Size())
+	}
+}
+
+func TestAllInstructionsEncodable(t *testing.T) {
+	// Every instruction the assembler can emit must survive Encode/Decode.
+	p, err := Assemble(`
+        .data
+v:      .word 1
+        .text
+main:   add $1,$2,$3
+        sub $1,$2,$3
+        and $1,$2,$3
+        or $1,$2,$3
+        xor $1,$2,$3
+        nor $1,$2,$3
+        slt $1,$2,$3
+        sltu $1,$2,$3
+        sllv $1,$2,$3
+        srlv $1,$2,$3
+        srav $1,$2,$3
+        mul $1,$2,$3
+        addi $1,$2,-5
+        andi $1,$2,5
+        ori $1,$2,5
+        xori $1,$2,5
+        slti $1,$2,-5
+        sll $1,$2,5
+        srl $1,$2,5
+        sra $1,$2,5
+        lui $1,5
+        lw $1,4($2)
+        sw $1,-4($2)
+        beq $1,$2,main
+        bne $1,$2,main
+        blt $1,$2,main
+        bge $1,$2,main
+        j main
+        jal main
+        jr $ra
+        jalr $1,$2
+        out $1
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range p.Instrs {
+		w, err := vm.Encode(in)
+		if err != nil {
+			t.Errorf("instr %d (%s): encode: %v", i, in, err)
+			continue
+		}
+		got, err := vm.Decode(w)
+		if err != nil || got != in {
+			t.Errorf("instr %d (%s): round trip -> %v, %v", i, in, got, err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package asm
+
+import (
+	"testing"
+
+	"github.com/example/cachedse/internal/vm"
+)
+
+// FuzzAssemble checks that the assembler never panics and that every
+// program it accepts is fully encodable and safely executable under a
+// bounded VM (faults are fine; crashes are not).
+func FuzzAssemble(f *testing.F) {
+	f.Add("main: halt\n")
+	f.Add(".data\nx: .word 1,2,3\n.text\nmain: la $t0, x\n lw $t1, 0($t0)\n halt\n")
+	f.Add("loop: addi $t0, $t0, 1\n bne $t0, $t1, loop\n halt\n")
+	f.Add(".space -1\n")
+	f.Add("a: a: halt")
+	f.Add("main: li $t0, 0x7fffffff\n beq $t0, $t0, main\n")
+	f.Add("main: jr $ra")
+	f.Add(": : :")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, in := range p.Instrs {
+			if _, err := vm.Encode(in); err != nil {
+				t.Fatalf("accepted program has unencodable instruction %d (%v): %v", i, in, err)
+			}
+		}
+		if len(p.Data) > 1<<22 {
+			t.Skip("oversized data segment")
+		}
+		cpu := p.NewCPU(1024)
+		_ = cpu.Run(10_000) // faults allowed; panics are bugs
+	})
+}

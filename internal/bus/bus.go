@@ -1,0 +1,173 @@
+// Package bus models the address-bus activity of the memory traffic the
+// explorer reasons about — the "bus architecture and other system-on-a-chip
+// artifacts" the paper names as its future-work axis (§4), and a recurring
+// theme of the authors' SoC power work (cf. "Reference Caching Using Unit
+// Distance Redundant Codes for Activity Reduction on Address Buses").
+//
+// Off-chip bus transitions dominate the power cost of cache misses in
+// embedded SoCs, so the number of bus line toggles per trace is the figure
+// of merit. The package implements the classic low-power encodings and a
+// transition counter, letting the DSE harness weigh cache instances by the
+// bus activity their miss streams generate.
+package bus
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Encoder maps an address stream to physical bus states. Implementations
+// are stateful (encodings exploit sequentiality); Reset returns them to
+// power-up state.
+type Encoder interface {
+	// Name identifies the encoding.
+	Name() string
+	// Lines returns the number of bus lines the encoding drives.
+	Lines() int
+	// Encode returns the bus state driven for addr.
+	Encode(addr uint32) uint64
+	// Reset restores power-up state (bus at zero).
+	Reset()
+}
+
+// Binary drives the raw address: the baseline.
+type Binary struct{}
+
+// Name implements Encoder.
+func (Binary) Name() string { return "binary" }
+
+// Lines implements Encoder.
+func (Binary) Lines() int { return 32 }
+
+// Encode implements Encoder.
+func (Binary) Encode(addr uint32) uint64 { return uint64(addr) }
+
+// Reset implements Encoder.
+func (Binary) Reset() {}
+
+// Gray drives the Gray code of the address: consecutive addresses differ
+// in exactly one line, so sequential streams toggle minimally.
+type Gray struct{}
+
+// Name implements Encoder.
+func (Gray) Name() string { return "gray" }
+
+// Lines implements Encoder.
+func (Gray) Lines() int { return 32 }
+
+// Encode implements Encoder.
+func (Gray) Encode(addr uint32) uint64 { return uint64(addr ^ addr>>1) }
+
+// Reset implements Encoder.
+func (Gray) Reset() {}
+
+// T0 freezes the address lines on sequential accesses and signals the
+// increment on a dedicated INC line (Benini et al.): for addr == prev+1
+// the 32 address lines do not move at all.
+type T0 struct {
+	prev    uint32
+	started bool
+	inc     bool
+	frozen  uint32
+}
+
+// Name implements Encoder.
+func (*T0) Name() string { return "t0" }
+
+// Lines implements Encoder.
+func (*T0) Lines() int { return 33 }
+
+// Encode implements Encoder.
+func (t *T0) Encode(addr uint32) uint64 {
+	if t.started && addr == t.prev+1 {
+		t.inc = true
+		// Address lines keep their frozen value; INC line high.
+		t.prev = addr
+		return uint64(t.frozen) | 1<<32
+	}
+	t.inc = false
+	t.started = true
+	t.prev = addr
+	t.frozen = addr
+	return uint64(addr)
+}
+
+// Reset implements Encoder.
+func (t *T0) Reset() { *t = T0{} }
+
+// BusInvert inverts the address when more than half the lines would
+// toggle, signalling inversion on an extra line (Stan & Burleson); worst-
+// case toggles drop to Lines()/2 + 1.
+type BusInvert struct {
+	prev uint64
+}
+
+// Name implements Encoder.
+func (*BusInvert) Name() string { return "bus-invert" }
+
+// Lines implements Encoder.
+func (*BusInvert) Lines() int { return 33 }
+
+// Encode implements Encoder.
+func (b *BusInvert) Encode(addr uint32) uint64 {
+	// Candidate states: as-is with the invert line low, or complemented
+	// with the invert line high; drive whichever toggles fewer lines.
+	low := uint64(addr)
+	high := uint64(^addr) | 1<<32
+	next := low
+	if bits.OnesCount64(b.prev^high) < bits.OnesCount64(b.prev^low) {
+		next = high
+	}
+	b.prev = next
+	return next
+}
+
+// Reset implements Encoder.
+func (b *BusInvert) Reset() { b.prev = 0 }
+
+// Transitions counts total bus line toggles driving the trace's addresses
+// through the encoder, starting from the power-up state.
+func Transitions(t *trace.Trace, enc Encoder) int {
+	enc.Reset()
+	prev := uint64(0)
+	total := 0
+	for _, r := range t.Refs {
+		next := enc.Encode(r.Addr)
+		total += bits.OnesCount64(prev ^ next)
+		prev = next
+	}
+	return total
+}
+
+// Report compares encodings over one trace.
+type Report struct {
+	Name        string
+	Lines       int
+	Transitions int
+	// PerAccess is transitions per reference.
+	PerAccess float64
+}
+
+// Compare runs every encoder over the trace.
+func Compare(t *trace.Trace, encs ...Encoder) []Report {
+	if len(encs) == 0 {
+		encs = []Encoder{Binary{}, Gray{}, &T0{}, &BusInvert{}}
+	}
+	out := make([]Report, 0, len(encs))
+	for _, e := range encs {
+		tr := Transitions(t, e)
+		r := Report{Name: e.Name(), Lines: e.Lines(), Transitions: tr}
+		if t.Len() > 0 {
+			r.PerAccess = float64(tr) / float64(t.Len())
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// String renders a report row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-10s lines=%d transitions=%d (%.2f/access)", r.Name, r.Lines, r.Transitions, r.PerAccess)
+}

@@ -1,0 +1,171 @@
+package bus
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+func seq(n int) *trace.Trace {
+	addrs := make([]uint32, n)
+	for i := range addrs {
+		addrs[i] = uint32(i)
+	}
+	return trace.FromAddrs(trace.Instr, addrs)
+}
+
+func TestBinaryTransitions(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3: toggles 1, 2 (01->10), 1 = 4.
+	tr := seq(4)
+	if got := Transitions(tr, Binary{}); got != 4 {
+		t.Fatalf("binary transitions = %d, want 4", got)
+	}
+}
+
+func TestGraySequentialIsOnePerStep(t *testing.T) {
+	tr := seq(1000)
+	got := Transitions(tr, Gray{})
+	// Power-up 0 -> gray(0)=0 costs 0; each subsequent step costs exactly 1.
+	if got != 999 {
+		t.Fatalf("gray transitions = %d, want 999", got)
+	}
+}
+
+func TestT0SequentialFreezesBus(t *testing.T) {
+	tr := seq(1000)
+	got := Transitions(tr, &T0{})
+	// First access drives the address (0 -> 0: free), second raises INC
+	// (1 toggle), then the bus never moves again.
+	if got > 2 {
+		t.Fatalf("t0 transitions = %d, want <= 2 for a pure sequential stream", got)
+	}
+}
+
+func TestT0RandomFallsBack(t *testing.T) {
+	tr := trace.FromAddrs(trace.DataRead, []uint32{5, 100, 3, 77})
+	enc := &T0{}
+	bin := Transitions(tr, Binary{})
+	got := Transitions(tr, enc)
+	// Non-sequential: T0 behaves like binary (plus INC possibly dropping).
+	if got < bin {
+		t.Fatalf("t0 on random stream = %d, cheaper than binary %d?", got, bin)
+	}
+}
+
+func TestT0Reset(t *testing.T) {
+	enc := &T0{}
+	enc.Encode(10)
+	enc.Encode(11)
+	enc.Reset()
+	// After reset, 1 is not treated as prev+1 continuation.
+	if got := enc.Encode(1); got != 1 {
+		t.Fatalf("post-reset Encode(1) = %#x, want 1", got)
+	}
+}
+
+func TestBusInvertWorstCaseBound(t *testing.T) {
+	// Alternating all-zeros / all-ones: binary toggles 32 per step,
+	// bus-invert at most 17.
+	addrs := make([]uint32, 100)
+	for i := range addrs {
+		if i%2 == 1 {
+			addrs[i] = 0xFFFFFFFF
+		}
+	}
+	tr := trace.FromAddrs(trace.DataRead, addrs)
+	bin := Transitions(tr, Binary{})
+	bi := Transitions(tr, &BusInvert{})
+	if bin != 99*32 {
+		t.Fatalf("binary = %d, want %d", bin, 99*32)
+	}
+	if bi > 99*17 {
+		t.Fatalf("bus-invert = %d, exceeds worst-case bound %d", bi, 99*17)
+	}
+}
+
+func TestCompareDefaultEncoders(t *testing.T) {
+	tr := seq(100)
+	reports := Compare(tr)
+	if len(reports) != 4 {
+		t.Fatalf("%d reports, want 4", len(reports))
+	}
+	byName := map[string]Report{}
+	for _, r := range reports {
+		byName[r.Name] = r
+		if r.PerAccess < 0 {
+			t.Errorf("%s: negative per-access", r.Name)
+		}
+	}
+	// On a sequential stream: t0 < gray < binary.
+	if !(byName["t0"].Transitions < byName["gray"].Transitions &&
+		byName["gray"].Transitions < byName["binary"].Transitions) {
+		t.Fatalf("sequential ordering violated: %v", reports)
+	}
+}
+
+func TestCompareEmptyTrace(t *testing.T) {
+	for _, r := range Compare(trace.New(0)) {
+		if r.Transitions != 0 || r.PerAccess != 0 {
+			t.Fatalf("empty trace produced activity: %+v", r)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Name: "gray", Lines: 32, Transitions: 10, PerAccess: 0.5}
+	if !strings.Contains(r.String(), "gray") || !strings.Contains(r.String(), "10") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+// Property: gray encoding is a bijection (x^x>>1 is invertible), and
+// adjacent integers differ in exactly one bit.
+func TestQuickGrayProperties(t *testing.T) {
+	f := func(x uint32) bool {
+		g1 := Gray{}.Encode(x)
+		g2 := Gray{}.Encode(x + 1)
+		return bits.OnesCount64(g1^g2) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bus-invert never toggles more than 17 lines per step and
+// never beats 0.
+func TestQuickBusInvertBound(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		enc := &BusInvert{}
+		enc.Reset()
+		prev := uint64(0)
+		for _, a := range addrs {
+			next := enc.Encode(a)
+			d := bits.OnesCount64(prev ^ next)
+			if d > 17 {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bus-invert total activity never exceeds binary + one invert
+// line toggle per access.
+func TestQuickBusInvertNotWorse(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		tr := trace.FromAddrs(trace.DataRead, addrs)
+		bi := Transitions(tr, &BusInvert{})
+		bin := Transitions(tr, Binary{})
+		return bi <= bin+len(addrs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,443 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+func reads(addrs ...uint32) *trace.Trace {
+	return trace.FromAddrs(trace.DataRead, addrs)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Depth: 1, Assoc: 1},
+		{Depth: 256, Assoc: 8, LineWords: 4},
+		{Depth: 2, Assoc: 3}, // non-power-of-two associativity is fine
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{Depth: 0, Assoc: 1},
+		{Depth: 3, Assoc: 1},
+		{Depth: -4, Assoc: 1},
+		{Depth: 2, Assoc: 0},
+		{Depth: 2, Assoc: -1},
+		{Depth: 2, Assoc: 1, LineWords: 3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", c)
+		}
+	}
+}
+
+func TestConfigSizeWords(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{Depth: 256, Assoc: 2}, 512},
+		{Config{Depth: 64, Assoc: 4, LineWords: 4}, 1024},
+		{Config{Depth: 1, Assoc: 1}, 1},
+	}
+	for _, c := range cases {
+		if got := c.cfg.SizeWords(); got != c.want {
+			t.Errorf("SizeWords(%v) = %d, want %d", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Depth: 256, Assoc: 2}
+	if got := c.String(); got != "D=256 A=2 LRU wb" {
+		t.Errorf("String = %q", got)
+	}
+	c = Config{Depth: 8, Assoc: 1, Repl: FIFO, Write: WriteThrough}
+	if got := c.String(); got != "D=8 A=1 FIFO wt" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if LRU.String() != "LRU" || FIFO.String() != "FIFO" || Random.String() != "Random" || PLRU.String() != "PLRU" {
+		t.Error("Replacement.String mismatch")
+	}
+	if Replacement(9).String() != "Replacement(9)" {
+		t.Error("unknown Replacement.String mismatch")
+	}
+	if WriteBack.String() != "write-back" || WriteThrough.String() != "write-through" {
+		t.Error("WritePolicy.String mismatch")
+	}
+	if WritePolicy(9).String() != "WritePolicy(9)" {
+		t.Error("unknown WritePolicy.String mismatch")
+	}
+}
+
+func TestNewCacheRejectsBadConfig(t *testing.T) {
+	if _, err := NewCache(Config{Depth: 3, Assoc: 1}); err == nil {
+		t.Fatal("NewCache accepted depth 3")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestDirectMappedBasics(t *testing.T) {
+	// Depth 4, direct mapped. Addresses 0 and 4 collide on set 0.
+	c := MustNew(Config{Depth: 4, Assoc: 1})
+	tr := reads(0, 4, 0, 4, 1, 1)
+	res := c.Run(tr)
+	// 0:cold, 4:cold(evicts 0), 0:miss, 4:miss, 1:cold, 1:hit.
+	if res.ColdMisses != 3 {
+		t.Errorf("ColdMisses = %d, want 3", res.ColdMisses)
+	}
+	if res.Misses != 2 {
+		t.Errorf("Misses = %d, want 2", res.Misses)
+	}
+	if res.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", res.Hits)
+	}
+	if res.Accesses != 6 {
+		t.Errorf("Accesses = %d, want 6", res.Accesses)
+	}
+	if res.TotalMisses() != 5 {
+		t.Errorf("TotalMisses = %d, want 5", res.TotalMisses())
+	}
+}
+
+func TestTwoWayAbsorbsConflict(t *testing.T) {
+	// Same collision pattern, but 2-way: after both cold misses, everything hits.
+	res, err := Simulate(Config{Depth: 4, Assoc: 2}, reads(0, 4, 0, 4, 0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdMisses != 2 || res.Misses != 0 || res.Hits != 4 {
+		t.Fatalf("results = %+v, want 2 cold, 0 miss, 4 hits", res)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way set 0 with three colliding addresses (depth 1): classic LRU order.
+	c := MustNew(Config{Depth: 1, Assoc: 2})
+	seq := reads(0, 1, 2, 0) // 0,1 cold; 2 evicts 0 (LRU); 0 misses again
+	res := c.Run(seq)
+	if res.Misses != 1 || res.ColdMisses != 3 || res.Hits != 0 {
+		t.Fatalf("results = %+v", res)
+	}
+	// Now 2 should still be resident (1 was evicted by the re-fill of 0).
+	if !c.Contains(2) {
+		t.Error("expected 2 resident")
+	}
+	if !c.Contains(0) {
+		t.Error("expected 0 resident")
+	}
+	if c.Contains(1) {
+		t.Error("expected 1 evicted")
+	}
+}
+
+func TestFIFODiffersFromLRU(t *testing.T) {
+	// Sequence where FIFO and LRU disagree: touch 0 again before the
+	// conflict; LRU protects it, FIFO does not.
+	seq := reads(0, 1, 0, 2, 0)
+	lru, _ := Simulate(Config{Depth: 1, Assoc: 2, Repl: LRU}, seq)
+	fifo, _ := Simulate(Config{Depth: 1, Assoc: 2, Repl: FIFO}, seq)
+	// LRU: 0c,1c,0h,2c(evict 1),0h -> misses 0, hits 2.
+	if lru.Misses != 0 || lru.Hits != 2 {
+		t.Fatalf("LRU results = %+v", lru)
+	}
+	// FIFO: 0c,1c,0h,2c(evict 0),0m -> misses 1, hits 1.
+	if fifo.Misses != 1 || fifo.Hits != 1 {
+		t.Fatalf("FIFO results = %+v", fifo)
+	}
+}
+
+func TestPLRUMatchesLRUTwoWay(t *testing.T) {
+	// For 2-way caches, tree PLRU is exactly LRU.
+	rng := rand.New(rand.NewSource(7))
+	tr := trace.New(0)
+	for i := 0; i < 5000; i++ {
+		tr.Append(trace.Ref{Addr: uint32(rng.Intn(64)), Kind: trace.DataRead})
+	}
+	lru, _ := Simulate(Config{Depth: 8, Assoc: 2, Repl: LRU}, tr)
+	plru, _ := Simulate(Config{Depth: 8, Assoc: 2, Repl: PLRU}, tr)
+	if lru != plru {
+		t.Fatalf("2-way PLRU %+v != LRU %+v", plru, lru)
+	}
+}
+
+func TestRandomDeterministicSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := trace.New(0)
+	for i := 0; i < 2000; i++ {
+		tr.Append(trace.Ref{Addr: uint32(rng.Intn(128)), Kind: trace.DataRead})
+	}
+	a, _ := Simulate(Config{Depth: 4, Assoc: 4, Repl: Random}, tr)
+	b, _ := Simulate(Config{Depth: 4, Assoc: 4, Repl: Random}, tr)
+	if a != b {
+		t.Fatalf("Random policy not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	// Write 0, then read 1 and 2 through the same 1-deep 2-way set:
+	// filling 2 evicts dirty 0 -> one writeback.
+	tr := trace.New(0)
+	tr.Append(trace.Ref{Addr: 0, Kind: trace.DataWrite})
+	tr.Append(trace.Ref{Addr: 1, Kind: trace.DataRead})
+	tr.Append(trace.Ref{Addr: 2, Kind: trace.DataRead})
+	res, _ := Simulate(Config{Depth: 1, Assoc: 2, Write: WriteBack}, tr)
+	if res.Writebacks != 1 {
+		t.Fatalf("Writebacks = %d, want 1", res.Writebacks)
+	}
+}
+
+func TestWriteBackCleanEvictionNoWriteback(t *testing.T) {
+	res, _ := Simulate(Config{Depth: 1, Assoc: 1}, reads(0, 1, 2, 3))
+	if res.Writebacks != 0 {
+		t.Fatalf("Writebacks = %d, want 0 for clean reads", res.Writebacks)
+	}
+}
+
+func TestWriteThroughCountsStores(t *testing.T) {
+	tr := trace.New(0)
+	for i := 0; i < 5; i++ {
+		tr.Append(trace.Ref{Addr: 0, Kind: trace.DataWrite})
+	}
+	res, _ := Simulate(Config{Depth: 4, Assoc: 1, Write: WriteThrough, Allocate: true}, tr)
+	if res.Writebacks != 5 {
+		t.Fatalf("Writebacks = %d, want 5 (every store goes through)", res.Writebacks)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	tr := trace.New(0)
+	tr.Append(trace.Ref{Addr: 0, Kind: trace.DataWrite}) // miss, not allocated
+	tr.Append(trace.Ref{Addr: 0, Kind: trace.DataRead})  // still a miss
+	res, _ := Simulate(Config{Depth: 4, Assoc: 1, Write: WriteThrough, Allocate: false}, tr)
+	if res.Hits != 0 {
+		t.Fatalf("Hits = %d, want 0 (store miss must not allocate)", res.Hits)
+	}
+	// First touch is cold, second touch of the same line is a non-cold miss.
+	if res.ColdMisses != 1 || res.Misses != 1 {
+		t.Fatalf("results = %+v, want 1 cold + 1 miss", res)
+	}
+}
+
+func TestWriteBackForcesAllocate(t *testing.T) {
+	tr := trace.New(0)
+	tr.Append(trace.Ref{Addr: 0, Kind: trace.DataWrite})
+	tr.Append(trace.Ref{Addr: 0, Kind: trace.DataRead})
+	res, _ := Simulate(Config{Depth: 4, Assoc: 1, Write: WriteBack, Allocate: false}, tr)
+	if res.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1 (write-back must write-allocate)", res.Hits)
+	}
+}
+
+func TestLineSizeSpatialLocality(t *testing.T) {
+	// With 4-word lines, sequential words 0..3 are one line: one cold miss
+	// then three hits.
+	res, _ := Simulate(Config{Depth: 16, Assoc: 1, LineWords: 4}, reads(0, 1, 2, 3))
+	if res.ColdMisses != 1 || res.Hits != 3 {
+		t.Fatalf("results = %+v, want 1 cold + 3 hits", res)
+	}
+}
+
+func TestLineSizeIndexing(t *testing.T) {
+	// With 2-word lines and depth 2, line addresses 0,1,2,3 map to sets
+	// 0,1,0,1. Word addresses 0 and 4 (lines 0 and 2) collide.
+	c := MustNew(Config{Depth: 2, Assoc: 1, LineWords: 2})
+	res := c.Run(reads(0, 4, 0))
+	if res.Misses != 1 || res.ColdMisses != 2 {
+		t.Fatalf("results = %+v, want 2 cold + 1 conflict miss", res)
+	}
+}
+
+func TestColdMissMaxDepthOne(t *testing.T) {
+	// Depth-1 direct-mapped non-cold misses must match trace.ComputeStats,
+	// the Table 5/6 "max misses" definition.
+	rng := rand.New(rand.NewSource(11))
+	tr := trace.New(0)
+	for i := 0; i < 3000; i++ {
+		tr.Append(trace.Ref{Addr: uint32(rng.Intn(50)), Kind: trace.DataRead})
+	}
+	res, _ := Simulate(Config{Depth: 1, Assoc: 1}, tr)
+	st := trace.ComputeStats(tr)
+	if res.Misses != st.MaxMisses {
+		t.Fatalf("simulator depth-1 misses %d != ComputeStats MaxMisses %d", res.Misses, st.MaxMisses)
+	}
+	if res.ColdMisses != st.NUnique {
+		t.Fatalf("cold misses %d != unique %d", res.ColdMisses, st.NUnique)
+	}
+}
+
+func TestFullyAssociativeNoConflicts(t *testing.T) {
+	// A fully-associative LRU cache as large as the working set never
+	// misses after cold.
+	addrs := []uint32{3, 9, 27, 81, 3, 9, 27, 81, 81, 3}
+	res, _ := Simulate(Config{Depth: 1, Assoc: 4}, reads(addrs...))
+	if res.Misses != 0 {
+		t.Fatalf("Misses = %d, want 0", res.Misses)
+	}
+	if res.ColdMisses != 4 {
+		t.Fatalf("ColdMisses = %d, want 4", res.ColdMisses)
+	}
+}
+
+func TestRunWindowsAreIndependent(t *testing.T) {
+	c := MustNew(Config{Depth: 4, Assoc: 1})
+	first := c.Run(reads(0, 1, 2))
+	second := c.Run(reads(0, 1, 2))
+	if first.ColdMisses != 3 {
+		t.Fatalf("first window cold = %d, want 3", first.ColdMisses)
+	}
+	// Second window: all resident already, all hits, no cold.
+	if second.Hits != 3 || second.ColdMisses != 0 {
+		t.Fatalf("second window = %+v, want 3 hits", second)
+	}
+	// Cumulative results still add up.
+	total := c.Results()
+	if total.Accesses != 6 || total.Hits != first.Hits+second.Hits {
+		t.Fatalf("cumulative results = %+v", total)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var r Results
+	if r.MissRate() != 0 {
+		t.Fatal("MissRate of empty results should be 0")
+	}
+	r = Results{Accesses: 10, Misses: 3}
+	if got := r.MissRate(); got != 0.3 {
+		t.Fatalf("MissRate = %v, want 0.3", got)
+	}
+}
+
+// refLRU is an independent reference model of a set-associative LRU cache
+// built on slices; used to cross-check the simulator property-style.
+type refLRU struct {
+	depth int
+	assoc int
+	sets  [][]uint32 // most recent first
+}
+
+func (m *refLRU) access(addr uint32) bool {
+	idx := int(addr) % m.depth
+	set := m.sets[idx]
+	for i, a := range set {
+		if a == addr {
+			copy(set[1:i+1], set[:i])
+			set[0] = addr
+			return true
+		}
+	}
+	if len(set) < m.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = addr
+	m.sets[idx] = set
+	return false
+}
+
+// Property: the simulator's hit/miss stream matches the reference LRU model
+// for random traces and configurations.
+func TestQuickLRUMatchesReferenceModel(t *testing.T) {
+	f := func(addrBytes []uint8, depthPow, assocRaw uint8) bool {
+		depth := 1 << (depthPow % 5) // 1..16
+		assoc := 1 + int(assocRaw%4) // 1..4
+		c := MustNew(Config{Depth: depth, Assoc: assoc})
+		ref := &refLRU{depth: depth, assoc: assoc, sets: make([][]uint32, depth)}
+		for _, ab := range addrBytes {
+			addr := uint32(ab % 64)
+			if c.Access(trace.Ref{Addr: addr, Kind: trace.DataRead}) != ref.access(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increasing associativity at fixed depth never increases LRU
+// misses (LRU inclusion property per set).
+func TestQuickLRUAssocMonotonic(t *testing.T) {
+	f := func(addrBytes []uint8, depthPow uint8) bool {
+		depth := 1 << (depthPow % 4)
+		tr := trace.New(0)
+		for _, ab := range addrBytes {
+			tr.Append(trace.Ref{Addr: uint32(ab), Kind: trace.DataRead})
+		}
+		prev := -1
+		for assoc := 1; assoc <= 8; assoc *= 2 {
+			res, err := Simulate(Config{Depth: depth, Assoc: assoc}, tr)
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && res.Misses > prev {
+				return false
+			}
+			prev = res.Misses
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits + cold + misses == accesses for any policy mix.
+func TestQuickAccountingBalances(t *testing.T) {
+	f := func(addrBytes []uint8, rp, wp uint8) bool {
+		cfg := Config{
+			Depth: 4, Assoc: 2,
+			Repl:  Replacement(rp % 4),
+			Write: WritePolicy(wp % 2),
+		}
+		tr := trace.New(0)
+		for i, ab := range addrBytes {
+			k := trace.DataRead
+			if i%3 == 0 {
+				k = trace.DataWrite
+			}
+			tr.Append(trace.Ref{Addr: uint32(ab), Kind: k})
+		}
+		res, err := Simulate(cfg, tr)
+		if err != nil {
+			return false
+		}
+		return res.Hits+res.ColdMisses+res.Misses == res.Accesses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulateLRU(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tr := trace.New(0)
+	for i := 0; i < 100000; i++ {
+		tr.Append(trace.Ref{Addr: uint32(rng.Intn(4096)), Kind: trace.DataRead})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(Config{Depth: 256, Assoc: 4}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

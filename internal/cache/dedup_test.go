@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// The trace.Dedup reduction claims miss-count invariance for every policy
+// and configuration in the design space; this is the executable proof.
+func TestQuickDedupPreservesMisses(t *testing.T) {
+	f := func(addrBytes []uint8, depthPow, assocRaw, replRaw uint8) bool {
+		tr := trace.New(0)
+		for i, a := range addrBytes {
+			k := trace.DataRead
+			if i%4 == 0 {
+				k = trace.DataWrite
+			}
+			tr.Append(trace.Ref{Addr: uint32(a % 16), Kind: k}) // dense repeats
+		}
+		reduced, _ := trace.Dedup(tr)
+		cfg := Config{
+			Depth: 1 << (depthPow % 5),
+			Assoc: 1 + int(assocRaw%4),
+			Repl:  Replacement(replRaw % 4),
+		}
+		a, err := Simulate(cfg, tr)
+		if err != nil {
+			return false
+		}
+		b, err := Simulate(cfg, reduced)
+		if err != nil {
+			return false
+		}
+		// Misses (cold and non-cold) and writebacks are invariant; hits
+		// shrink by exactly the removed references.
+		return a.Misses == b.Misses && a.ColdMisses == b.ColdMisses &&
+			a.Writebacks == b.Writebacks &&
+			a.Hits-b.Hits == tr.Len()-reduced.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dedup also preserves line-size behaviour when repeats share a line by
+// sharing an address.
+func TestDedupPreservesMissesWithLines(t *testing.T) {
+	tr := trace.New(0)
+	for i := 0; i < 500; i++ {
+		a := uint32(i*3) % 64
+		tr.Append(trace.Ref{Addr: a, Kind: trace.DataRead})
+		tr.Append(trace.Ref{Addr: a, Kind: trace.DataRead}) // repeat
+	}
+	reduced, removed := trace.Dedup(tr)
+	if removed == 0 {
+		t.Fatal("expected repeats")
+	}
+	for _, lw := range []int{1, 2, 4, 8} {
+		cfg := Config{Depth: 8, Assoc: 2, LineWords: lw}
+		a, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(cfg, reduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Misses != b.Misses || a.ColdMisses != b.ColdMisses {
+			t.Fatalf("line %d: misses diverge: %+v vs %+v", lw, a, b)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// ExampleSimulate runs a ping-pong conflict trace through a direct-mapped
+// cache and its 2-way fix.
+func ExampleSimulate() {
+	tr := trace.FromAddrs(trace.DataRead, []uint32{0, 8, 0, 8, 0, 8})
+	dm, _ := cache.Simulate(cache.Config{Depth: 8, Assoc: 1}, tr)
+	sa, _ := cache.Simulate(cache.Config{Depth: 8, Assoc: 2}, tr)
+	fmt.Printf("direct-mapped: %d conflict misses\n", dm.Misses)
+	fmt.Printf("2-way:         %d conflict misses\n", sa.Misses)
+	// Output:
+	// direct-mapped: 4 conflict misses
+	// 2-way:         0 conflict misses
+}
+
+// ExampleNewHierarchy shows L2 absorbing an L1 conflict.
+func ExampleNewHierarchy() {
+	h, _ := cache.NewHierarchy(
+		cache.Config{Depth: 1, Assoc: 1},
+		cache.Config{Depth: 16, Assoc: 2},
+	)
+	counts := h.Run(trace.FromAddrs(trace.DataRead, []uint32{0, 1, 0, 1}))
+	fmt.Printf("memory=%d L1=%d L2=%d\n", counts[0], counts[1], counts[2])
+	// Output:
+	// memory=2 L1=0 L2=2
+}
+
+// ExampleNewVictimCache shows a 1-entry victim buffer turning a
+// direct-mapped ping-pong into hits.
+func ExampleNewVictimCache() {
+	v, _ := cache.NewVictimCache(cache.Config{Depth: 8, Assoc: 1}, 1)
+	res := v.Run(trace.FromAddrs(trace.DataRead, []uint32{0, 8, 0, 8, 0, 8}))
+	fmt.Printf("victim hits: %d, misses: %d\n", res.VictimHits, res.Misses)
+	// Output:
+	// victim hits: 4, misses: 2
+}
+
+// ExampleNewLoopCache shows a tight loop being served after capture.
+func ExampleNewLoopCache() {
+	lc, _ := cache.NewLoopCache(16)
+	for iter := 0; iter < 5; iter++ {
+		for pc := uint32(100); pc < 104; pc++ {
+			lc.Fetch(pc)
+		}
+	}
+	fmt.Printf("served %d of %d fetches\n", lc.Served, lc.Served+lc.Forwarded)
+	// Output:
+	// served 12 of 20 fetches
+}

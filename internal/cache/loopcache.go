@@ -1,0 +1,117 @@
+package cache
+
+import "fmt"
+
+// LoopCache models the tagless loop cache of Lee, Moyer and Arends
+// ("Instruction Fetch Energy Reduction Using Loop Caches For Embedded
+// Applications with Small Tight Loops" — the instruction-fetch line of
+// work the paper's related list includes): a tiny buffer that captures a
+// loop body on detecting a short backward branch (sbb) and then serves
+// fetches without touching the instruction cache at all.
+//
+// State machine, driven purely by the fetch address stream:
+//
+//	IDLE  --sbb-->  FILL    (record [target, branch] as the loop body)
+//	FILL  --same sbb-->     ACTIVE (body captured)
+//	FILL  --leave body-->   IDLE
+//	ACTIVE--in body-->      serve from loop cache
+//	ACTIVE--leave body-->   IDLE
+//
+// The model counts fetches served by the buffer versus forwarded to the
+// instruction memory hierarchy; it never affects correctness, only energy.
+type LoopCache struct {
+	size uint32 // capacity in instructions
+
+	state      loopState
+	start, end uint32 // captured loop body [start, end]
+	prev       uint32
+	started    bool
+
+	// Served counts fetches delivered from the loop cache; Forwarded
+	// counts fetches that went to the instruction cache.
+	Served, Forwarded int
+}
+
+type loopState uint8
+
+const (
+	loopIdle loopState = iota
+	loopFill
+	loopActive
+)
+
+// NewLoopCache builds a loop cache holding size instructions.
+func NewLoopCache(size int) (*LoopCache, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("cache: loop cache needs >= 2 entries, got %d", size)
+	}
+	return &LoopCache{size: uint32(size)}, nil
+}
+
+// sbb reports whether the fetch from prev to cur is a short backward
+// branch whose body fits the buffer.
+func (l *LoopCache) sbb(cur uint32) bool {
+	return l.started && cur < l.prev && l.prev-cur < l.size
+}
+
+// inBody reports whether pc lies in the captured loop body.
+func (l *LoopCache) inBody(pc uint32) bool {
+	return pc >= l.start && pc <= l.end
+}
+
+// Fetch consumes one instruction fetch address and reports whether the
+// loop cache served it.
+func (l *LoopCache) Fetch(pc uint32) bool {
+	served := false
+	switch l.state {
+	case loopIdle:
+		if l.sbb(pc) {
+			l.state = loopFill
+			l.start, l.end = pc, l.prev
+		}
+	case loopFill:
+		switch {
+		case l.sbb(pc) && pc == l.start && l.prev == l.end:
+			// The same loop closed again: body fully captured.
+			l.state = loopActive
+			served = true
+		case l.inBody(pc) && (pc == l.prev+1 || pc == l.start):
+			// Sequential fill within the body.
+		default:
+			l.state = loopIdle
+			if l.sbb(pc) {
+				l.state = loopFill
+				l.start, l.end = pc, l.prev
+			}
+		}
+	case loopActive:
+		if l.inBody(pc) {
+			served = true
+		} else {
+			l.state = loopIdle
+		}
+	}
+	if served {
+		l.Served++
+	} else {
+		l.Forwarded++
+	}
+	l.prev = pc
+	l.started = true
+	return served
+}
+
+// ServeRatio returns the fraction of fetches served by the loop cache.
+func (l *LoopCache) ServeRatio() float64 {
+	total := l.Served + l.Forwarded
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Served) / float64(total)
+}
+
+// Reset returns the loop cache to power-up state, keeping counters.
+func (l *LoopCache) Reset() {
+	l.state = loopIdle
+	l.started = false
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+func TestNewVictimCacheValidation(t *testing.T) {
+	if _, err := NewVictimCache(Config{Depth: 4, Assoc: 1}, 0); err == nil {
+		t.Error("zero-entry buffer accepted")
+	}
+	if _, err := NewVictimCache(Config{Depth: 3, Assoc: 1}, 4); err == nil {
+		t.Error("bad main config accepted")
+	}
+}
+
+func TestVictimAbsorbsPingPong(t *testing.T) {
+	// Two addresses conflicting in a direct-mapped cache: after warmup the
+	// victim buffer serves every access.
+	v, err := NewVictimCache(Config{Depth: 4, Assoc: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.FromAddrs(trace.DataRead, []uint32{0, 4, 0, 4, 0, 4, 0, 4})
+	res := v.Run(tr)
+	if res.Misses != 2 {
+		t.Fatalf("Misses = %d, want 2 (cold only)", res.Misses)
+	}
+	if res.VictimHits != 6 {
+		t.Fatalf("VictimHits = %d, want 6", res.VictimHits)
+	}
+	if res.Accesses() != 8 {
+		t.Fatalf("Accesses = %d, want 8", res.Accesses())
+	}
+}
+
+func TestVictimVsPlainCache(t *testing.T) {
+	// On a conflict-heavy trace, a direct-mapped cache plus a small victim
+	// buffer must miss no more than the plain direct-mapped cache.
+	rng := rand.New(rand.NewSource(3))
+	tr := trace.New(0)
+	for i := 0; i < 4000; i++ {
+		base := uint32(rng.Intn(8)) * 64 // aliasing strided bases
+		tr.Append(trace.Ref{Addr: base + uint32(rng.Intn(4)), Kind: trace.DataRead})
+	}
+	plain, err := Simulate(Config{Depth: 16, Assoc: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVictimCache(Config{Depth: 16, Assoc: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.Run(tr)
+	if res.Misses > plain.TotalMisses() {
+		t.Fatalf("victim cache misses %d > plain %d", res.Misses, plain.TotalMisses())
+	}
+	if res.VictimHits == 0 {
+		t.Fatal("victim buffer absorbed nothing on a conflict-heavy trace")
+	}
+}
+
+func TestVictimLRUInBuffer(t *testing.T) {
+	// Buffer of 1: only the most recent victim survives.
+	v, err := NewVictimCache(Config{Depth: 1, Assoc: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Access(trace.Ref{Addr: 0, Kind: trace.DataRead}) // miss (cold)
+	v.Access(trace.Ref{Addr: 1, Kind: trace.DataRead}) // miss, victim=0
+	v.Access(trace.Ref{Addr: 2, Kind: trace.DataRead}) // miss, victim=1 (0 gone)
+	if lvl := v.Access(trace.Ref{Addr: 1, Kind: trace.DataRead}); lvl != 2 {
+		t.Fatalf("expected victim hit for 1, got level %d", lvl)
+	}
+	if lvl := v.Access(trace.Ref{Addr: 0, Kind: trace.DataRead}); lvl != 0 {
+		t.Fatalf("expected miss for 0 (evicted from 1-entry buffer), got level %d", lvl)
+	}
+}
+
+// Property: accounting balances and a victim-buffered cache never misses
+// more than the bare cache.
+func TestQuickVictimNeverWorse(t *testing.T) {
+	f := func(bs []uint8, entriesRaw uint8) bool {
+		tr := trace.New(0)
+		for _, b := range bs {
+			tr.Append(trace.Ref{Addr: uint32(b % 64), Kind: trace.DataRead})
+		}
+		cfg := Config{Depth: 8, Assoc: 1}
+		plain, err := Simulate(cfg, tr)
+		if err != nil {
+			return false
+		}
+		v, err := NewVictimCache(cfg, 1+int(entriesRaw%8))
+		if err != nil {
+			return false
+		}
+		res := v.Run(tr)
+		if res.Accesses() != tr.Len() {
+			return false
+		}
+		return res.Misses <= plain.TotalMisses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

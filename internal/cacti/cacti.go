@@ -1,0 +1,167 @@
+// Package cacti provides an analytical area / access-time / energy model
+// for the explored cache configurations, in the spirit of CACTI (Wilton &
+// Jouppi, reference [11] of the paper — "An Enhanced Access and Cycle Time
+// Model"). The paper's introduction frames miss reduction as a trade
+// against "silicon area, clock latency, or energy"; this model supplies
+// those axes so the DSE harness can rank the instances the analytical
+// explorer emits.
+//
+// The model is CACTI-flavoured, not CACTI: it keeps the structural
+// decomposition (decoder, wordlines, bitlines, tag array, comparators,
+// output mux) and the scaling behaviour of each component, with
+// coefficients normalised to a generic 180 nm embedded process. Absolute
+// values are indicative; orderings and trends are what the exploration
+// consumes.
+package cacti
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/example/cachedse/internal/cache"
+)
+
+// Params are the process/model coefficients. The zero value is invalid;
+// start from DefaultParams.
+type Params struct {
+	// AddressBits is the physical address width the tag array must cover.
+	AddressBits int
+	// WordBits is the machine word size.
+	WordBits int
+
+	// AreaPerBitUM2 is the SRAM cell area (square microns per bit).
+	AreaPerBitUM2 float64
+	// AreaOverheadPerWay covers comparator + mux area per way (um^2).
+	AreaOverheadPerWay float64
+	// AreaDecoderPerSet is decoder area per set (um^2).
+	AreaDecoderPerSet float64
+
+	// DecodeNSPerBit is decoder delay per index bit (ns).
+	DecodeNSPerBit float64
+	// WireNSPerSqrtBit is word/bitline delay per sqrt(array bits) (ns).
+	WireNSPerSqrtBit float64
+	// CompareNS is the tag comparator delay (ns).
+	CompareNS float64
+	// MuxNSPerLogWay is the way-select mux delay per log2(ways) (ns).
+	MuxNSPerLogWay float64
+
+	// EnergyPerBitPJ is dynamic read/write energy per array bit activated.
+	EnergyPerBitPJ float64
+	// EnergyComparePJ is energy per tag comparison.
+	EnergyComparePJ float64
+	// EnergyDecodePJPerBit is decoder energy per index bit.
+	EnergyDecodePJPerBit float64
+	// LeakagePWPerBit is static leakage per bit (picowatts).
+	LeakagePWPerBit float64
+}
+
+// DefaultParams returns coefficients for a generic 180 nm embedded SRAM.
+func DefaultParams() Params {
+	return Params{
+		AddressBits:          32,
+		WordBits:             32,
+		AreaPerBitUM2:        4.5,
+		AreaOverheadPerWay:   220,
+		AreaDecoderPerSet:    1.8,
+		DecodeNSPerBit:       0.12,
+		WireNSPerSqrtBit:     0.011,
+		CompareNS:            0.35,
+		MuxNSPerLogWay:       0.09,
+		EnergyPerBitPJ:       0.011,
+		EnergyComparePJ:      0.95,
+		EnergyDecodePJPerBit: 0.4,
+		LeakagePWPerBit:      2.1,
+	}
+}
+
+// Estimate is the model's output for one configuration.
+type Estimate struct {
+	// Bits decomposes the storage.
+	DataBits, TagBits int
+	// AreaUM2 is total silicon area in square microns.
+	AreaUM2 float64
+	// AccessNS is the read access time in nanoseconds.
+	AccessNS float64
+	// ReadPJ is dynamic energy of a hit read access in picojoules.
+	ReadPJ float64
+	// RefillPJ is the extra dynamic energy of a line refill on a miss.
+	RefillPJ float64
+	// LeakageMW is static power in milliwatts.
+	LeakageMW float64
+}
+
+// TagWidth returns the tag bits per line for a configuration.
+func TagWidth(cfg cache.Config, addressBits int) int {
+	lw := cfg.LineWords
+	if lw == 0 {
+		lw = 1
+	}
+	w := addressBits - log2(cfg.Depth) - log2(lw)
+	if w < 1 {
+		w = 1
+	}
+	// Two status bits: valid and dirty.
+	return w + 2
+}
+
+// Model evaluates the cost model for a configuration.
+func Model(cfg cache.Config, p Params) (Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if p.AddressBits <= 0 || p.WordBits <= 0 {
+		return Estimate{}, fmt.Errorf("cacti: params not initialised (use DefaultParams)")
+	}
+	lw := cfg.LineWords
+	if lw == 0 {
+		lw = 1
+	}
+	lines := cfg.Depth * cfg.Assoc
+	tagWidth := TagWidth(cfg, p.AddressBits)
+	e := Estimate{
+		DataBits: lines * lw * p.WordBits,
+		TagBits:  lines * tagWidth,
+	}
+	totalBits := float64(e.DataBits + e.TagBits)
+
+	e.AreaUM2 = totalBits*p.AreaPerBitUM2 +
+		float64(cfg.Assoc)*p.AreaOverheadPerWay +
+		float64(cfg.Depth)*p.AreaDecoderPerSet
+
+	// Access path: decode the index, swing the lines of one set across
+	// all ways, compare tags, select the way.
+	setBits := float64(cfg.Assoc * (lw*p.WordBits + tagWidth))
+	e.AccessNS = p.DecodeNSPerBit*float64(log2(cfg.Depth)) +
+		p.WireNSPerSqrtBit*math.Sqrt(totalBits) +
+		p.CompareNS +
+		p.MuxNSPerLogWay*math.Log2(float64(cfg.Assoc)+1)
+
+	// A read activates one full set (all ways, data + tag) plus decoder
+	// and comparators.
+	e.ReadPJ = setBits*p.EnergyPerBitPJ +
+		float64(cfg.Assoc)*p.EnergyComparePJ +
+		float64(log2(cfg.Depth))*p.EnergyDecodePJPerBit
+	// A refill writes one line of data plus its tag.
+	e.RefillPJ = float64(lw*p.WordBits+tagWidth) * p.EnergyPerBitPJ
+
+	e.LeakageMW = totalBits * p.LeakagePWPerBit * 1e-9
+	return e, nil
+}
+
+// AccessEnergy aggregates the dynamic energy of a simulated or analytical
+// run: reads pay ReadPJ, misses additionally pay the refill plus the
+// off-chip penalty, writebacks pay the line transfer again.
+func AccessEnergy(e Estimate, accesses, misses, writebacks int, missPenaltyPJ float64) float64 {
+	return float64(accesses)*e.ReadPJ +
+		float64(misses)*(e.RefillPJ+missPenaltyPJ) +
+		float64(writebacks)*e.RefillPJ
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

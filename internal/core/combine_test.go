@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func TestCombineEmpty(t *testing.T) {
+	if _, err := Combine(); err == nil {
+		t.Fatal("Combine() accepted zero inputs")
+	}
+}
+
+func TestCombineSingleIsIdentity(t *testing.T) {
+	r, err := Explore(trace.FromAddrs(trace.DataRead, []uint32{1, 2, 1, 3, 1}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Combine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(r, c) {
+		t.Fatal("Combine of one result is not the identity")
+	}
+}
+
+// The exactness claim: combined analytical misses equal a simulation of
+// the concatenated traces with a flush at the application switch, for
+// applications in disjoint address ranges.
+func TestCombineMatchesFlushedSimulation(t *testing.T) {
+	appA := trace.FromAddrs(trace.DataRead, []uint32{0, 8, 0, 8, 0, 8, 3, 0})
+	appB := trace.FromAddrs(trace.DataRead, []uint32{0x40, 0x48, 0x40, 0x48, 0x44, 0x40})
+
+	ra, err := Explore(appA, Options{MaxDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Explore(appB, Options{MaxDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Combine(ra, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		for _, assoc := range []int{1, 2, 3} {
+			c := cache.MustNew(cache.Config{Depth: depth, Assoc: assoc})
+			resA := c.Run(appA)
+			c.Flush()
+			resB := c.Run(appB)
+			simMisses := resA.Misses + resB.Misses
+			if got := combined.Level(depth).Misses(assoc); got != simMisses {
+				t.Errorf("D=%d A=%d: combined %d != flushed simulation %d", depth, assoc, got, simMisses)
+			}
+		}
+	}
+}
+
+// Property: combined misses are the sum of per-app misses at every level
+// and associativity, and N/N' add.
+func TestQuickCombineAdds(t *testing.T) {
+	f := func(as, bs []uint8) bool {
+		ta := trace.New(0)
+		for _, a := range as {
+			ta.Append(trace.Ref{Addr: uint32(a), Kind: trace.DataRead})
+		}
+		tb := trace.New(0)
+		for _, b := range bs {
+			tb.Append(trace.Ref{Addr: uint32(b), Kind: trace.DataRead})
+		}
+		opt := Options{MaxDepth: 64}
+		ra, err := Explore(ta, opt)
+		if err != nil {
+			return false
+		}
+		rb, err := Explore(tb, opt)
+		if err != nil {
+			return false
+		}
+		c, err := Combine(ra, rb)
+		if err != nil {
+			return false
+		}
+		if c.N != ra.N+rb.N || c.NUnique != ra.NUnique+rb.NUnique {
+			return false
+		}
+		for i := range c.Levels {
+			for a := 1; a <= c.Levels[i].AZero+1; a++ {
+				want := 0
+				if i < len(ra.Levels) {
+					want += ra.Levels[i].Misses(a)
+				}
+				if i < len(rb.Levels) {
+					want += rb.Levels[i].Misses(a)
+				}
+				if c.Levels[i].Misses(a) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheFlushSemantics(t *testing.T) {
+	c := cache.MustNew(cache.Config{Depth: 4, Assoc: 2})
+	c.Access(trace.Ref{Addr: 1, Kind: trace.DataWrite}) // dirty
+	c.Access(trace.Ref{Addr: 2, Kind: trace.DataRead})
+	c.Flush()
+	if c.Contains(1) || c.Contains(2) {
+		t.Fatal("lines survived the flush")
+	}
+	if got := c.Results().Writebacks; got != 1 {
+		t.Fatalf("Writebacks = %d, want 1 (dirty line)", got)
+	}
+	// Re-access: misses, but NOT cold (seen before the flush).
+	c.Access(trace.Ref{Addr: 1, Kind: trace.DataRead})
+	if got := c.Results().Misses; got != 1 {
+		t.Fatalf("post-flush non-cold misses = %d, want 1", got)
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/onepass"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// traceFromBytes builds a bounded-address trace from random bytes.
+func traceFromBytes(bs []uint8, mod uint32) *trace.Trace {
+	t := trace.New(len(bs))
+	for _, b := range bs {
+		t.Append(trace.Ref{Addr: uint32(b) % mod, Kind: trace.DataRead})
+	}
+	return t
+}
+
+// The paper's central guarantee: the analytical model counts exactly the
+// non-cold misses of an LRU set-associative cache. Verify against the
+// event-driven simulator across random traces, depths and associativities.
+func TestQuickAnalyticalMatchesSimulator(t *testing.T) {
+	f := func(bs []uint8, depthPow, assocRaw, modRaw uint8) bool {
+		mod := uint32(modRaw)%120 + 8
+		tr := traceFromBytes(bs, mod)
+		r, err := Explore(tr, Options{})
+		if err != nil {
+			return false
+		}
+		depth := 1 << (depthPow % uint8(len(r.Levels)))
+		assoc := 1 + int(assocRaw%6)
+		res, err := cache.Simulate(cache.Config{Depth: depth, Assoc: assoc}, tr)
+		if err != nil {
+			return false
+		}
+		return r.Level(depth).Misses(assoc) == res.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The analytical histogram tail must agree with the Mattson one-pass
+// profile at every depth and associativity (two independent formulations
+// of the same quantity).
+func TestQuickAnalyticalMatchesOnePass(t *testing.T) {
+	f := func(bs []uint8, modRaw uint8) bool {
+		mod := uint32(modRaw)%120 + 8
+		tr := traceFromBytes(bs, mod)
+		r, err := Explore(tr, Options{})
+		if err != nil {
+			return false
+		}
+		for _, l := range r.Levels {
+			p, err := onepass.Run(tr, l.Depth)
+			if err != nil {
+				return false
+			}
+			maxA := l.AZero
+			if p.MaxAssoc() > maxA {
+				maxA = p.MaxAssoc()
+			}
+			for a := 1; a <= maxA+1; a++ {
+				if l.Misses(a) != p.Misses(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The emitted optimal instances must honour the budget when simulated, and
+// must be minimal: one step less associativity must break the budget.
+func TestQuickOptimalSetIsOptimal(t *testing.T) {
+	f := func(bs []uint8, kRaw uint8) bool {
+		tr := traceFromBytes(bs, 64)
+		st := trace.ComputeStats(tr)
+		k := int(kRaw) % (st.MaxMisses + 1)
+		r, err := Explore(tr, Options{})
+		if err != nil {
+			return false
+		}
+		for _, ins := range r.OptimalSet(k) {
+			res, err := cache.Simulate(cache.Config{Depth: ins.Depth, Assoc: ins.Assoc}, tr)
+			if err != nil {
+				return false
+			}
+			if res.Misses > k {
+				return false // budget violated
+			}
+			if ins.Assoc > 1 {
+				res2, err := cache.Simulate(cache.Config{Depth: ins.Depth, Assoc: ins.Assoc - 1}, tr)
+				if err != nil {
+					return false
+				}
+				if res2.Misses <= k {
+					return false // not minimal
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The naive Algorithm 2 and the hash/LRU-stack MRCT must describe the same
+// conflict structure: identical miss counts through the postlude.
+func TestQuickMRCTNaiveEquivalent(t *testing.T) {
+	f := func(bs []uint8) bool {
+		if len(bs) > 60 {
+			bs = bs[:60] // the naive build is O(N·N')
+		}
+		tr := traceFromBytes(bs, 32)
+		s := trace.Strip(tr)
+		fast := BuildMRCT(s)
+		naive := BuildMRCTNaive(s)
+		// Compare per-id conflict multisets.
+		for id := 0; id < s.NUnique(); id++ {
+			a := fast.ConflictSets(id)
+			b := naive[id]
+			if len(a) != len(b) {
+				return false
+			}
+			key := func(set []int32) string {
+				out := make([]byte, 0, len(set)*4)
+				for _, v := range set {
+					out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+				}
+				return string(out)
+			}
+			am := map[string]int{}
+			for _, set := range a {
+				am[key(set)]++
+			}
+			for _, set := range b {
+				am[key(set)]--
+			}
+			for _, n := range am {
+				if n != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DFS and materialised-BCAT postludes agree on random traces.
+func TestQuickDFSMatchesBCAT(t *testing.T) {
+	f := func(bs []uint8) bool {
+		tr := traceFromBytes(bs, 64)
+		s := trace.Strip(tr)
+		m := BuildMRCT(s)
+		dfs, err := ExploreStripped(s, m, Options{})
+		if err != nil {
+			return false
+		}
+		mat, err := ExploreBCAT(s, BuildBCAT(s, 0), m, Options{})
+		if err != nil {
+			return false
+		}
+		if len(dfs.Levels) != len(mat.Levels) {
+			return false
+		}
+		for i := range dfs.Levels {
+			hi := dfs.Levels[i].AZero + 1
+			for a := 1; a <= hi; a++ {
+				if dfs.Levels[i].Misses(a) != mat.Levels[i].Misses(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Monotonicity observed throughout Tables 7-30: for a fixed depth the
+// required associativity never increases as the budget grows.
+func TestQuickMinAssocMonotoneInBudget(t *testing.T) {
+	f := func(bs []uint8) bool {
+		tr := traceFromBytes(bs, 64)
+		r, err := Explore(tr, Options{})
+		if err != nil {
+			return false
+		}
+		for _, l := range r.Levels {
+			prev := l.MinAssoc(0)
+			for k := 1; k <= 20; k++ {
+				a := l.MinAssoc(k)
+				if a > prev {
+					return false
+				}
+				prev = a
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A deterministic, larger end-to-end cross-check with a loopy synthetic
+// workload resembling embedded kernels.
+func TestAnalyticalMatchesSimulatorLoopyWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	tr := trace.New(0)
+	// Three nested loop bodies with strided array walks and a few globals.
+	for outer := 0; outer < 40; outer++ {
+		for i := 0; i < 32; i++ {
+			tr.Append(trace.Ref{Addr: uint32(0x100 + i), Kind: trace.DataRead})
+			tr.Append(trace.Ref{Addr: uint32(0x200 + i*2), Kind: trace.DataRead})
+			tr.Append(trace.Ref{Addr: 0x400, Kind: trace.DataWrite})
+			if i%4 == 0 {
+				tr.Append(trace.Ref{Addr: uint32(0x300 + rng.Intn(16)), Kind: trace.DataRead})
+			}
+		}
+	}
+	r, err := Explore(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{1, 4, 16, 64, 256} {
+		for _, assoc := range []int{1, 2, 4} {
+			res, err := cache.Simulate(cache.Config{Depth: depth, Assoc: assoc}, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Level(depth).Misses(assoc); got != res.Misses {
+				t.Errorf("depth %d assoc %d: analytical %d != simulated %d", depth, assoc, got, res.Misses)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/example/cachedse/internal/bitset"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Instance is one cache design point: depth (rows) and associativity.
+// Cache size in words is Depth*Assoc (one-word lines, §2.1).
+type Instance struct {
+	Depth int
+	Assoc int
+}
+
+// SizeWords returns the instance's total capacity in words.
+func (i Instance) SizeWords() int { return i.Depth * i.Assoc }
+
+// String renders the instance as (D,A).
+func (i Instance) String() string { return fmt.Sprintf("(D=%d,A=%d)", i.Depth, i.Assoc) }
+
+// Options configures an exploration.
+type Options struct {
+	// MaxDepth caps the explored depths at the given power of two. Zero
+	// explores up to 2^AddrBits, where every unique reference has its own
+	// row.
+	MaxDepth int
+}
+
+// LevelResult holds the analytical profile of one cache depth.
+type LevelResult struct {
+	// Depth is the cache depth (2^level).
+	Depth int
+	// Hist[d] counts non-cold occurrences whose conflict-set intersection
+	// with their row set has cardinality d. An occurrence with value d
+	// misses in every cache of this depth with associativity A <= d.
+	//
+	// Hist[0] may undercount guaranteed hits at deep levels: rows pruned
+	// by the stop criterion (|row| < 2) are never revisited, and their
+	// occurrences — always d = 0 — are omitted. Every d >= 1 bucket, and
+	// therefore every miss count, is exact.
+	Hist []int
+	// AZero is the smallest associativity with zero non-cold misses at
+	// this depth (the paper's A_zero aggregated over the level's nodes).
+	AZero int
+}
+
+// Misses returns the analytical non-cold miss count of an assoc-way cache
+// at this depth: the histogram tail at and above assoc.
+func (l *LevelResult) Misses(assoc int) int {
+	if assoc < 1 {
+		panic(fmt.Sprintf("core: associativity %d < 1", assoc))
+	}
+	m := 0
+	for d := assoc; d < len(l.Hist); d++ {
+		m += l.Hist[d]
+	}
+	return m
+}
+
+// MinAssoc returns the smallest associativity whose miss count is at most
+// k — the paper's min_i for this depth.
+func (l *LevelResult) MinAssoc(k int) int {
+	if k < 0 {
+		k = 0
+	}
+	tail := 0
+	for d := len(l.Hist) - 1; d >= 1; d-- {
+		if tail+l.Hist[d] > k {
+			return d + 1
+		}
+		tail += l.Hist[d]
+	}
+	return 1
+}
+
+// Result is the output of an exploration: one LevelResult per power-of-two
+// depth from 1 to MaxDepth.
+type Result struct {
+	// Levels[i] profiles depth 2^i.
+	Levels []*LevelResult
+	// NUnique and N echo the trace statistics the exploration consumed.
+	NUnique int
+	N       int
+}
+
+// Level returns the profile for the given depth, or nil if the depth is
+// not a power of two within the explored range.
+func (r *Result) Level(depth int) *LevelResult {
+	if depth < 1 || depth&(depth-1) != 0 {
+		return nil
+	}
+	i := 0
+	for d := depth; d > 1; d >>= 1 {
+		i++
+	}
+	if i >= len(r.Levels) {
+		return nil
+	}
+	return r.Levels[i]
+}
+
+// OptimalSet returns, for miss budget k, the paper's output: the set of
+// optimal (D, A) pairs, one per explored depth (Algorithm 3's final loop).
+func (r *Result) OptimalSet(k int) []Instance {
+	out := make([]Instance, len(r.Levels))
+	for i, l := range r.Levels {
+		out[i] = Instance{Depth: l.Depth, Assoc: l.MinAssoc(k)}
+	}
+	return out
+}
+
+// ParetoSet filters OptimalSet(k) down to the (size, misses) Pareto
+// frontier: an instance survives only if no smaller-or-equal-size instance
+// achieves as few misses. All entries already meet the budget k; the
+// frontier is what a designer actually chooses from.
+func (r *Result) ParetoSet(k int) []Instance {
+	all := r.OptimalSet(k)
+	misses := func(ins Instance) int { return r.Level(ins.Depth).Misses(ins.Assoc) }
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].SizeWords() != all[j].SizeWords() {
+			return all[i].SizeWords() < all[j].SizeWords()
+		}
+		return misses(all[i]) < misses(all[j])
+	})
+	var out []Instance
+	best := -1
+	for _, ins := range all {
+		m := misses(ins)
+		if best >= 0 && m >= best {
+			continue
+		}
+		out = append(out, ins)
+		best = m
+	}
+	return out
+}
+
+// Explore runs the combined prelude+postlude analysis in its depth-first,
+// linear-space form (§2.4): the BCAT is never materialised; the recursion
+// carries only the current root-to-leaf path of row sets, accumulating
+// every level's distance histogram on the way down.
+func Explore(t *trace.Trace, opts Options) (*Result, error) {
+	s := trace.Strip(t)
+	m := BuildMRCT(s)
+	return ExploreStripped(s, m, opts)
+}
+
+// ExploreStripped is Explore for callers that already hold the stripped
+// trace and conflict table (e.g. to reuse them across budgets or to pair
+// with BuildMRCTNaive in tests).
+func ExploreStripped(s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+	levels, err := levelCount(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{NUnique: s.NUnique(), N: s.N()}
+	r.Levels = make([]*LevelResult, levels+1)
+	for i := range r.Levels {
+		r.Levels[i] = &LevelResult{Depth: 1 << uint(i)}
+	}
+	if s.NUnique() == 0 {
+		finalize(r)
+		return r, nil
+	}
+	zo := s.ZeroOneSets(levels)
+
+	root := bitset.New(s.NUnique())
+	for id := 0; id < s.NUnique(); id++ {
+		root.Add(id)
+	}
+	var visit func(set *bitset.Set, level int)
+	visit = func(set *bitset.Set, level int) {
+		accumulate(r.Levels[level], set, m)
+		if level >= levels || set.Count() < 2 {
+			// A row with fewer than two references can never conflict at
+			// this or any deeper depth (Algorithm 1's stop criterion).
+			return
+		}
+		left := bitset.New(set.Cap())
+		right := bitset.New(set.Cap())
+		left.And(set, zo[level].Zero)
+		right.And(set, zo[level].One)
+		visit(left, level+1)
+		visit(right, level+1)
+	}
+	visit(root, 0)
+	finalize(r)
+	return r, nil
+}
+
+// ExploreBCAT runs Algorithm 3 over a materialised BCAT, the literal
+// formulation of the paper. It must produce exactly the same Result as
+// Explore; the DFS variant is preferred for its linear space.
+func ExploreBCAT(s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, error) {
+	levels, err := levelCount(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	if levels > t.Levels {
+		levels = t.Levels
+	}
+	r := &Result{NUnique: s.NUnique(), N: s.N()}
+	r.Levels = make([]*LevelResult, levels+1)
+	for i := range r.Levels {
+		r.Levels[i] = &LevelResult{Depth: 1 << uint(i)}
+	}
+	if s.NUnique() > 0 {
+		// Depth 1: the single row holding every unique reference.
+		root := bitset.New(s.NUnique())
+		for id := 0; id < s.NUnique(); id++ {
+			root.Add(id)
+		}
+		accumulate(r.Levels[0], root, m)
+		for l := 1; l <= levels; l++ {
+			for _, set := range t.LevelSets(l) {
+				accumulate(r.Levels[l], set, m)
+			}
+		}
+	}
+	finalize(r)
+	return r, nil
+}
+
+// accumulate folds one row set S into a level's histogram: for every
+// non-cold occurrence of every reference in S, bump Hist[|S ∩ C|] by the
+// occurrence's multiplicity.
+func accumulate(lr *LevelResult, set *bitset.Set, m *MRCT) {
+	set.ForEach(func(e int) bool {
+		for _, o := range m.occ[e] {
+			d := 0
+			for _, c := range m.sets[o.set] {
+				if set.Contains(int(c)) {
+					d++
+				}
+			}
+			if d >= len(lr.Hist) {
+				grown := make([]int, d+1)
+				copy(grown, lr.Hist)
+				lr.Hist = grown
+			}
+			lr.Hist[d] += int(o.count)
+		}
+		return true
+	})
+}
+
+// finalize derives AZero for every level.
+func finalize(r *Result) {
+	for _, l := range r.Levels {
+		l.AZero = 1
+		for d := len(l.Hist) - 1; d >= 1; d-- {
+			if l.Hist[d] != 0 {
+				l.AZero = d + 1
+				break
+			}
+		}
+	}
+}
+
+func levelCount(s *trace.Stripped, opts Options) (int, error) {
+	levels := s.AddrBits()
+	if opts.MaxDepth != 0 {
+		if opts.MaxDepth < 1 || opts.MaxDepth&(opts.MaxDepth-1) != 0 {
+			return 0, fmt.Errorf("core: MaxDepth %d is not a power of two >= 1", opts.MaxDepth)
+		}
+		cap := 0
+		for d := opts.MaxDepth; d > 1; d >>= 1 {
+			cap++
+		}
+		if cap < levels {
+			levels = cap
+		}
+	}
+	return levels, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Line-size exploration: the first of the paper's future-work axes ("our
+// future direction of research will focus on incorporating additional
+// design flexibility such as cache management policies, line size, ...",
+// §4). The analytical machinery is line-size-agnostic — it reasons about
+// whatever block addresses the trace carries — so exploring line size L
+// reduces to exploring the trace with the low log2(L) word-offset bits
+// stripped: two references collide in a (D, A, L) cache exactly when their
+// line addresses collide in the corresponding (D, A, 1) cache. Cold misses
+// do change with L (fewer, larger lines), so each LineResult carries its
+// own cold count and budgets must be interpreted per line size.
+
+// LineResult is the exploration of one line size.
+type LineResult struct {
+	// LineWords is the line size in words (power of two).
+	LineWords int
+	// Result explores depth x associativity at this line size; miss
+	// counts are non-cold misses of (D, A, LineWords) caches.
+	Result *Result
+	// Cold is the number of cold misses (distinct lines touched).
+	Cold int
+}
+
+// ExploreLineSizes runs the analytical exploration for each requested line
+// size (words, powers of two).
+func ExploreLineSizes(t *trace.Trace, opts Options, lineWords []int) ([]LineResult, error) {
+	out := make([]LineResult, 0, len(lineWords))
+	for _, lw := range lineWords {
+		if lw < 1 || lw&(lw-1) != 0 {
+			return nil, fmt.Errorf("core: line size %d words is not a power of two >= 1", lw)
+		}
+		shift := uint(0)
+		for l := lw; l > 1; l >>= 1 {
+			shift++
+		}
+		lined := trace.New(t.Len())
+		for _, r := range t.Refs {
+			lined.Append(trace.Ref{Addr: r.Addr >> shift, Kind: r.Kind})
+		}
+		r, err := Explore(lined, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LineResult{LineWords: lw, Result: r, Cold: r.NUnique})
+	}
+	return out, nil
+}
+
+// BestLine returns, for a miss budget k and a capacity limit in words, the
+// (line size, depth, assoc) combination with the fewest total misses (cold
+// + non-cold) that fits the capacity, breaking ties toward smaller size.
+// It returns ok=false when no explored combination fits.
+//
+// Total misses — not just the conflict misses the budget constrains — is
+// the right objective across line sizes, because larger lines trade cold
+// misses for conflict misses and comparing non-cold counts alone would
+// always favour the largest line.
+func BestLine(lines []LineResult, k int, capWords int) (lw int, ins Instance, ok bool) {
+	bestMisses := -1
+	bestSize := -1
+	for _, lr := range lines {
+		for _, l := range lr.Result.Levels {
+			a := l.MinAssoc(k)
+			size := l.Depth * a * lr.LineWords
+			if size > capWords {
+				continue
+			}
+			total := lr.Cold + l.Misses(a)
+			if bestMisses < 0 || total < bestMisses ||
+				(total == bestMisses && size < bestSize) {
+				bestMisses, bestSize = total, size
+				lw, ins, ok = lr.LineWords, Instance{Depth: l.Depth, Assoc: a}, true
+			}
+		}
+	}
+	return lw, ins, ok
+}

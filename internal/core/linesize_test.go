@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func TestExploreLineSizesRejectsBad(t *testing.T) {
+	tr := trace.FromAddrs(trace.DataRead, []uint32{1, 2, 3})
+	for _, lw := range []int{0, -2, 3, 6} {
+		if _, err := ExploreLineSizes(tr, Options{}, []int{lw}); err == nil {
+			t.Errorf("line size %d accepted", lw)
+		}
+	}
+}
+
+func TestExploreLineSizesSpatialLocality(t *testing.T) {
+	// A sequential sweep: with 4-word lines, unique lines (cold misses)
+	// shrink 4x and conflict misses at small depths shrink accordingly.
+	addrs := make([]uint32, 0, 512)
+	for rep := 0; rep < 4; rep++ {
+		for i := uint32(0); i < 128; i++ {
+			addrs = append(addrs, i)
+		}
+	}
+	tr := trace.FromAddrs(trace.DataRead, addrs)
+	lines, err := ExploreLineSizes(tr, Options{}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0].Cold != 128 || lines[1].Cold != 32 {
+		t.Fatalf("cold misses = %d, %d; want 128, 32", lines[0].Cold, lines[1].Cold)
+	}
+	// Depth-16 direct-mapped: the sweep wraps, every line evicted before
+	// reuse; misses scale with line count.
+	m1 := lines[0].Result.Level(16).Misses(1)
+	m4 := lines[1].Result.Level(16).Misses(1)
+	if m4 >= m1 {
+		t.Fatalf("4-word lines should cut sweep misses: %d vs %d", m4, m1)
+	}
+}
+
+// Property: line-size exploration matches the simulator configured with
+// the same LineWords on the ORIGINAL trace.
+func TestQuickLineSizesMatchSimulator(t *testing.T) {
+	f := func(bs []uint8, lwPow, depthPow, assocRaw uint8) bool {
+		if len(bs) == 0 {
+			return true
+		}
+		tr := trace.New(0)
+		for _, b := range bs {
+			tr.Append(trace.Ref{Addr: uint32(b), Kind: trace.DataRead})
+		}
+		lw := 1 << (lwPow % 3) // 1, 2, 4
+		lines, err := ExploreLineSizes(tr, Options{}, []int{lw})
+		if err != nil {
+			return false
+		}
+		r := lines[0].Result
+		depth := 1 << (depthPow % uint8(len(r.Levels)))
+		assoc := 1 + int(assocRaw%4)
+		sim, err := cache.Simulate(cache.Config{Depth: depth, Assoc: assoc, LineWords: lw}, tr)
+		if err != nil {
+			return false
+		}
+		return r.Level(depth).Misses(assoc) == sim.Misses &&
+			lines[0].Cold == sim.ColdMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestLine(t *testing.T) {
+	// Strided access with stride 4: 1-word lines see no spatial locality,
+	// so at equal capacity a 4-word line wastes 3/4 of every line.
+	addrs := make([]uint32, 0, 800)
+	for rep := 0; rep < 8; rep++ {
+		for i := uint32(0); i < 100; i++ {
+			addrs = append(addrs, i*4)
+		}
+	}
+	strided := trace.FromAddrs(trace.DataRead, addrs)
+	lines, err := ExploreLineSizes(strided, Options{}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, ins, ok := BestLine(lines, 0, 128)
+	if !ok {
+		t.Fatal("no instance fits 128 words")
+	}
+	if lw != 1 {
+		t.Fatalf("strided workload picked %d-word lines (instance %v), want 1", lw, ins)
+	}
+
+	// Sequential access: 4-word lines quarter the cold misses at the same
+	// capacity, so they win.
+	seq := make([]uint32, 0, 800)
+	for rep := 0; rep < 2; rep++ {
+		for i := uint32(0); i < 400; i++ {
+			seq = append(seq, i)
+		}
+	}
+	lines, err = ExploreLineSizes(trace.FromAddrs(trace.DataRead, seq), Options{}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, _, ok = BestLine(lines, 1<<30, 128)
+	if !ok || lw != 4 {
+		t.Fatalf("sequential workload picked %d-word lines, want 4", lw)
+	}
+}
+
+func TestBestLineNoFit(t *testing.T) {
+	tr := trace.FromAddrs(trace.DataRead, []uint32{0, 1, 2, 3, 0, 1, 2, 3})
+	lines, err := ExploreLineSizes(tr, Options{}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := BestLine(lines, 0, 0); ok {
+		t.Fatal("capacity 0 should fit nothing")
+	}
+}

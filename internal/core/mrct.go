@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/example/cachedse/internal/bitset"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// MRCT is the Memory Reference Conflict Table (Algorithm 2, Table 4): for
+// every unique reference, one conflict set per non-cold occurrence holding
+// the identifiers of the distinct references touched since the previous
+// occurrence.
+//
+// Conflict sets are stored sparsely (sorted identifier slices) and
+// deduplicated globally with multiplicities: loop-dominated embedded traces
+// repeat a handful of conflict windows millions of times, and the postlude
+// phase only needs |S ∩ C| per *distinct* C weighted by its count. This
+// keeps the structure within the paper's stated O(trace) space in practice.
+type MRCT struct {
+	nunique int
+	// sets is the global table of distinct conflict sets, each sorted
+	// ascending by identifier.
+	sets [][]int32
+	// occ[id] lists, per distinct conflict set of id, the pair (index into
+	// sets, number of occurrences with exactly that window).
+	occ [][]occurrence
+}
+
+type occurrence struct {
+	set   int32
+	count int32
+}
+
+// NUnique returns N', the identifier universe size.
+func (m *MRCT) NUnique() int { return m.nunique }
+
+// DistinctSets returns the size of the global deduplicated set table.
+func (m *MRCT) DistinctSets() int { return len(m.sets) }
+
+// Occurrences returns the total number of non-cold occurrences recorded,
+// which equals N − N'.
+func (m *MRCT) Occurrences() int {
+	total := 0
+	for _, os := range m.occ {
+		for _, o := range os {
+			total += int(o.count)
+		}
+	}
+	return total
+}
+
+// ConflictSets expands the table for identifier id into one sorted slice
+// per non-cold occurrence (multiplicities unrolled). Intended for tests and
+// table rendering; the postlude phase iterates the compressed form.
+func (m *MRCT) ConflictSets(id int) [][]int32 {
+	var out [][]int32
+	for _, o := range m.occ[id] {
+		for i := int32(0); i < o.count; i++ {
+			out = append(out, m.sets[o.set])
+		}
+	}
+	return out
+}
+
+// BuildMRCT builds the conflict table in a single pass using a global LRU
+// stack, the hash-table formulation §2.4 recommends over the literal double
+// loop of Algorithm 2. When reference u is re-accessed at stack position p,
+// the identifiers above it (positions 0..p-1) are exactly the distinct
+// references touched since u's previous occurrence — the conflict set.
+func BuildMRCT(s *trace.Stripped) *MRCT {
+	m := &MRCT{
+		nunique: s.NUnique(),
+		occ:     make([][]occurrence, s.NUnique()),
+	}
+	dedup := make(map[string]int32)
+	// perID collects set indices per id before run-length encoding.
+	perID := make([][]int32, s.NUnique())
+
+	stack := make([]int, 0, 1024) // identifiers, most recent first
+	scratch := make([]int32, 0, 1024)
+	keyBuf := make([]byte, 0, 4096)
+	for _, id := range s.IDs {
+		pos := -1
+		for i, v := range stack {
+			if v == id {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			// Cold occurrence: no conflict set recorded (Table 4 ignores
+			// the first occurrence).
+			stack = append(stack, 0)
+			copy(stack[1:], stack)
+			stack[0] = id
+			continue
+		}
+		// Conflict set = stack prefix above id, sorted.
+		scratch = scratch[:0]
+		for _, v := range stack[:pos] {
+			scratch = append(scratch, int32(v))
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		keyBuf = keyBuf[:0]
+		for _, v := range scratch {
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		idx, ok := dedup[string(keyBuf)]
+		if !ok {
+			idx = int32(len(m.sets))
+			cp := make([]int32, len(scratch))
+			copy(cp, scratch)
+			m.sets = append(m.sets, cp)
+			dedup[string(keyBuf)] = idx
+		}
+		perID[id] = append(perID[id], idx)
+		// Move to front.
+		copy(stack[1:pos+1], stack[:pos])
+		stack[0] = id
+	}
+
+	// Run-length encode per id, preserving nothing about order (the
+	// postlude only needs multiplicities).
+	for id, idxs := range perID {
+		if len(idxs) == 0 {
+			m.occ[id] = nil
+			continue
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		var occs []occurrence
+		for i := 0; i < len(idxs); {
+			j := i
+			for j < len(idxs) && idxs[j] == idxs[i] {
+				j++
+			}
+			occs = append(occs, occurrence{set: idxs[i], count: int32(j - i)})
+			i = j
+		}
+		m.occ[id] = occs
+	}
+	return m
+}
+
+// BuildMRCTNaive is the literal double loop of Algorithm 2, with the
+// conflict windows accumulated in bit vectors: for every unique reference
+// U_i an accumulator S_i collects identifiers until the trace reaches U_i
+// again, at which point S_i is emitted and reset. O(N·N') time and only
+// suitable for small traces; kept as an executable specification that
+// cross-validates BuildMRCT.
+func BuildMRCTNaive(s *trace.Stripped) [][][]int32 {
+	nu := s.NUnique()
+	out := make([][][]int32, nu)
+	acc := make([]*bitset.Set, nu)
+	started := make([]bool, nu)
+	for i := range acc {
+		acc[i] = bitset.New(nu)
+	}
+	for _, id := range s.IDs {
+		for i := 0; i < nu; i++ {
+			if i == id {
+				continue
+			}
+			if started[i] {
+				acc[i].Add(id)
+			}
+		}
+		if started[id] {
+			elems := acc[id].Elems()
+			set := make([]int32, len(elems))
+			for k, e := range elems {
+				set[k] = int32(e)
+			}
+			out[id] = append(out[id], set)
+			acc[id].Clear()
+		}
+		started[id] = true
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/example/cachedse/internal/bitset"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// ExploreParallel is Explore with the postlude fanned out over a worker
+// pool. The paper observes that the set formulation "allows for execution
+// of the algorithm on a cluster of machines" (§2.4); the same independence
+// yields a shared-memory parallelisation here.
+//
+// The dominant cost is scanning conflict sets: every non-cold occurrence
+// of every unique reference is intersected with its row set at every
+// level, and occurrences of different references are independent. Workers
+// therefore partition the unique-reference space: each worker repeats the
+// (cheap) BCAT set splitting but accumulates only the occurrences of its
+// own references, and the per-worker histograms merge associatively.
+// Results are bit-identical to Explore. workers <= 0 uses GOMAXPROCS.
+func ExploreParallel(t *trace.Trace, opts Options, workers int) (*Result, error) {
+	s := trace.Strip(t)
+	m := BuildMRCT(s)
+	return ExploreParallelStripped(s, m, opts, workers)
+}
+
+// ExploreParallelStripped is ExploreParallel over pre-built prelude
+// structures.
+func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	levels, err := levelCount(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	if workers == 1 || s.NUnique() < 2*workers || levels == 0 {
+		return ExploreStripped(s, m, opts)
+	}
+	r := &Result{NUnique: s.NUnique(), N: s.N()}
+	r.Levels = make([]*LevelResult, levels+1)
+	for i := range r.Levels {
+		r.Levels[i] = &LevelResult{Depth: 1 << uint(i)}
+	}
+	zo := s.ZeroOneSets(levels)
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			private := make([]*LevelResult, levels+1)
+			for i := range private {
+				private[i] = &LevelResult{Depth: 1 << uint(i)}
+			}
+			root := bitset.New(s.NUnique())
+			for id := 0; id < s.NUnique(); id++ {
+				root.Add(id)
+			}
+			var visit func(set *bitset.Set, level int)
+			visit = func(set *bitset.Set, level int) {
+				accumulateShard(private[level], set, m, w, workers)
+				if level >= levels || set.Count() < 2 {
+					return
+				}
+				left := bitset.New(set.Cap())
+				right := bitset.New(set.Cap())
+				left.And(set, zo[level].Zero)
+				right.And(set, zo[level].One)
+				visit(left, level+1)
+				visit(right, level+1)
+			}
+			visit(root, 0)
+			mu.Lock()
+			for i, p := range private {
+				mergeHist(r.Levels[i], p.Hist)
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	finalize(r)
+	return r, nil
+}
+
+// accumulateShard is accumulate restricted to references owned by worker w
+// under a round-robin partition of identifiers.
+func accumulateShard(lr *LevelResult, set *bitset.Set, m *MRCT, w, workers int) {
+	set.ForEach(func(e int) bool {
+		if e%workers != w {
+			return true
+		}
+		for _, o := range m.occ[e] {
+			d := 0
+			for _, c := range m.sets[o.set] {
+				if set.Contains(int(c)) {
+					d++
+				}
+			}
+			if d >= len(lr.Hist) {
+				grown := make([]int, d+1)
+				copy(grown, lr.Hist)
+				lr.Hist = grown
+			}
+			lr.Hist[d] += int(o.count)
+		}
+		return true
+	})
+}
+
+// mergeHist adds src into dst.Hist, growing as needed.
+func mergeHist(dst *LevelResult, src []int) {
+	if len(src) > len(dst.Hist) {
+		grown := make([]int, len(src))
+		copy(grown, dst.Hist)
+		dst.Hist = grown
+	}
+	for d, c := range src {
+		dst.Hist[d] += c
+	}
+}

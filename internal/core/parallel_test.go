@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/paperex"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func resultsIdentical(a, b *Result) bool {
+	if len(a.Levels) != len(b.Levels) {
+		return false
+	}
+	for i := range a.Levels {
+		la, lb := a.Levels[i], b.Levels[i]
+		if la.Depth != lb.Depth || la.AZero != lb.AZero {
+			return false
+		}
+		hi := la.AZero
+		if lb.AZero > hi {
+			hi = lb.AZero
+		}
+		for d := 1; d <= hi+1; d++ {
+			if la.Misses(d) != lb.Misses(d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestExploreParallelPaperExample(t *testing.T) {
+	seq, err := Explore(paperex.Trace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		par, err := ExploreParallel(paperex.Trace(), Options{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsIdentical(seq, par) {
+			t.Fatalf("workers=%d: parallel result differs", workers)
+		}
+	}
+}
+
+func TestExploreParallelDegenerate(t *testing.T) {
+	// Empty and single-reference traces take the sequential path.
+	for _, tr := range []*trace.Trace{
+		trace.New(0),
+		trace.FromAddrs(trace.DataRead, []uint32{7, 7, 7}),
+	} {
+		seq, err := Explore(tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ExploreParallel(tr, Options{}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsIdentical(seq, par) {
+			t.Fatal("degenerate parallel result differs")
+		}
+	}
+}
+
+func TestExploreParallelBadOptions(t *testing.T) {
+	if _, err := ExploreParallel(paperex.Trace(), Options{MaxDepth: 3}, 4); err == nil {
+		t.Fatal("bad MaxDepth accepted")
+	}
+}
+
+// Property: parallel and sequential exploration agree on random traces for
+// every worker count.
+func TestQuickParallelMatchesSequential(t *testing.T) {
+	f := func(bs []uint8, workersRaw uint8) bool {
+		tr := trace.New(0)
+		for _, b := range bs {
+			tr.Append(trace.Ref{Addr: uint32(b), Kind: trace.DataRead})
+		}
+		seq, err := Explore(tr, Options{})
+		if err != nil {
+			return false
+		}
+		par, err := ExploreParallel(tr, Options{}, 1+int(workersRaw%8))
+		if err != nil {
+			return false
+		}
+		return resultsIdentical(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism under scheduling: repeated parallel runs are identical.
+func TestExploreParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := trace.New(0)
+	for i := 0; i < 5000; i++ {
+		tr.Append(trace.Ref{Addr: uint32(rng.Intn(700)), Kind: trace.DataRead})
+	}
+	first, err := ExploreParallel(tr, Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := ExploreParallel(tr, Options{}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsIdentical(first, again) {
+			t.Fatalf("run %d differs", run)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package dse
+
+import (
+	"fmt"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/cacti"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Energy-aware selection: the paper's introduction frames cache tuning as
+// trading misses against "silicon area, clock latency, or energy". This
+// harness combines the analytical explorer (exact miss counts for every
+// configuration, no simulation) with the CACTI-flavoured cost model to
+// pick, among all configurations meeting the miss budget, the one with the
+// least total memory-system energy.
+
+// Choice is the selected configuration with its predicted costs.
+type Choice struct {
+	LineWords int
+	Instance  core.Instance
+	// Misses is cold + non-cold misses at this configuration.
+	Misses int
+	// EnergyPJ is the total dynamic energy over the trace (cache accesses
+	// + refills + off-chip penalty per miss).
+	EnergyPJ float64
+	// Estimate is the per-access cost model output.
+	Estimate cacti.Estimate
+}
+
+// EnergyAware returns the minimum-energy configuration meeting the
+// non-cold miss budget k within capWords of storage, across the given line
+// sizes and every explored depth. Writeback traffic is not modelled (the
+// analytical method does not count dirty evictions); the refill and miss
+// penalty terms dominate for the embedded workloads this targets.
+func EnergyAware(t *trace.Trace, k int, lineWords []int, capWords int, params cacti.Params, missPenaltyPJ float64) (Choice, error) {
+	lines, err := core.ExploreLineSizes(t, core.Options{}, lineWords)
+	if err != nil {
+		return Choice{}, err
+	}
+	n := t.Len()
+	best := Choice{}
+	found := false
+	for _, lr := range lines {
+		for _, l := range lr.Result.Levels {
+			a := l.MinAssoc(k)
+			cfg := cache.Config{Depth: l.Depth, Assoc: a, LineWords: lr.LineWords}
+			if cfg.SizeWords() > capWords {
+				continue
+			}
+			est, err := cacti.Model(cfg, params)
+			if err != nil {
+				return Choice{}, err
+			}
+			misses := lr.Cold + l.Misses(a)
+			energy := cacti.AccessEnergy(est, n, misses, 0, missPenaltyPJ)
+			if !found || energy < best.EnergyPJ {
+				best = Choice{
+					LineWords: lr.LineWords,
+					Instance:  core.Instance{Depth: l.Depth, Assoc: a},
+					Misses:    misses,
+					EnergyPJ:  energy,
+					Estimate:  est,
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return Choice{}, fmt.Errorf("dse: no configuration meets K=%d within %d words", k, capWords)
+	}
+	return best, nil
+}

@@ -1,0 +1,117 @@
+package dse
+
+import (
+	"testing"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/cacti"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/tracegen"
+)
+
+func TestEnergyAwareMeetsBudget(t *testing.T) {
+	tr := testTrace()
+	st := trace.ComputeStats(tr)
+	k := st.MaxMisses / 10
+	choice, err := EnergyAware(tr, k, []int{1, 2, 4}, 4096, cacti.DefaultParams(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.EnergyPJ <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	// The chosen instance must honour the budget under simulation at its
+	// own line size (simulated against the original word trace).
+	cfg := cache.Config{
+		Depth:     choice.Instance.Depth,
+		Assoc:     choice.Instance.Assoc,
+		LineWords: choice.LineWords,
+	}
+	res, err := cache.Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses > k {
+		t.Fatalf("chosen %v @%d-word lines misses %d > K=%d", choice.Instance, choice.LineWords, res.Misses, k)
+	}
+	if res.Misses+res.ColdMisses != choice.Misses {
+		t.Fatalf("predicted total misses %d != simulated %d", choice.Misses, res.Misses+res.ColdMisses)
+	}
+}
+
+func TestEnergyAwareIsMinimal(t *testing.T) {
+	// Brute-force the same candidate set and confirm the choice is the
+	// energy argmin.
+	tr := testTrace()
+	st := trace.ComputeStats(tr)
+	k := st.MaxMisses / 4
+	lineWords := []int{1, 2}
+	const capWords = 2048
+	params := cacti.DefaultParams()
+	const penalty = 2000.0
+
+	choice, err := EnergyAware(tr, k, lineWords, capWords, params, penalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := core.ExploreLineSizes(tr, core.Options{}, lineWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range lines {
+		for _, l := range lr.Result.Levels {
+			a := l.MinAssoc(k)
+			cfg := cache.Config{Depth: l.Depth, Assoc: a, LineWords: lr.LineWords}
+			if cfg.SizeWords() > capWords {
+				continue
+			}
+			est, err := cacti.Model(cfg, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			energy := cacti.AccessEnergy(est, tr.Len(), lr.Cold+l.Misses(a), 0, penalty)
+			if energy < choice.EnergyPJ {
+				t.Fatalf("found cheaper candidate D=%d A=%d L=%d (%.0f pJ < %.0f pJ)",
+					l.Depth, a, lr.LineWords, energy, choice.EnergyPJ)
+			}
+		}
+	}
+}
+
+func TestEnergyAwareNoFit(t *testing.T) {
+	tr := testTrace()
+	if _, err := EnergyAware(tr, 0, []int{1}, 1, cacti.DefaultParams(), 2000); err == nil {
+		t.Fatal("capacity 1 word should fit nothing at K=0")
+	}
+}
+
+func TestEnergyAwarePenaltyShiftsChoice(t *testing.T) {
+	// With a huge miss penalty the selector should accept a bigger, more
+	// power-hungry cache to buy misses down; with a tiny penalty it should
+	// prefer the smallest cache meeting the budget.
+	rng := tracegen.Loop(0, 96, 60) // 96-word loop
+	st := trace.ComputeStats(rng)
+	k := st.MaxMisses // budget never binds; energy decides alone
+	cheap, err := EnergyAware(rng, k, []int{1}, 4096, cacti.DefaultParams(), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := EnergyAware(rng, k, []int{1}, 4096, cacti.DefaultParams(), 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.Misses > cheap.Misses {
+		t.Fatalf("high penalty picked more misses (%d) than low penalty (%d)", dear.Misses, cheap.Misses)
+	}
+	if cheap.Instance.SizeWords()*1 > dear.Instance.SizeWords()*dearLineOr1(dear) {
+		t.Fatalf("low penalty picked bigger cache (%v) than high penalty (%v)", cheap.Instance, dear.Instance)
+	}
+}
+
+func dearLineOr1(c Choice) int {
+	if c.LineWords == 0 {
+		return 1
+	}
+	return c.LineWords
+}

@@ -1,0 +1,69 @@
+package dse
+
+import (
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Two-level exploration: the "well-tuned cache hierarchy" the paper's
+// introduction motivates, done with one simulation and one analytical
+// pass. For a FIXED L1, the reference stream reaching L2 is deterministic:
+// L1 misses (as reads) interleaved with L1 dirty-eviction writebacks (as
+// writes). Capturing that filtered trace once and handing it to the
+// analytical explorer sizes every candidate L2 exactly — the design loop
+// over L2 configurations needs no further simulation.
+
+// FilterThroughL1 simulates the trace on an L1 configuration and returns
+// the stream of references that reach the next level, in arrival order.
+func FilterThroughL1(t *trace.Trace, l1 cache.Config) (*trace.Trace, error) {
+	c, err := cache.NewCache(l1)
+	if err != nil {
+		return nil, err
+	}
+	out := trace.New(0)
+	lineShift := 0
+	for lw := l1.LineWords; lw > 1; lw >>= 1 {
+		lineShift++
+	}
+	c.OnEvict = func(lineAddr uint32, dirty bool) {
+		if dirty {
+			out.Append(trace.Ref{Addr: lineAddr << uint(lineShift), Kind: trace.DataWrite})
+		}
+	}
+	for _, r := range t.Refs {
+		if !c.Access(r) {
+			// OnEvict fires inside Access, so a miss's victim writeback
+			// precedes its refill read in the stream — the order a
+			// hierarchy whose write buffer drains ahead of the fill
+			// produces, and exactly the order cache.Hierarchy replays.
+			out.Append(trace.Ref{Addr: r.Addr, Kind: readKind(r.Kind)})
+		}
+	}
+	return out, nil
+}
+
+// readKind maps the original reference kind to the kind of the refill
+// request L2 sees: instruction fetch misses stay instruction fetches, data
+// misses become reads (the store data merges in L1 after the fill).
+func readKind(k trace.Kind) trace.Kind {
+	if k == trace.Instr {
+		return trace.Instr
+	}
+	return trace.DataRead
+}
+
+// ExploreL2 sizes the second level: it filters the trace through the given
+// L1 and analytically explores the resulting stream, returning the
+// filtered stream's exploration (budget semantics: non-cold L2 misses).
+func ExploreL2(t *trace.Trace, l1 cache.Config, opts core.Options) (*core.Result, *trace.Trace, error) {
+	filtered, err := FilterThroughL1(t, l1)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := core.Explore(filtered, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, filtered, nil
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func TestPolicyTableShape(t *testing.T) {
+	s := loadSuite(t)
+	tab, err := s.PolicyTable(Data, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 || len(tab.Headers) != 5 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Headers))
+	}
+	// Spot-check one cell against a direct simulation.
+	tr := s.Get("crc").Data
+	res, err := cache.Simulate(cache.Config{Depth: 32, Assoc: 4, Repl: cache.LRU}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "crc" {
+			if row[1] != strconv.Itoa(res.Misses) {
+				t.Fatalf("crc LRU cell = %s, want %d", row[1], res.Misses)
+			}
+			return
+		}
+	}
+	t.Fatal("crc row missing")
+}
+
+func TestPolicyTableBadConfig(t *testing.T) {
+	s := loadSuite(t)
+	if _, err := s.PolicyTable(Data, 3, 1); err == nil {
+		t.Fatal("bad depth accepted")
+	}
+}
+
+func TestEnergyTableBudgetsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("energy sweep in short mode")
+	}
+	s := loadSuite(t)
+	tab, err := s.EnergyTable(Data, 8192, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Each chosen instance must meet its K under simulation.
+	for _, row := range tab.Rows {
+		name := row[0]
+		k, _ := strconv.Atoi(row[1])
+		lw, _ := strconv.Atoi(row[2])
+		depth, _ := strconv.Atoi(row[3])
+		assoc, _ := strconv.Atoi(row[4])
+		tr := s.Get(name).Data
+		res, err := cache.Simulate(cache.Config{Depth: depth, Assoc: assoc, LineWords: lw}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses > k {
+			t.Errorf("%s: chosen D=%d A=%d L=%d misses %d > K=%d", name, depth, assoc, lw, res.Misses, k)
+		}
+	}
+}
+
+func TestBusTableOrdering(t *testing.T) {
+	s := loadSuite(t)
+	tab := s.BusTable(Instruction)
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Instruction streams are run-dominated: gray must beat binary and t0
+	// must beat gray on every benchmark.
+	for _, row := range tab.Rows {
+		bin, _ := strconv.ParseFloat(row[1], 64)
+		gray, _ := strconv.ParseFloat(row[2], 64)
+		t0, _ := strconv.ParseFloat(row[3], 64)
+		if !(t0 < gray && gray < bin) {
+			t.Errorf("%s: expected t0 < gray < binary, got %v %v %v", row[0], t0, gray, bin)
+		}
+	}
+}
+
+func TestLoopCacheTable(t *testing.T) {
+	s := loadSuite(t)
+	tab, err := s.LoopCacheTable([]int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 || len(tab.Headers) != 3 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Headers))
+	}
+	anyServed := false
+	for _, row := range tab.Rows {
+		small, _ := strconv.ParseFloat(row[1], 64)
+		big, _ := strconv.ParseFloat(row[2], 64)
+		if small < 0 || small > 1 || big < 0 || big > 1 {
+			t.Errorf("%s: ratios out of range: %v %v", row[0], small, big)
+		}
+		if big > 0.1 {
+			anyServed = true
+		}
+	}
+	// Loop-dominated embedded kernels: at least some benchmarks must be
+	// served substantially by a 64-entry loop cache.
+	if !anyServed {
+		t.Fatal("no benchmark is served by a 64-entry loop cache; traces are not loop-shaped")
+	}
+}
+
+func TestLoadCompiledSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiled suite in short mode")
+	}
+	cs, err := LoadCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Sets) != 12 || cs.Variant != "compiled" {
+		t.Fatalf("compiled suite: %d sets, variant %q", len(cs.Sets), cs.Variant)
+	}
+	// Compiled traces dwarf the hand-assembly ones.
+	hs := loadSuite(t)
+	for _, ts := range cs.Sets {
+		hand := hs.Get(ts.Name)
+		if ts.Instr.Len() <= hand.Instr.Len() {
+			t.Errorf("%s: compiled instr trace %d <= hand %d", ts.Name, ts.Instr.Len(), hand.Instr.Len())
+		}
+	}
+	// Table titles drop paper numbering on the variant suite.
+	tab, err := cs.StatsTable(Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tab.Title, "Table 5") || !strings.Contains(tab.Title, "compiled") {
+		t.Fatalf("variant title = %q", tab.Title)
+	}
+	or, err := cs.Optimal("crc", Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(or.Table.Title, "Table 11") {
+		t.Fatalf("variant optimal title = %q", or.Table.Title)
+	}
+	// The exactness guarantee holds on compiled traces too.
+	if err := cs.VerifyOptimal("crc", Data, or); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompilerTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiler table in short mode")
+	}
+	s := loadSuite(t)
+	tab, err := s.CompilerTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every compiled kernel contributes a hand and a compiled row.
+	if len(tab.Rows)%2 != 0 || len(tab.Rows) < 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		if tab.Rows[i][1] != "hand" || tab.Rows[i+1][1] != "compiled" {
+			t.Fatalf("row pairing broken at %d: %v", i, tab.Rows[i])
+		}
+		handN, _ := strconv.Atoi(tab.Rows[i][2])
+		compN, _ := strconv.Atoi(tab.Rows[i+1][2])
+		if compN <= handN {
+			t.Errorf("%s: compiled N %d <= hand N %d", tab.Rows[i][0], compN, handN)
+		}
+	}
+}
+
+func TestPerformanceTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("performance sweep in short mode")
+	}
+	s := loadSuite(t)
+	tab, err := s.PerformanceTable(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		base, _ := strconv.ParseUint(row[1], 10, 64)
+		total, _ := strconv.ParseUint(row[6], 10, 64)
+		cpi, _ := strconv.ParseFloat(row[7], 64)
+		if base == 0 {
+			t.Errorf("%s: zero base cycles", row[0])
+		}
+		if total < base {
+			t.Errorf("%s: total %d < base %d", row[0], total, base)
+		}
+		// Single-issue with >= 1-cycle instructions: CPI >= 1.
+		if cpi < 1 {
+			t.Errorf("%s: CPI %v < 1", row[0], cpi)
+		}
+	}
+}
+
+func TestDedupTableConsistency(t *testing.T) {
+	s := loadSuite(t)
+	tab := s.DedupTable(Data)
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[1])
+		reduced, _ := strconv.Atoi(row[2])
+		if reduced > n {
+			t.Errorf("%s: reduced %d > original %d", row[0], reduced, n)
+		}
+		tr := s.Get(row[0]).Data
+		got, removed := trace.Dedup(tr)
+		if got.Len() != reduced || removed != n-reduced {
+			t.Errorf("%s: table disagrees with Dedup", row[0])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package minic
+
+// AST node types. The tree is deliberately plain: one struct per grammar
+// production, line numbers for diagnostics.
+
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	// size > 0 for arrays (in words); 0 for scalars.
+	size int
+	// init is the scalar initialiser.
+	init int64
+	// elems initialises the leading elements of an array (the rest
+	// zero-fill).
+	elems []int64
+	line  int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type blockStmt struct {
+	stmts []stmt
+}
+
+type declStmt struct {
+	name string
+	init expr // nil means zero
+	line int
+}
+
+type assignStmt struct {
+	name  string
+	index expr // nil for scalars
+	value expr
+	line  int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els *blockStmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body *blockStmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // nil returns 0
+	line  int
+}
+
+type outStmt struct {
+	value expr
+	line  int
+}
+
+type exprStmt struct {
+	value expr
+	line  int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+func (*blockStmt) stmtNode()    {}
+func (*declStmt) stmtNode()     {}
+func (*assignStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()   {}
+func (*outStmt) stmtNode()      {}
+func (*exprStmt) stmtNode()     {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type numberExpr struct {
+	value int64
+	line  int
+}
+
+type varExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name  string
+	index expr
+	line  int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-" or "!"
+	x    expr
+	line int
+}
+
+type binaryExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+func (*numberExpr) exprNode() {}
+func (*varExpr) exprNode()    {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*unaryExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}

@@ -1,0 +1,512 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code generation: a straightforward stack machine over the VM's data
+// memory. Evaluation pushes intermediate values on an upward-growing stack
+// addressed by $sp; $fp frames hold [saved ra][saved fp][param/local
+// slots...]. $t0/$t1/$t2 are scratch, $a0-$a3 carry call arguments, $v0
+// the return value. The code is deliberately unoptimised — the point is a
+// realistic *compiled-code* shape (loads/stores around every operation,
+// call frames, branchy control flow), not speed.
+
+const stackWords = 4096
+
+type codegen struct {
+	out    strings.Builder
+	prog   *program
+	funcs  map[string]*funcDecl
+	glob   map[string]*globalDecl
+	labels int
+
+	// per-function state
+	locals   map[string]int // name -> frame slot
+	curFn    string
+	breakLbl []string
+	contLbl  []string
+}
+
+// Compile translates a minic source file to assembly for internal/asm.
+func Compile(src string) (string, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return "", err
+	}
+	return generate(prog)
+}
+
+// generate runs semantic checks and code generation on a parsed program.
+func generate(prog *program) (string, error) {
+	g := &codegen{
+		prog:  prog,
+		funcs: map[string]*funcDecl{},
+		glob:  map[string]*globalDecl{},
+	}
+	for _, f := range prog.funcs {
+		if _, dup := g.funcs[f.name]; dup {
+			return "", perrf(f.line, "duplicate function %q", f.name)
+		}
+		g.funcs[f.name] = f
+	}
+	for _, gl := range prog.globals {
+		if _, dup := g.glob[gl.name]; dup {
+			return "", perrf(gl.line, "duplicate global %q", gl.name)
+		}
+		if _, clash := g.funcs[gl.name]; clash {
+			return "", perrf(gl.line, "%q declared as both global and function", gl.name)
+		}
+		g.glob[gl.name] = gl
+	}
+	if _, ok := g.funcs["main"]; !ok {
+		return "", perrf(1, "no main function")
+	}
+	if err := g.emit(); err != nil {
+		return "", err
+	}
+	return g.out.String(), nil
+}
+
+func (g *codegen) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *codegen) line(format string, args ...interface{}) {
+	fmt.Fprintf(&g.out, format+"\n", args...)
+}
+
+// push/pop helpers for the evaluation stack.
+func (g *codegen) push(reg string) {
+	g.line("        sw   %s, 0($sp)", reg)
+	g.line("        addi $sp, $sp, 1")
+}
+
+func (g *codegen) pop(reg string) {
+	g.line("        subi $sp, $sp, 1")
+	g.line("        lw   %s, 0($sp)", reg)
+}
+
+func (g *codegen) emit() error {
+	// Data segment: globals then the evaluation/frame stack.
+	g.line("        .data")
+	for _, gl := range g.prog.globals {
+		switch {
+		case gl.size > 0 && len(gl.elems) > 0:
+			parts := make([]string, len(gl.elems))
+			for i, v := range gl.elems {
+				parts[i] = fmt.Sprintf("%d", int32(v))
+			}
+			g.line("g_%s: .word %s", gl.name, strings.Join(parts, ","))
+			if rest := gl.size - len(gl.elems); rest > 0 {
+				g.line("        .space %d", rest)
+			}
+		case gl.size > 0:
+			g.line("g_%s: .space %d", gl.name, gl.size)
+		default:
+			g.line("g_%s: .word %d", gl.name, int32(gl.init))
+		}
+	}
+	g.line("mc_stack: .space %d", stackWords)
+	g.line("        .text")
+	// Bootstrap.
+	g.line("main:   la   $sp, mc_stack")
+	g.line("        jal  fn_main")
+	g.line("        halt")
+	for _, f := range g.prog.funcs {
+		if err := g.function(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectLocals assigns a frame slot to every parameter and declaration.
+func collectLocals(f *funcDecl) (map[string]int, error) {
+	slots := map[string]int{}
+	for _, p := range f.params {
+		if _, dup := slots[p]; dup {
+			return nil, perrf(f.line, "duplicate parameter %q", p)
+		}
+		slots[p] = len(slots)
+	}
+	var walk func(b *blockStmt) error
+	walk = func(b *blockStmt) error {
+		for _, s := range b.stmts {
+			switch s := s.(type) {
+			case *declStmt:
+				if _, dup := slots[s.name]; dup {
+					return perrf(s.line, "duplicate local %q (minic has function-level scope)", s.name)
+				}
+				slots[s.name] = len(slots)
+			case *blockStmt:
+				if err := walk(s); err != nil {
+					return err
+				}
+			case *ifStmt:
+				if err := walk(s.then); err != nil {
+					return err
+				}
+				if s.els != nil {
+					if err := walk(s.els); err != nil {
+						return err
+					}
+				}
+			case *whileStmt:
+				if err := walk(s.body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(f.body); err != nil {
+		return nil, err
+	}
+	return slots, nil
+}
+
+func (g *codegen) function(f *funcDecl) error {
+	locals, err := collectLocals(f)
+	if err != nil {
+		return err
+	}
+	g.locals = locals
+	g.curFn = f.name
+	g.breakLbl, g.contLbl = nil, nil
+
+	g.line("fn_%s:", f.name)
+	// Prologue.
+	g.push("$ra")
+	g.push("$fp")
+	g.line("        move $fp, $sp")
+	if n := len(locals); n > 0 {
+		g.line("        addi $sp, $sp, %d", n)
+	}
+	// Zero every slot for deterministic traces, then store parameters.
+	for i := 0; i < len(locals); i++ {
+		g.line("        sw   $0, %d($fp)", i)
+	}
+	for i := range f.params {
+		g.line("        sw   $a%d, %d($fp)", i, i)
+	}
+	if err := g.block(f.body); err != nil {
+		return err
+	}
+	// Fall-off-the-end returns 0.
+	g.line("        li   $v0, 0")
+	g.line("ret_%s:", f.name)
+	g.line("        move $sp, $fp")
+	g.pop("$fp")
+	g.pop("$ra")
+	g.line("        jr   $ra")
+	return nil
+}
+
+func (g *codegen) block(b *blockStmt) error {
+	for _, s := range b.stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s stmt) error {
+	switch s := s.(type) {
+	case *blockStmt:
+		return g.block(s)
+	case *declStmt:
+		if s.init == nil {
+			return nil // already zeroed in the prologue
+		}
+		if err := g.expr(s.init); err != nil {
+			return err
+		}
+		g.pop("$t0")
+		g.line("        sw   $t0, %d($fp)", g.locals[s.name])
+		return nil
+	case *assignStmt:
+		return g.assign(s)
+	case *ifStmt:
+		if err := g.expr(s.cond); err != nil {
+			return err
+		}
+		g.pop("$t0")
+		elseL, endL := g.label(), g.label()
+		g.line("        beqz $t0, %s", elseL)
+		if err := g.block(s.then); err != nil {
+			return err
+		}
+		g.line("        b    %s", endL)
+		g.line("%s:", elseL)
+		if s.els != nil {
+			if err := g.block(s.els); err != nil {
+				return err
+			}
+		}
+		g.line("%s:", endL)
+		return nil
+	case *whileStmt:
+		headL, endL := g.label(), g.label()
+		g.line("%s:", headL)
+		if err := g.expr(s.cond); err != nil {
+			return err
+		}
+		g.pop("$t0")
+		g.line("        beqz $t0, %s", endL)
+		g.breakLbl = append(g.breakLbl, endL)
+		g.contLbl = append(g.contLbl, headL)
+		err := g.block(s.body)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		if err != nil {
+			return err
+		}
+		g.line("        b    %s", headL)
+		g.line("%s:", endL)
+		return nil
+	case *breakStmt:
+		if len(g.breakLbl) == 0 {
+			return perrf(s.line, "break outside loop")
+		}
+		g.line("        b    %s", g.breakLbl[len(g.breakLbl)-1])
+		return nil
+	case *continueStmt:
+		if len(g.contLbl) == 0 {
+			return perrf(s.line, "continue outside loop")
+		}
+		g.line("        b    %s", g.contLbl[len(g.contLbl)-1])
+		return nil
+	case *returnStmt:
+		if s.value != nil {
+			if err := g.expr(s.value); err != nil {
+				return err
+			}
+			g.pop("$v0")
+		} else {
+			g.line("        li   $v0, 0")
+		}
+		g.line("        b    ret_%s", g.curFn)
+		return nil
+	case *outStmt:
+		if err := g.expr(s.value); err != nil {
+			return err
+		}
+		g.pop("$t0")
+		g.line("        out  $t0")
+		return nil
+	case *exprStmt:
+		if err := g.expr(s.value); err != nil {
+			return err
+		}
+		g.line("        subi $sp, $sp, 1") // discard
+		return nil
+	default:
+		return fmt.Errorf("minic: unknown statement %T", s)
+	}
+}
+
+func (g *codegen) assign(s *assignStmt) error {
+	if s.index == nil {
+		if err := g.expr(s.value); err != nil {
+			return err
+		}
+		g.pop("$t0")
+		if slot, ok := g.locals[s.name]; ok {
+			g.line("        sw   $t0, %d($fp)", slot)
+			return nil
+		}
+		gl, ok := g.glob[s.name]
+		if !ok {
+			return perrf(s.line, "undefined variable %q", s.name)
+		}
+		if gl.size > 0 {
+			return perrf(s.line, "array %q assigned without index", s.name)
+		}
+		g.line("        la   $t1, g_%s", s.name)
+		g.line("        sw   $t0, 0($t1)")
+		return nil
+	}
+	gl, ok := g.glob[s.name]
+	if !ok || gl.size == 0 {
+		return perrf(s.line, "%q is not a global array", s.name)
+	}
+	if err := g.expr(s.index); err != nil {
+		return err
+	}
+	if err := g.expr(s.value); err != nil {
+		return err
+	}
+	g.pop("$t0") // value
+	g.pop("$t1") // index
+	g.line("        la   $t2, g_%s", s.name)
+	g.line("        add  $t2, $t2, $t1")
+	g.line("        sw   $t0, 0($t2)")
+	return nil
+}
+
+func (g *codegen) expr(e expr) error {
+	switch e := e.(type) {
+	case *numberExpr:
+		g.line("        li   $t0, %d", int32(e.value))
+		g.push("$t0")
+		return nil
+	case *varExpr:
+		if slot, ok := g.locals[e.name]; ok {
+			g.line("        lw   $t0, %d($fp)", slot)
+			g.push("$t0")
+			return nil
+		}
+		gl, ok := g.glob[e.name]
+		if !ok {
+			return perrf(e.line, "undefined variable %q", e.name)
+		}
+		if gl.size > 0 {
+			return perrf(e.line, "array %q used without index", e.name)
+		}
+		g.line("        la   $t1, g_%s", e.name)
+		g.line("        lw   $t0, 0($t1)")
+		g.push("$t0")
+		return nil
+	case *indexExpr:
+		gl, ok := g.glob[e.name]
+		if !ok || gl.size == 0 {
+			return perrf(e.line, "%q is not a global array", e.name)
+		}
+		if err := g.expr(e.index); err != nil {
+			return err
+		}
+		g.pop("$t0")
+		g.line("        la   $t1, g_%s", e.name)
+		g.line("        add  $t1, $t1, $t0")
+		g.line("        lw   $t0, 0($t1)")
+		g.push("$t0")
+		return nil
+	case *callExpr:
+		f, ok := g.funcs[e.name]
+		if !ok {
+			return perrf(e.line, "undefined function %q", e.name)
+		}
+		if len(e.args) != len(f.params) {
+			return perrf(e.line, "%q takes %d arguments, got %d", e.name, len(f.params), len(e.args))
+		}
+		for _, a := range e.args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		for i := len(e.args) - 1; i >= 0; i-- {
+			g.pop("$t0")
+			g.line("        move $a%d, $t0", i)
+		}
+		g.line("        jal  fn_%s", e.name)
+		g.push("$v0")
+		return nil
+	case *unaryExpr:
+		if err := g.expr(e.x); err != nil {
+			return err
+		}
+		g.pop("$t0")
+		switch e.op {
+		case "-":
+			g.line("        neg  $t0, $t0")
+		case "!":
+			g.line("        sltu $t0, $0, $t0") // t0 = (x != 0)
+			g.line("        xori $t0, $t0, 1")
+		default:
+			return perrf(e.line, "unknown unary operator %q", e.op)
+		}
+		g.push("$t0")
+		return nil
+	case *binaryExpr:
+		if e.op == "&&" || e.op == "||" {
+			return g.shortCircuit(e)
+		}
+		if err := g.expr(e.x); err != nil {
+			return err
+		}
+		if err := g.expr(e.y); err != nil {
+			return err
+		}
+		g.pop("$t1") // y
+		g.pop("$t0") // x
+		switch e.op {
+		case "+":
+			g.line("        add  $t0, $t0, $t1")
+		case "-":
+			g.line("        sub  $t0, $t0, $t1")
+		case "*":
+			g.line("        mul  $t0, $t0, $t1")
+		case "/":
+			g.line("        div  $t0, $t0, $t1")
+		case "%":
+			g.line("        rem  $t0, $t0, $t1")
+		case "&":
+			g.line("        and  $t0, $t0, $t1")
+		case "|":
+			g.line("        or   $t0, $t0, $t1")
+		case "^":
+			g.line("        xor  $t0, $t0, $t1")
+		case "<<":
+			g.line("        sllv $t0, $t1, $t0") // t0 = t0 << t1
+		case ">>":
+			g.line("        srav $t0, $t1, $t0") // arithmetic, like C int
+		case "<":
+			g.line("        slt  $t0, $t0, $t1")
+		case ">":
+			g.line("        slt  $t0, $t1, $t0")
+		case "<=":
+			g.line("        slt  $t0, $t1, $t0")
+			g.line("        xori $t0, $t0, 1")
+		case ">=":
+			g.line("        slt  $t0, $t0, $t1")
+			g.line("        xori $t0, $t0, 1")
+		case "==":
+			g.line("        xor  $t0, $t0, $t1")
+			g.line("        sltu $t0, $0, $t0")
+			g.line("        xori $t0, $t0, 1")
+		case "!=":
+			g.line("        xor  $t0, $t0, $t1")
+			g.line("        sltu $t0, $0, $t0")
+		default:
+			return perrf(e.line, "unknown operator %q", e.op)
+		}
+		g.push("$t0")
+		return nil
+	default:
+		return fmt.Errorf("minic: unknown expression %T", e)
+	}
+}
+
+// shortCircuit emits && and || with C semantics (0/1 result, right operand
+// evaluated only when needed).
+func (g *codegen) shortCircuit(e *binaryExpr) error {
+	if err := g.expr(e.x); err != nil {
+		return err
+	}
+	g.pop("$t0")
+	skipL, endL := g.label(), g.label()
+	if e.op == "&&" {
+		g.line("        beqz $t0, %s", skipL) // x false -> result 0
+	} else {
+		g.line("        bnez $t0, %s", skipL) // x true -> result 1
+	}
+	if err := g.expr(e.y); err != nil {
+		return err
+	}
+	g.pop("$t0")
+	g.line("        sltu $t0, $0, $t0") // normalise to 0/1
+	g.line("        b    %s", endL)
+	g.line("%s:", skipL)
+	if e.op == "&&" {
+		g.line("        li   $t0, 0")
+	} else {
+		g.line("        li   $t0, 1")
+	}
+	g.line("%s:", endL)
+	g.push("$t0")
+	return nil
+}

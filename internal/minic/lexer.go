@@ -1,0 +1,184 @@
+// Package minic implements a small C-like language compiled to the
+// repository's MIPS-like assembly. The paper obtains its traces by
+// compiling the PowerStone benchmarks and running them on an instrumented
+// MIPS simulator (§3); minic closes that loop for this repository: kernels
+// written in a high-level language pass through a real (if small)
+// compiler, producing the bulkier, frame-and-call-shaped instruction
+// streams compiled code exhibits.
+//
+// Language summary:
+//
+//	int g = 3;              // global scalar with optional initialiser
+//	int tab[64];            // global word array
+//	func add(a, b) {        // functions take 0..4 word params, return int
+//	    int s = a + b;      // locals, declarations anywhere in a block
+//	    return s;
+//	}
+//	func main() {
+//	    int i = 0;
+//	    while (i < 64) {
+//	        tab[i] = add(i, g);
+//	        i = i + 1;
+//	    }
+//	    if (tab[3] == 6) { out(tab[3]); }   // out() emits a word
+//	    return 0;
+//	}
+//
+// Expressions: || && | ^ & == != < <= > >= << >> + - * / % unary - !
+// with C precedence; numbers are decimal or 0x hex; // and /* */ comments.
+// Semantics are 32-bit two's complement; >> is arithmetic (C int).
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and delimiters, in tok.text
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "func": true, "if": true, "else": true,
+	"while": true, "return": true, "out": true, "break": true,
+	"continue": true,
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+}
+
+const singleOps = "+-*/%&|^<>!=;,(){}[]"
+
+// lexError is a scan-time diagnostic.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("minic: line %d: %s", e.line, e.msg) }
+
+// lex tokenises a source file.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, &lexError{line, "unterminated block comment"}
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			k := tokIdent
+			if keywords[word] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: word, line: line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			base := 10
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			start := j
+			for j < n && isDigitIn(src[j], base) {
+				j++
+			}
+			if base == 16 && j == start {
+				return nil, &lexError{line, "malformed hex literal"}
+			}
+			var v int64
+			for _, d := range []byte(src[start:j]) {
+				v = v*int64(base) + int64(digitVal(d))
+				if v > 1<<33 {
+					return nil, &lexError{line, "integer literal too large"}
+				}
+			}
+			if base == 10 {
+				start = i
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, text: src[i:j], line: line})
+			i = j
+		default:
+			matched := false
+			for _, op := range multiOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{kind: tokPunct, text: op, line: line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.IndexByte(singleOps, c) >= 0 {
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+				continue
+			}
+			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isDigitIn(c byte, base int) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if base == 16 {
+		return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return false
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

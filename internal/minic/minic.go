@@ -1,0 +1,35 @@
+package minic
+
+import (
+	"github.com/example/cachedse/internal/asm"
+	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/vm"
+)
+
+// Build compiles a minic source file all the way to a loadable program.
+func Build(src string) (*asm.Program, error) {
+	asmSrc, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(asmSrc)
+}
+
+// Run compiles and executes a minic program with tracing, returning the
+// output words and the separate instruction and data streams. memWords
+// sizes the data memory (grown to fit the data segment), maxSteps bounds
+// execution.
+func Run(src string, memWords int, maxSteps uint64) (out []uint32, instr, data *trace.Trace, err error) {
+	prog, err := Build(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cpu := prog.NewCPU(memWords)
+	col := &vm.Collector{Trace: trace.New(0), IBase: 0}
+	cpu.Tracer = col
+	if err := cpu.Run(maxSteps); err != nil {
+		return nil, nil, nil, err
+	}
+	instr, data = col.Trace.Split()
+	return cpu.Out, instr, data, nil
+}

@@ -1,0 +1,330 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// run compiles and executes a program, returning its out() words.
+func run(t *testing.T, src string) []uint32 {
+	t.Helper()
+	out, _, _, err := Run(src, 1<<16, 10_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out
+}
+
+func wantOut(t *testing.T, src string, want ...uint32) {
+	t.Helper()
+	got := run(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("out = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out = %v (as int32: %d), want %v", got, int32(got[i]), want)
+		}
+	}
+}
+
+func neg(v int32) uint32 { return uint32(v) }
+
+func TestArithmetic(t *testing.T) {
+	wantOut(t, `
+func main() {
+    out(2 + 3 * 4);         // precedence
+    out((2 + 3) * 4);
+    out(10 - 7);
+    out(100 / 7);
+    out(100 % 7);
+    out(-5 + 3);
+}`, 14, 20, 3, 14, 2, neg(-2))
+}
+
+func TestBitOpsAndShifts(t *testing.T) {
+	wantOut(t, `
+func main() {
+    out(0xF0 & 0x3C);
+    out(0xF0 | 0x0F);
+    out(0xFF ^ 0x0F);
+    out(1 << 10);
+    out(1024 >> 3);
+    out(-16 >> 2);           // arithmetic shift
+}`, 0x30, 0xFF, 0xF0, 1024, 128, neg(-4))
+}
+
+func TestComparisons(t *testing.T) {
+	wantOut(t, `
+func main() {
+    out(3 < 5); out(5 < 3); out(3 < 3);
+    out(3 <= 3); out(4 <= 3);
+    out(5 > 3); out(3 > 5);
+    out(3 >= 3); out(2 >= 3);
+    out(7 == 7); out(7 == 8);
+    out(7 != 8); out(7 != 7);
+    out(-1 < 1);             // signed comparison
+}`, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1)
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// Division by zero on the right side must not execute when the left
+	// side decides the result.
+	wantOut(t, `
+func main() {
+    out(0 && (1 / 0));
+    out(1 || (1 / 0));
+    out(1 && 2);             // normalised to 1
+    out(0 || 0);
+    out(!0); out(!5);
+}`, 0, 1, 1, 0, 1, 0)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	wantOut(t, `
+int g = 42;
+int neg = -7;
+int tab[8];
+func main() {
+    out(g);
+    out(neg);
+    tab[3] = g + 1;
+    tab[tab[3] - 42] = 5;    // tab[1] = 5
+    out(tab[3]);
+    out(tab[1]);
+    out(tab[0]);             // zero-filled
+    g = g * 2;
+    out(g);
+}`, 42, neg(-7), 43, 5, 0, 84)
+}
+
+func TestArrayInitializers(t *testing.T) {
+	wantOut(t, `
+int tab[6] = { 10, -20, 0x30 };
+func main() {
+    out(tab[0]);
+    out(tab[1]);
+    out(tab[2]);
+    out(tab[3]);            // beyond the initialisers: zero
+    out(tab[5]);
+}`, 10, neg(-20), 0x30, 0, 0)
+	// Exactly full is fine.
+	wantOut(t, `
+int t2[2] = { 7, 8, };
+func main() { out(t2[0] + t2[1]); }`, 15)
+}
+
+func TestArrayInitializerErrors(t *testing.T) {
+	cases := []string{
+		"int t[2] = { 1, 2, 3 }; func main() {}",
+		"int t[2] = { x }; func main() {}",
+		"int t[2] = 1; func main() {}",
+		"int t[2] = { 1 2 }; func main() {}",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("compiled without error: %s", src)
+		}
+	}
+}
+
+func TestWhileLoopSum(t *testing.T) {
+	wantOut(t, `
+func main() {
+    int i = 1;
+    int sum = 0;
+    while (i <= 100) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    out(sum);
+}`, 5050)
+}
+
+func TestBreakContinue(t *testing.T) {
+	wantOut(t, `
+func main() {
+    int i = 0;
+    int sum = 0;
+    while (1) {
+        i = i + 1;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;       // odd numbers 1..9
+    }
+    out(sum);
+    out(i);
+}`, 25, 11)
+}
+
+func TestIfElseChain(t *testing.T) {
+	wantOut(t, `
+func classify(x) {
+    if (x < 0) { return 0 - 1; }
+    else if (x == 0) { return 0; }
+    else { return 1; }
+}
+func main() {
+    out(classify(-5));
+    out(classify(0));
+    out(classify(17));
+}`, neg(-1), 0, 1)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	wantOut(t, `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func max4(a, b, c, d) {
+    int m = a;
+    if (b > m) { m = b; }
+    if (c > m) { m = c; }
+    if (d > m) { m = d; }
+    return m;
+}
+func main() {
+    out(fib(15));
+    out(max4(3, 9, 2, 7));
+}`, 610, 9)
+}
+
+func TestNestedCallsPreserveArgs(t *testing.T) {
+	wantOut(t, `
+func sub(a, b) { return a - b; }
+func main() {
+    out(sub(sub(10, 3), sub(4, 2)));   // (10-3) - (4-2) = 5
+}`, 5)
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	wantOut(t, `
+func nothing() { }
+func main() { out(nothing()); }`, 0)
+}
+
+func TestLocalZeroInit(t *testing.T) {
+	wantOut(t, `
+func main() {
+    int x;
+    out(x);
+}`, 0)
+}
+
+func TestExpressionStatement(t *testing.T) {
+	wantOut(t, `
+int g = 0;
+func bump() { g = g + 1; return g; }
+func main() {
+    bump();
+    bump();
+    out(g);
+}`, 2)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no main", "func f() { }"},
+		{"undefined var", "func main() { out(x); }"},
+		{"undefined func", "func main() { out(f()); }"},
+		{"arity", "func f(a) { return a; } func main() { out(f()); }"},
+		{"dup function", "func f() {} func f() {} func main() {}"},
+		{"dup global", "int a; int a; func main() {}"},
+		{"dup local", "func main() { int a; int a; }"},
+		{"dup param", "func f(a, a) {} func main() {}"},
+		{"too many params", "func f(a,b,c,d,e) {} func main() {}"},
+		{"global/func clash", "int f; func f() {} func main() {}"},
+		{"array no index", "int t[4]; func main() { out(t); }"},
+		{"scalar indexed", "int s; func main() { s[0] = 1; }"},
+		{"assign to array", "int t[4]; func main() { t = 1; }"},
+		{"break outside loop", "func main() { break; }"},
+		{"continue outside loop", "func main() { continue; }"},
+		{"unterminated block", "func main() { "},
+		{"bad token", "func main() { out(@); }"},
+		{"bad array size", "int t[0]; func main() {}"},
+		{"array size expr", "int t[x]; func main() {}"},
+		{"global init expr", "int g = 1 + 1; func main() {}"},
+		{"unterminated comment", "/* oops\nfunc main() {}"},
+		{"bad hex", "func main() { out(0x); }"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: compiled without error", c.name)
+		}
+	}
+}
+
+func TestErrorsCarryLine(t *testing.T) {
+	_, err := Compile("func main() {\n  out(nope);\n}\n")
+	cerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error %v is not *minic.Error", err)
+	}
+	if cerr.Line != 2 {
+		t.Fatalf("Line = %d, want 2", cerr.Line)
+	}
+}
+
+func TestRuntimeFaultPropagates(t *testing.T) {
+	// Division by zero faults in the VM and must surface as an error.
+	if _, _, _, err := Run("func main() { out(1 / 0); }", 1<<16, 1000); err == nil {
+		t.Fatal("division by zero did not fault")
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	wantOut(t, `func main() { out(0xFF); out(0x10); }`, 255, 16)
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	wantOut(t, `
+// leading comment
+func main() { /* inline */ out(1); // trailing
+    /* multi
+       line */ out(2);
+}`, 1, 2)
+}
+
+func TestCompiledShapeHasFramesAndCalls(t *testing.T) {
+	// The generated assembly should look like compiled code: prologue
+	// stores, jal calls, frame pointer use.
+	asmSrc, err := Compile(`
+func f(a) { return a + 1; }
+func main() { out(f(41)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"jal  fn_f", "move $fp, $sp", "sw   $ra", "jr   $ra", "mc_stack"} {
+		if !strings.Contains(asmSrc, want) {
+			t.Errorf("generated assembly missing %q", want)
+		}
+	}
+}
+
+func TestTracesNonEmpty(t *testing.T) {
+	out, instr, data, err := Run(`
+int tab[32];
+func main() {
+    int i = 0;
+    while (i < 32) { tab[i] = i * i; i = i + 1; }
+    out(tab[31]);
+}`, 1<<16, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 961 {
+		t.Fatalf("out = %v", out)
+	}
+	if instr.Len() == 0 || data.Len() == 0 {
+		t.Fatal("missing trace streams")
+	}
+	// Compiled code is stack-machine shaped: data references dominate
+	// relative to hand assembly.
+	if data.Len() < 100 {
+		t.Fatalf("suspiciously few data refs: %d", data.Len())
+	}
+}

@@ -1,0 +1,229 @@
+package minic
+
+import (
+	"strings"
+)
+
+// Optimisation: two cheap passes that together stand in for a compiler's
+// -O1, so experiments can compare unoptimised and optimised code shapes of
+// the same program (optimisation changes the memory behaviour the cache
+// explorer sees — fewer stack touches, tighter loops).
+//
+//   - constant folding on the AST (pure arithmetic on literals);
+//   - a peephole pass on the generated assembly that removes push/pop
+//     round-trips through the evaluation stack, the stack machine's
+//     dominant waste.
+
+// foldProgram folds constants in every function body.
+func foldProgram(p *program) {
+	for _, f := range p.funcs {
+		foldBlock(f.body)
+	}
+}
+
+func foldBlock(b *blockStmt) {
+	for _, s := range b.stmts {
+		foldStmt(s)
+	}
+}
+
+func foldStmt(s stmt) {
+	switch s := s.(type) {
+	case *blockStmt:
+		foldBlock(s)
+	case *declStmt:
+		if s.init != nil {
+			s.init = foldExpr(s.init)
+		}
+	case *assignStmt:
+		if s.index != nil {
+			s.index = foldExpr(s.index)
+		}
+		s.value = foldExpr(s.value)
+	case *ifStmt:
+		s.cond = foldExpr(s.cond)
+		foldBlock(s.then)
+		if s.els != nil {
+			foldBlock(s.els)
+		}
+	case *whileStmt:
+		s.cond = foldExpr(s.cond)
+		foldBlock(s.body)
+	case *returnStmt:
+		if s.value != nil {
+			s.value = foldExpr(s.value)
+		}
+	case *outStmt:
+		s.value = foldExpr(s.value)
+	case *exprStmt:
+		s.value = foldExpr(s.value)
+	}
+}
+
+func foldExpr(e expr) expr {
+	switch e := e.(type) {
+	case *unaryExpr:
+		e.x = foldExpr(e.x)
+		if n, ok := e.x.(*numberExpr); ok {
+			switch e.op {
+			case "-":
+				return &numberExpr{value: int64(-int32(n.value)), line: e.line}
+			case "!":
+				v := int64(1)
+				if int32(n.value) != 0 {
+					v = 0
+				}
+				return &numberExpr{value: v, line: e.line}
+			}
+		}
+		return e
+	case *binaryExpr:
+		e.x = foldExpr(e.x)
+		e.y = foldExpr(e.y)
+		nx, okx := e.x.(*numberExpr)
+		ny, oky := e.y.(*numberExpr)
+		if !okx || !oky {
+			return e
+		}
+		a, b := int32(nx.value), int32(ny.value)
+		var v int32
+		switch e.op {
+		case "+":
+			v = a + b
+		case "-":
+			v = a - b
+		case "*":
+			v = a * b
+		case "/":
+			if b == 0 {
+				return e // preserve the runtime fault
+			}
+			v = a / b
+		case "%":
+			if b == 0 {
+				return e
+			}
+			v = a % b
+		case "&":
+			v = a & b
+		case "|":
+			v = a | b
+		case "^":
+			v = a ^ b
+		case "<<":
+			v = a << (uint32(b) & 31)
+		case ">>":
+			v = a >> (uint32(b) & 31)
+		case "<":
+			v = boolInt(a < b)
+		case "<=":
+			v = boolInt(a <= b)
+		case ">":
+			v = boolInt(a > b)
+		case ">=":
+			v = boolInt(a >= b)
+		case "==":
+			v = boolInt(a == b)
+		case "!=":
+			v = boolInt(a != b)
+		case "&&":
+			v = boolInt(a != 0 && b != 0)
+		case "||":
+			v = boolInt(a != 0 || b != 0)
+		default:
+			return e
+		}
+		return &numberExpr{value: int64(v), line: e.line}
+	case *indexExpr:
+		e.index = foldExpr(e.index)
+		return e
+	case *callExpr:
+		for i := range e.args {
+			e.args[i] = foldExpr(e.args[i])
+		}
+		return e
+	default:
+		return e
+	}
+}
+
+func boolInt(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// peephole removes push/pop round-trips from generated assembly: the
+// stack-machine sequence
+//
+//	sw   $tX, 0($sp)
+//	addi $sp, $sp, 1
+//	subi $sp, $sp, 1
+//	lw   $tY, 0($sp)
+//
+// becomes a register move (or nothing when X == Y). Only exact shapes the
+// code generator emits are matched, so the pass is safe by construction:
+// the generator never branches into the middle of a push/pop pair.
+func peephole(asmSrc string) string {
+	lines := strings.Split(asmSrc, "\n")
+	var out []string
+	i := 0
+	for i < len(lines) {
+		if i+3 < len(lines) {
+			st, ok1 := matchPush(lines[i], lines[i+1])
+			ld, ok2 := matchPop(lines[i+2], lines[i+3])
+			if ok1 && ok2 && !strings.Contains(lines[i+2], ":") {
+				if st != ld {
+					out = append(out, "        move "+ld+", "+st)
+				}
+				i += 4
+				continue
+			}
+		}
+		out = append(out, lines[i])
+		i++
+	}
+	return strings.Join(out, "\n")
+}
+
+// matchPush recognises "sw $r, 0($sp)" + "addi $sp, $sp, 1".
+func matchPush(a, b string) (reg string, ok bool) {
+	a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+	if !strings.HasPrefix(a, "sw ") || !strings.HasSuffix(a, ", 0($sp)") {
+		return "", false
+	}
+	if b != "addi $sp, $sp, 1" {
+		return "", false
+	}
+	reg = strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(a, "sw")), ", 0($sp)")
+	return reg, true
+}
+
+// matchPop recognises "subi $sp, $sp, 1" + "lw $r, 0($sp)".
+func matchPop(a, b string) (reg string, ok bool) {
+	a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+	if a != "subi $sp, $sp, 1" {
+		return "", false
+	}
+	if !strings.HasPrefix(b, "lw ") || !strings.HasSuffix(b, ", 0($sp)") {
+		return "", false
+	}
+	reg = strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(b, "lw")), ", 0($sp)")
+	return reg, true
+}
+
+// CompileOptimized is Compile with constant folding and the push/pop
+// peephole applied.
+func CompileOptimized(src string) (string, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return "", err
+	}
+	foldProgram(prog)
+	asmSrc, err := generate(prog)
+	if err != nil {
+		return "", err
+	}
+	return peephole(asmSrc), nil
+}

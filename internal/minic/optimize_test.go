@@ -1,0 +1,216 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/example/cachedse/internal/asm"
+	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/vm"
+)
+
+// runOptimized compiles with CompileOptimized and executes.
+func runOptimized(t *testing.T, src string) []uint32 {
+	t.Helper()
+	asmSrc, err := CompileOptimized(src)
+	if err != nil {
+		t.Fatalf("CompileOptimized: %v", err)
+	}
+	prog, err := asm.Assemble(asmSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	cpu := prog.NewCPU(1 << 16)
+	if err := cpu.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return cpu.Out
+}
+
+// sameOutputs compiles src both ways and compares results.
+func sameOutputs(t *testing.T, src string) (plain, opt []uint32) {
+	t.Helper()
+	plain = run(t, src)
+	opt = runOptimized(t, src)
+	if len(plain) != len(opt) {
+		t.Fatalf("output counts differ: %v vs %v", plain, opt)
+	}
+	for i := range plain {
+		if plain[i] != opt[i] {
+			t.Fatalf("output %d differs: %#x vs %#x", i, plain[i], opt[i])
+		}
+	}
+	return plain, opt
+}
+
+func TestOptimizedSemanticsPreserved(t *testing.T) {
+	programs := []string{
+		`func main() { out(2 + 3 * 4 - 1); }`,
+		`func main() { out(-(3 - 10)); out(!0); out(!!7); }`,
+		`func main() { out(1 && 2); out(0 || 3); out(0 && (1/0)); }`,
+		`int tab[16];
+		 func main() {
+		     int i = 0;
+		     while (i < 16) { tab[i] = i * 3 + 1; i = i + 1; }
+		     int s = 0;
+		     i = 0;
+		     while (i < 16) { s = s + tab[i]; i = i + 1; }
+		     out(s);
+		 }`,
+		`func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+		 func main() { out(fib(12)); }`,
+		`func main() {
+		     int i = 0; int sum = 0;
+		     while (1) {
+		         i = i + 1;
+		         if (i > 20) { break; }
+		         if (i % 3 == 0) { continue; }
+		         sum = sum + i;
+		     }
+		     out(sum);
+		 }`,
+	}
+	for i, src := range programs {
+		t.Run(strings.Fields(src)[0]+string(rune('0'+i)), func(t *testing.T) {
+			sameOutputs(t, src)
+		})
+	}
+}
+
+func TestConstantFoldingShrinksCode(t *testing.T) {
+	src := `func main() { out(2 * 3 + 4 * 5 - (6 << 2)); }`
+	plain, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := CompileOptimized(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(opt, "li   $t0, 2\n") {
+		t.Errorf("expected the expression folded to the constant 2:\n%s", opt)
+	}
+	if len(strings.Split(opt, "\n")) >= len(strings.Split(plain, "\n")) {
+		t.Error("optimised listing is not shorter")
+	}
+}
+
+func TestFoldPreservesDivByZeroFault(t *testing.T) {
+	// 1/0 must not be folded away or crash the compiler.
+	asmSrc, err := CompileOptimized(`func main() { out(1 / 0); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := prog.NewCPU(1 << 12)
+	if err := cpu.Run(1000); err == nil {
+		t.Fatal("folded division by zero did not fault at runtime")
+	}
+}
+
+func TestPeepholeRemovesPushPopPairs(t *testing.T) {
+	src := `func main() { int a = 1; int b = 2; out(a + b); }`
+	plain, _ := Compile(src)
+	opt, _ := CompileOptimized(src)
+	count := func(s, sub string) int { return strings.Count(s, sub) }
+	if count(opt, "0($sp)") >= count(plain, "0($sp)") {
+		t.Errorf("peephole removed no stack traffic: %d vs %d",
+			count(opt, "0($sp)"), count(plain, "0($sp)"))
+	}
+}
+
+func TestOptimizedReducesTrace(t *testing.T) {
+	src := `
+int tab[64];
+func main() {
+    int i = 0;
+    while (i < 64) { tab[i] = i * i + 2 * 3; i = i + 1; }
+    out(tab[63]);
+}`
+	_, _, plainData, err := Run(src, 1<<16, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmSrc, err := CompileOptimized(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := prog.NewCPU(1 << 16)
+	col := &vm.Collector{Trace: trace.New(0), IBase: 0}
+	cpu.Tracer = col
+	if err := cpu.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(cpu.Out) != 1 || cpu.Out[0] != 63*63+6 {
+		t.Fatalf("optimised output = %v", cpu.Out)
+	}
+	_, optData := col.Trace.Split()
+	if optData.Len() >= plainData.Len() {
+		t.Fatalf("optimisation did not reduce data traffic: %d vs %d",
+			optData.Len(), plainData.Len())
+	}
+}
+
+// Property: random arithmetic expressions fold to the same value the
+// unoptimised pipeline computes.
+func TestQuickFoldMatchesEvaluation(t *testing.T) {
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", "==", "<<"}
+	f := func(a, b int16, opIdx uint8, c int16) bool {
+		op := ops[int(opIdx)%len(ops)]
+		// Shift amounts must be sane.
+		rhs := int32(b)
+		if op == "<<" {
+			rhs = int32(b) & 7
+		}
+		src := "func main() { out((" +
+			itoa(int32(a)) + " " + op + " " + itoa(rhs) + ") + " + itoa(int32(c)) + "); }"
+		p1, err1 := compileRunOnce(src, Compile)
+		p2, err2 := compileRunOnce(src, CompileOptimized)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return len(p1) == 1 && len(p2) == 1 && p1[0] == p2[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int32) string {
+	if v < 0 {
+		return "(0 - " + itoa(-v) + ")"
+	}
+	s := ""
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		s = string(rune('0'+v%10)) + s
+		v /= 10
+	}
+	return s
+}
+
+func compileRunOnce(src string, compile func(string) (string, error)) ([]uint32, error) {
+	asmSrc, err := compile(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(asmSrc)
+	if err != nil {
+		return nil, err
+	}
+	cpu := prog.NewCPU(1 << 14)
+	if err := cpu.Run(1_000_000); err != nil {
+		return nil, err
+	}
+	return cpu.Out, nil
+}

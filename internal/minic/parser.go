@@ -1,0 +1,433 @@
+package minic
+
+import "fmt"
+
+// Recursive-descent parser with C expression precedence.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Error is a compile-time diagnostic with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func perrf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return perrf(p.cur().line, "expected %q, got %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", perrf(t.line, "expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		switch p.cur().text {
+		case "int":
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case "func":
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, perrf(p.cur().line, "expected declaration, got %q", p.cur().text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) globalDecl() (*globalDecl, error) {
+	line := p.cur().line
+	p.pos++ // "int"
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name, line: line}
+	if p.accept("[") {
+		t := p.cur()
+		if t.kind != tokNumber || t.num < 1 {
+			return nil, perrf(t.line, "array size must be a positive literal")
+		}
+		p.pos++
+		g.size = int(t.num)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if p.accept("=") {
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.accept("}") {
+				neg := p.accept("-")
+				v := p.cur()
+				if v.kind != tokNumber {
+					return nil, perrf(v.line, "array initialiser must be a literal list")
+				}
+				p.pos++
+				val := v.num
+				if neg {
+					val = -val
+				}
+				g.elems = append(g.elems, val)
+				if !p.accept(",") && p.cur().text != "}" {
+					return nil, perrf(p.cur().line, "expected ',' or '}' in initialiser")
+				}
+			}
+			if len(g.elems) > g.size {
+				return nil, perrf(line, "array %q has %d initialisers for %d elements",
+					name, len(g.elems), g.size)
+			}
+		}
+	} else if p.accept("=") {
+		neg := p.accept("-")
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, perrf(t.line, "global initialiser must be a literal")
+		}
+		p.pos++
+		g.init = t.num
+		if neg {
+			g.init = -g.init
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) funcDecl() (*funcDecl, error) {
+	line := p.cur().line
+	p.pos++ // "func"
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name, line: line}
+	if !p.accept(")") {
+		for {
+			param, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.params = append(f.params, param)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(f.params) > 4 {
+		return nil, perrf(line, "function %q has %d parameters; at most 4 supported", name, len(f.params))
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, perrf(p.cur().line, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.text == "int":
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &declStmt{name: name, line: t.line}
+		if p.accept("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		return d, p.expect(";")
+	case t.text == "if":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: t.line}
+		if p.accept("else") {
+			if p.cur().text == "if" {
+				// else-if chains wrap the nested if in a synthetic block.
+				nested, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				s.els = &blockStmt{stmts: []stmt{nested}}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				s.els = els
+			}
+		}
+		return s, nil
+	case t.text == "while":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+	case t.text == "return":
+		p.pos++
+		s := &returnStmt{line: t.line}
+		if p.cur().text != ";" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.value = e
+		}
+		return s, p.expect(";")
+	case t.text == "out":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &outStmt{value: e, line: t.line}, p.expect(";")
+	case t.text == "break":
+		p.pos++
+		return &breakStmt{line: t.line}, p.expect(";")
+	case t.text == "continue":
+		p.pos++
+		return &continueStmt{line: t.line}, p.expect(";")
+	case t.text == "{":
+		return p.block()
+	case t.kind == tokIdent:
+		// assignment or expression statement: disambiguate by lookahead.
+		save := p.pos
+		name := t.text
+		p.pos++
+		if p.accept("=") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &assignStmt{name: name, value: v, line: t.line}, p.expect(";")
+		}
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if p.accept("=") {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &assignStmt{name: name, index: idx, value: v, line: t.line}, p.expect(";")
+			}
+		}
+		// Not an assignment: re-parse as an expression statement.
+		p.pos = save
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{value: e, line: t.line}, p.expect(";")
+	default:
+		return nil, perrf(t.line, "unexpected token %q", t.text)
+	}
+}
+
+// Expression parsing: precedence climbing.
+
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		prec, ok := precedence[op]
+		if p.cur().kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		line := p.cur().line
+		p.pos++
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, x: lhs, y: rhs, line: line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		return &numberExpr{value: t.num, line: t.line}, nil
+	case t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokIdent:
+		p.pos++
+		name := t.text
+		if p.accept("(") {
+			call := &callExpr{name: name, line: t.line}
+			if !p.accept(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, a)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: name, index: idx, line: t.line}, p.expect("]")
+		}
+		return &varExpr{name: name, line: t.line}, nil
+	default:
+		return nil, perrf(t.line, "unexpected token %q in expression", t.text)
+	}
+}

@@ -1,0 +1,124 @@
+package minicbench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/example/cachedse/internal/powerstone"
+)
+
+// Additional compiled kernels: adpcm (table-driven codec with clamping and
+// state) and engine (fixed-point bilinear interpolation) — control-heavy
+// code where compilation reshapes the branch and stack structure most.
+
+// Adpcm mirrors the IMA ADPCM kernel, including its three output words
+// (code sum, reconstruction sum, final index). The step and index tables
+// come from the hand-assembly kernel's exported data, embedded via minic
+// array initialisers.
+var Adpcm = &Kernel{
+	Name:     "adpcm",
+	MemWords: 1 << 16,
+	MaxSteps: 20_000_000,
+	Source:   adpcmSource(),
+}
+
+func adpcmSource() string {
+	var steps, idx []string
+	for _, v := range powerstone.AdpcmStepTable {
+		steps = append(steps, fmt.Sprintf("%d", v))
+	}
+	for _, v := range powerstone.AdpcmIndexTable {
+		idx = append(idx, fmt.Sprintf("%d", v))
+	}
+	return lcgSrc + fmt.Sprintf(`
+int steps[89] = { %s };
+int idxtab[8] = { %s };
+func clamp(v) {
+    if (v > 32767) { return 32767; }
+    if (v < -32768) { return -32768; }
+    return v;
+}
+func main() {
+    lcg_state = 20011;
+    int index = 0;
+    int predicted = 0;
+    int sample = 0;
+    int codeSum = 0;
+    int recSum = 0;
+    int i = 0;
+    while (i < 400) {
+        sample = clamp(sample + (lcg() & 0x3FF) - 512);
+        int diff = sample - predicted;
+        int code = 0;
+        if (diff < 0) { code = 8; diff = -diff; }
+        int step = steps[index];
+        if (diff >= step) { code = code | 4; diff = diff - step; }
+        if (diff >= step >> 1) { code = code | 2; diff = diff - (step >> 1); }
+        if (diff >= step >> 2) { code = code | 1; }
+        int diffq = step >> 3;
+        if (code & 4) { diffq = diffq + step; }
+        if (code & 2) { diffq = diffq + (step >> 1); }
+        if (code & 1) { diffq = diffq + (step >> 2); }
+        if (code & 8) { predicted = predicted - diffq; }
+        else { predicted = predicted + diffq; }
+        predicted = clamp(predicted);
+        index = index + idxtab[code & 7];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        codeSum = codeSum + code;
+        recSum = recSum + predicted;
+        i = i + 1;
+    }
+    out(codeSum);
+    out(recSum);
+    out(index);
+}`, strings.Join(steps, ", "), strings.Join(idx, ", "))
+}
+
+// Engine mirrors the spark-advance controller: 8x8 calibration map,
+// fixed-point bilinear interpolation, saturating dwell integrator. The map
+// is computed at startup with the same formula the hand kernel embeds as
+// data.
+var Engine = &Kernel{
+	Name:     "engine",
+	MemWords: 1 << 16,
+	MaxSteps: 20_000_000,
+	Source: `
+int map[64];
+func main() {
+    int r = 0;
+    while (r < 64) {
+        map[r] = (r * 3) % 50 + 5;
+        r = r + 1;
+    }
+    int advance = 0;
+    int dwell = 0;
+    int t = 0;
+    while (t < 256) {
+        int rpm = (t * 37) % 1792;
+        int load = (t * 53) % 1792;
+        int ri = rpm >> 8;
+        int fr = rpm & 255;
+        int li = load >> 8;
+        int fl = load & 255;
+        int base = ri * 8 + li;
+        int a = map[base];
+        int b = map[base + 8];
+        int c = map[base + 1];
+        int d = map[base + 9];
+        int top = a * (256 - fr) + b * fr;
+        int bot = c * (256 - fr) + d * fr;
+        int val = (top * (256 - fl) + bot * fl) >> 16;
+        advance = advance + val;
+        dwell = dwell + val - 20;
+        if (dwell < 0) { dwell = 0; }
+        t = t + 1;
+    }
+    out(advance);
+    out(dwell);
+}`,
+}
+
+func init() {
+	Kernels = append(Kernels, Adpcm, Engine)
+}

@@ -1,0 +1,303 @@
+package minicbench
+
+// The remaining kernels of the suite in minic, completing compiled
+// variants of all 12 PowerStone benchmarks. Each mirrors the Go reference
+// of its hand-assembly counterpart exactly (same LCG seeds, same
+// parameters, same output words). Logical right shifts are composed from
+// minic's arithmetic >> plus a mask.
+
+// Bcnt: nibble-table bit counting.
+var Bcnt = &Kernel{
+	Name:     "bcnt",
+	MemWords: 1 << 16,
+	MaxSteps: 40_000_000,
+	Source: lcgSrc + `
+int nib[16] = { 0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4 };
+int buf[512];
+func main() {
+    lcg_state = 99;
+    int i = 0;
+    while (i < 512) { buf[i] = lcg(); i = i + 1; }
+    int total = 0;
+    i = 0;
+    while (i < 512) {
+        int w = buf[i];
+        int n = 0;
+        while (n < 8) {
+            total = total + nib[w & 0xF];
+            w = (w >> 4) & 0xFFFFFFF;
+            n = n + 1;
+        }
+        i = i + 1;
+    }
+    out(total);
+}`,
+}
+
+// Blit: shift-and-carry bit block transfer with checksum pass.
+var Blit = &Kernel{
+	Name:     "blit",
+	MemWords: 1 << 16,
+	MaxSteps: 40_000_000,
+	Source: lcgSrc + `
+int src[128];
+int dst[192];
+func main() {
+    lcg_state = 616161;
+    int i = 0;
+    while (i < 128) { src[i] = lcg(); i = i + 1; }
+    int row = 0;
+    while (row < 16) {
+        int carry = 0;
+        int w = 0;
+        while (w < 8) {
+            int v = src[row * 8 + w];
+            dst[row * 12 + w] = dst[row * 12 + w] | ((v << 5) | carry);
+            carry = (v >> 27) & 31;
+            w = w + 1;
+        }
+        dst[row * 12 + 8] = dst[row * 12 + 8] | carry;
+        row = row + 1;
+    }
+    int sum = 0;
+    i = 0;
+    while (i < 192) {
+        sum = sum + dst[i] * (i + 3);
+        i = i + 1;
+    }
+    out(sum);
+}`,
+}
+
+// Compress: LZW with linear dictionary search, three output words.
+var Compress = &Kernel{
+	Name:     "compress",
+	MemWords: 1 << 16,
+	MaxSteps: 80_000_000,
+	Source: lcgSrc + `
+int parent[256];
+int symb[256];
+func nextsym() {
+    return (lcg() >> 9) & 3;
+}
+func main() {
+    lcg_state = 424242;
+    int size = 4;
+    int count = 0;
+    int sum = 0;
+    int w = nextsym();
+    int i = 1;
+    while (i < 600) {
+        int c = nextsym();
+        int e = 4;
+        int found = 0;
+        while (e < size) {
+            if (parent[e] == w && symb[e] == c) {
+                w = e;
+                found = 1;
+                break;
+            }
+            e = e + 1;
+        }
+        if (!found) {
+            count = count + 1;
+            sum = sum + w;
+            if (size < 256) {
+                parent[size] = w;
+                symb[size] = c;
+                size = size + 1;
+            }
+            w = c;
+        }
+        i = i + 1;
+    }
+    count = count + 1;
+    sum = sum + w;
+    out(count);
+    out(sum);
+    out(size);
+}`,
+}
+
+// Des: 16-round Feistel with S-box lookups, two output words.
+var Des = &Kernel{
+	Name:     "des",
+	MemWords: 1 << 16,
+	MaxSteps: 80_000_000,
+	Source: lcgSrc + `
+int sbox[128];
+int rkey[16];
+func main() {
+    lcg_state = 777;
+    int i = 0;
+    while (i < 128) { sbox[i] = lcg() & 0xF; i = i + 1; }
+    i = 0;
+    while (i < 16) { rkey[i] = lcg(); i = i + 1; }
+    int sumL = 0;
+    int sumR = 0;
+    int blk = 0;
+    while (blk < 48) {
+        int l = lcg();
+        int r = lcg();
+        int round = 0;
+        while (round < 16) {
+            int t = r ^ rkey[round];
+            int f = 0;
+            int s = 0;
+            while (s < 8) {
+                int shift = 4 * s;
+                int nibv = (t >> shift) & 0xF;
+                f = f | (sbox[16 * s + nibv] << shift);
+                s = s + 1;
+            }
+            f = (f << 1) | ((f >> 31) & 1);
+            int newr = l ^ f;
+            l = r;
+            r = newr;
+            round = round + 1;
+        }
+        sumL = sumL + l;
+        sumR = sumR + r;
+        blk = blk + 1;
+    }
+    out(sumL);
+    out(sumR);
+}`,
+}
+
+// G3fax: run-length fax decode plus checksum pass, two output words.
+var G3fax = &Kernel{
+	Name:     "g3fax",
+	MemWords: 1 << 16,
+	MaxSteps: 80_000_000,
+	Source: lcgSrc + `
+int runs[16] = { 1,2,3,4,5,7,9,11,14,18,23,29,37,47,60,64 };
+int bmp[2048];
+func main() {
+    lcg_state = 3131;
+    int total = 2048;
+    int cursor = 0;
+    int colour = 0;
+    while (cursor < total) {
+        int run = runs[lcg() & 0xF];
+        while (run > 0 && cursor < total) {
+            bmp[cursor] = colour;
+            cursor = cursor + 1;
+            run = run - 1;
+        }
+        if (cursor < total) { colour = colour ^ 1; }
+    }
+    int checksum = 0;
+    int black = 0;
+    int i = 0;
+    while (i < total) {
+        black = black + bmp[i];
+        checksum = checksum + (i * 7 + 1) * bmp[i];
+        i = i + 1;
+    }
+    out(checksum);
+    out(black);
+}`,
+}
+
+// Pocsag: BCH(31,21) encode, corrupt, decode; two output words.
+var Pocsag = &Kernel{
+	Name:     "pocsag",
+	MemWords: 1 << 16,
+	MaxSteps: 40_000_000,
+	Source: lcgSrc + `
+int batch[64];
+func syndrome(w) {
+    int bit = 30;
+    while (bit >= 10) {
+        if ((w >> bit) & 1) {
+            w = w ^ (0x769 << (bit - 10));
+        }
+        bit = bit - 1;
+    }
+    return w;
+}
+func main() {
+    lcg_state = 555;
+    int i = 0;
+    while (i < 64) {
+        int v = lcg();
+        int data = (v >> 11) & 0x1FFFFF;
+        int cw = data << 10;
+        cw = cw | syndrome(cw);
+        if (i % 3 == 0) {
+            int pos = v & 31;
+            if (pos == 31) { pos = 0; }
+            cw = cw ^ (1 << pos);
+        }
+        batch[i] = cw;
+        i = i + 1;
+    }
+    int valid = 0;
+    int sum = 0;
+    i = 0;
+    while (i < 64) {
+        int s = syndrome(batch[i]);
+        sum = sum + s;
+        if (s == 0) { valid = valid + 1; }
+        i = i + 1;
+    }
+    out(valid);
+    out(sum);
+}`,
+}
+
+// Qurt: quadratic roots via bit-by-bit integer square root; two outputs.
+var Qurt = &Kernel{
+	Name:     "qurt",
+	MemWords: 1 << 16,
+	MaxSteps: 40_000_000,
+	Source: lcgSrc + `
+int coef[192];
+func isqrt(num) {
+    int res = 0;
+    int bit = 1 << 30;
+    while (bit > num) {
+        if (bit == 0) { return res; }
+        bit = (bit >> 2) & 0x3FFFFFFF;
+    }
+    while (bit != 0) {
+        if (num >= res + bit) {
+            num = num - (res + bit);
+            res = ((res >> 1) & 0x7FFFFFFF) + bit;
+        } else {
+            res = (res >> 1) & 0x7FFFFFFF;
+        }
+        bit = (bit >> 2) & 0x3FFFFFFF;
+    }
+    return res;
+}
+func main() {
+    lcg_state = 8888;
+    int i = 0;
+    while (i < 192) { coef[i] = lcg() & 0xFF; i = i + 1; }
+    int count = 0;
+    int sum = 0;
+    i = 0;
+    while (i < 64) {
+        int a = (coef[3 * i] & 0xF) + 1;
+        int b = coef[3 * i + 1] - 128;
+        int c = coef[3 * i + 2] - 128;
+        int disc = b * b - 4 * a * c;
+        if (disc >= 0) {
+            int s = isqrt(disc);
+            int r1 = (-b + s) / (2 * a);
+            int r2 = (-b - s) / (2 * a);
+            sum = sum + r1 + r2;
+            count = count + 1;
+        }
+        i = i + 1;
+    }
+    out(count);
+    out(sum);
+}`,
+}
+
+func init() {
+	Kernels = append(Kernels, Bcnt, Blit, Compress, Des, G3fax, Pocsag, Qurt)
+}

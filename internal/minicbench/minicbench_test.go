@@ -1,0 +1,126 @@
+package minicbench
+
+import (
+	"testing"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/powerstone"
+)
+
+// The load-bearing property: the compiled kernels produce bit-for-bit the
+// same results as their hand-assembly counterparts, so any difference in
+// their traces is purely a code-shape (compiler) effect.
+func TestCompiledMatchesHandAssembly(t *testing.T) {
+	for _, k := range Kernels {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := k.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := powerstone.Get(k.Name)
+			if ps == nil {
+				t.Fatalf("no hand-assembly counterpart for %q", k.Name)
+			}
+			want := ps.Reference()
+			if len(res.Out) != len(want) {
+				t.Fatalf("compiled %s emitted %d words, reference has %d (%v vs %v)",
+					k.Name, len(res.Out), len(want), res.Out, want)
+			}
+			for i := range want {
+				if res.Out[i] != want[i] {
+					t.Fatalf("compiled %s output[%d] = %#x, hand-assembly reference %#x",
+						k.Name, i, res.Out[i], want[i])
+				}
+			}
+			t.Logf("%s: N_instr=%d N_data=%d (compiled)", k.Name, res.Instr.Len(), res.Data.Len())
+		})
+	}
+}
+
+// Optimised compilation must preserve results while shrinking the trace.
+func TestOptimizedKernels(t *testing.T) {
+	for _, k := range Kernels {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			plain, err := k.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := k.RunOptimized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plain.Out) != len(opt.Out) {
+				t.Fatalf("output counts differ")
+			}
+			for i := range plain.Out {
+				if plain.Out[i] != opt.Out[i] {
+					t.Fatalf("output %d: %#x vs %#x", i, plain.Out[i], opt.Out[i])
+				}
+			}
+			if opt.Instr.Len() >= plain.Instr.Len() {
+				t.Errorf("O1 executed %d instructions, O0 %d; expected fewer", opt.Instr.Len(), plain.Instr.Len())
+			}
+			if opt.Data.Len() >= plain.Data.Len() {
+				t.Errorf("O1 made %d data refs, O0 %d; expected fewer", opt.Data.Len(), plain.Data.Len())
+			}
+			t.Logf("%s: O0 %d/%d refs, O1 %d/%d refs (I/D)",
+				k.Name, plain.Instr.Len(), plain.Data.Len(), opt.Instr.Len(), opt.Data.Len())
+		})
+	}
+}
+
+func TestGet(t *testing.T) {
+	if Get("fir") != Fir || Get("nosuch") != nil {
+		t.Fatal("Get lookup broken")
+	}
+}
+
+// Compiled code is bulkier and more data-hungry than hand assembly: more
+// instructions executed and far more data references (stack traffic).
+func TestCompilerEffectOnTraces(t *testing.T) {
+	cres, err := Fir.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := powerstone.Get("fir").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Instr.Len() <= hres.Instr.Len() {
+		t.Errorf("compiled fir executed %d instructions, hand assembly %d; expected compiled > hand",
+			cres.Instr.Len(), hres.Instr.Len())
+	}
+	if cres.Data.Len() <= hres.Data.Len() {
+		t.Errorf("compiled fir made %d data refs, hand assembly %d; expected compiled > hand",
+			cres.Data.Len(), hres.Data.Len())
+	}
+}
+
+// The analytical pipeline handles compiled traces identically: emitted
+// instances verify against the simulator.
+func TestCompiledTracesExplore(t *testing.T) {
+	res, err := Crc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Explore(res.Data, core.Options{MaxDepth: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 100
+	for _, ins := range r.OptimalSet(k) {
+		sim, err := cache.Simulate(cache.Config{Depth: ins.Depth, Assoc: ins.Assoc}, res.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Misses != r.Level(ins.Depth).Misses(ins.Assoc) {
+			t.Fatalf("%v: analytical %d != simulated %d", ins, r.Level(ins.Depth).Misses(ins.Assoc), sim.Misses)
+		}
+		if sim.Misses > k {
+			t.Fatalf("%v: budget violated", ins)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package onepass implements single-pass cache evaluation via the stack
+// distance (reuse distance) algorithm of Mattson, Gecsei, Slutz and Traiger
+// — reference [17] of the paper, and the technique behind the "one-pass"
+// related work the paper contrasts itself with ([16][17], §1).
+//
+// For a fixed depth D, one pass over the trace yields the non-cold miss
+// count of *every* associativity A at once: a reference hits an A-way LRU
+// set iff fewer than A distinct other addresses mapping to the same set
+// were touched since its previous occurrence. Recording a histogram of
+// those per-set stack distances therefore evaluates the whole associativity
+// axis in one sweep.
+//
+// The package serves as an independent oracle for internal/core: the
+// analytical postlude phase must produce exactly these counts.
+package onepass
+
+import (
+	"fmt"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Profile is the result of one pass at a fixed depth: a histogram of LRU
+// stack distances over the non-cold references.
+type Profile struct {
+	// Depth is the cache depth (number of sets) profiled.
+	Depth int
+	// Cold is the number of cold (first-touch) references.
+	Cold int
+	// Hist[d] counts non-cold references whose set-relative stack distance
+	// is d: exactly d distinct other addresses of the same set were touched
+	// since the reference's previous occurrence. A reference with distance
+	// d hits in every cache with A > d and misses in every cache with
+	// A <= d.
+	Hist []int
+	// Accesses is the trace length.
+	Accesses int
+}
+
+// Misses returns the number of non-cold misses an A-way LRU cache of this
+// depth incurs: the tail mass of the histogram at and above A.
+func (p *Profile) Misses(assoc int) int {
+	if assoc < 1 {
+		panic(fmt.Sprintf("onepass: associativity %d < 1", assoc))
+	}
+	m := 0
+	for d := assoc; d < len(p.Hist); d++ {
+		m += p.Hist[d]
+	}
+	return m
+}
+
+// MaxAssoc returns the smallest associativity with zero non-cold misses at
+// this depth (the paper's A_zero for the whole level).
+func (p *Profile) MaxAssoc() int {
+	for d := len(p.Hist) - 1; d >= 0; d-- {
+		if p.Hist[d] != 0 {
+			return d + 1
+		}
+	}
+	return 1
+}
+
+// MinAssoc returns the smallest associativity whose non-cold miss count is
+// at most k. The result is at most MaxAssoc().
+func (p *Profile) MinAssoc(k int) int {
+	if k < 0 {
+		k = 0
+	}
+	// Walk the histogram from the top: tail(A) = misses with assoc A.
+	tail := 0
+	for d := len(p.Hist) - 1; d >= 1; d-- {
+		if tail+p.Hist[d] > k {
+			// Associativity d+1 keeps tail <= k; d does not.
+			return d + 1
+		}
+		tail += p.Hist[d]
+	}
+	return 1
+}
+
+// Run profiles a trace at the given depth (must be a power of two >= 1).
+func Run(t *trace.Trace, depth int) (*Profile, error) {
+	if depth < 1 || depth&(depth-1) != 0 {
+		return nil, fmt.Errorf("onepass: depth %d is not a power of two >= 1", depth)
+	}
+	p := &Profile{Depth: depth, Accesses: t.Len()}
+	mask := uint32(depth - 1)
+	// Per-set LRU stacks of addresses, most recent first.
+	stacks := make([][]uint32, depth)
+	for _, r := range t.Refs {
+		idx := r.Addr & mask
+		stack := stacks[idx]
+		pos := -1
+		for i, a := range stack {
+			if a == r.Addr {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			p.Cold++
+			stacks[idx] = append(stack, 0)
+			stack = stacks[idx]
+			copy(stack[1:], stack)
+			stack[0] = r.Addr
+			continue
+		}
+		if pos >= len(p.Hist) {
+			grown := make([]int, pos+1)
+			copy(grown, p.Hist)
+			p.Hist = grown
+		}
+		p.Hist[pos]++
+		copy(stack[1:pos+1], stack[:pos])
+		stack[0] = r.Addr
+	}
+	return p, nil
+}
+
+// Sweep profiles the trace at every power-of-two depth from 1 to maxDepth
+// inclusive.
+func Sweep(t *trace.Trace, maxDepth int) ([]*Profile, error) {
+	if maxDepth < 1 || maxDepth&(maxDepth-1) != 0 {
+		return nil, fmt.Errorf("onepass: maxDepth %d is not a power of two >= 1", maxDepth)
+	}
+	var out []*Profile
+	for d := 1; d <= maxDepth; d *= 2 {
+		p, err := Run(t, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

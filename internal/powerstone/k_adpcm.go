@@ -1,0 +1,210 @@
+package powerstone
+
+import (
+	"fmt"
+	"strings"
+)
+
+// adpcm: IMA ADPCM speech codec. The kernel encodes a 400-sample synthetic
+// waveform (an LCG-driven random walk, clamped to 16 bits) into 4-bit
+// codes, reconstructing the predictor exactly as a decoder would, and emits
+// the code sum, the running sum of reconstructed samples and the final step
+// index.
+
+const (
+	adpcmSamples = 400
+	adpcmSeed    = 20011
+)
+
+// AdpcmStepTable is the standard 89-entry IMA ADPCM step size table,
+// exported so the minic-compiled variant can embed the same data.
+var AdpcmStepTable = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// AdpcmIndexTable adjusts the step index from the low three code bits.
+var AdpcmIndexTable = [8]int32{-1, -1, -1, -1, 2, 4, 6, 8}
+
+func adpcmSource() string {
+	var steps []string
+	for _, v := range AdpcmStepTable {
+		steps = append(steps, fmt.Sprintf("%d", v))
+	}
+	var idx []string
+	for _, v := range AdpcmIndexTable {
+		idx = append(idx, fmt.Sprintf("%d", v))
+	}
+	return fmt.Sprintf(`
+        .data
+steps:  .word %s
+idxtab: .word %s
+        .text
+main:   li   $s7, %d
+        la   $s0, steps
+        la   $s1, idxtab
+        li   $s2, 0                # step index
+        li   $s3, 0                # predicted sample
+        li   $s4, 0                # code sum
+        li   $s5, 0                # reconstruction sum
+        li   $k0, 0                # random-walk sample
+        li   $s6, 0                # i
+loop:   jal  lcg
+        andi $v0, $v0, 0x3FF
+        subi $v0, $v0, 512
+        add  $k0, $k0, $v0
+        li   $at, 32767
+        ble  $k0, $at, c1
+        move $k0, $at
+c1:     li   $at, -32768
+        bge  $k0, $at, c2
+        move $k0, $at
+c2:     sub  $t0, $k0, $s3         # diff
+        li   $t1, 0                # code
+        bge  $t0, $0, pos
+        li   $t1, 8
+        neg  $t0, $t0
+pos:    add  $t2, $s0, $s2
+        lw   $t2, 0($t2)           # step
+        blt  $t0, $t2, b4
+        ori  $t1, $t1, 4
+        sub  $t0, $t0, $t2
+b4:     srl  $t3, $t2, 1
+        blt  $t0, $t3, b2
+        ori  $t1, $t1, 2
+        sub  $t0, $t0, $t3
+b2:     srl  $t3, $t2, 2
+        blt  $t0, $t3, b1
+        ori  $t1, $t1, 1
+b1:     srl  $t4, $t2, 3           # diffq = step>>3
+        andi $t5, $t1, 4
+        beqz $t5, r4
+        add  $t4, $t4, $t2
+r4:     andi $t5, $t1, 2
+        beqz $t5, r2
+        srl  $t6, $t2, 1
+        add  $t4, $t4, $t6
+r2:     andi $t5, $t1, 1
+        beqz $t5, r1
+        srl  $t6, $t2, 2
+        add  $t4, $t4, $t6
+r1:     andi $t5, $t1, 8
+        beqz $t5, plus
+        sub  $s3, $s3, $t4
+        b    clampp
+plus:   add  $s3, $s3, $t4
+clampp: li   $at, 32767
+        ble  $s3, $at, d1
+        move $s3, $at
+d1:     li   $at, -32768
+        bge  $s3, $at, d2
+        move $s3, $at
+d2:     andi $t5, $t1, 7
+        add  $t6, $s1, $t5
+        lw   $t6, 0($t6)
+        add  $s2, $s2, $t6
+        bge  $s2, $0, e1
+        li   $s2, 0
+e1:     li   $at, 88
+        ble  $s2, $at, e2
+        move $s2, $at
+e2:     add  $s4, $s4, $t1
+        add  $s5, $s5, $s3
+        addi $s6, $s6, 1
+        li   $at, %d
+        bne  $s6, $at, loop
+        out  $s4
+        out  $s5
+        out  $s2
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`, strings.Join(steps, ","), strings.Join(idx, ","), adpcmSeed, adpcmSamples)
+}
+
+func adpcmReference() []uint32 {
+	rng := lcg(adpcmSeed)
+	var (
+		index, predicted, sample int32
+		codeSum, recSum          uint32
+	)
+	clamp := func(v int32) int32 {
+		if v > 32767 {
+			return 32767
+		}
+		if v < -32768 {
+			return -32768
+		}
+		return v
+	}
+	for i := 0; i < adpcmSamples; i++ {
+		sample = clamp(sample + int32(rng.next()&0x3FF) - 512)
+		diff := sample - predicted
+		code := int32(0)
+		if diff < 0 {
+			code = 8
+			diff = -diff
+		}
+		step := AdpcmStepTable[index]
+		if diff >= step {
+			code |= 4
+			diff -= step
+		}
+		if diff >= step>>1 {
+			code |= 2
+			diff -= step >> 1
+		}
+		if diff >= step>>2 {
+			code |= 1
+		}
+		diffq := step >> 3
+		if code&4 != 0 {
+			diffq += step
+		}
+		if code&2 != 0 {
+			diffq += step >> 1
+		}
+		if code&1 != 0 {
+			diffq += step >> 2
+		}
+		if code&8 != 0 {
+			predicted -= diffq
+		} else {
+			predicted += diffq
+		}
+		predicted = clamp(predicted)
+		index += AdpcmIndexTable[code&7]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		codeSum += uint32(code)
+		recSum += uint32(predicted)
+	}
+	return []uint32{codeSum, recSum, uint32(index)}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "adpcm",
+		Description: "IMA ADPCM encode with in-loop reconstruction",
+		Source:      adpcmSource,
+		Reference:   adpcmReference,
+		MemWords:    512,
+		MaxSteps:    2_000_000,
+	})
+}

@@ -1,0 +1,75 @@
+package powerstone
+
+// bcnt: bit counting over a word buffer via a 16-entry nibble population
+// table, the table-lookup variant the original PowerStone bcnt exercises.
+
+const bcntBufLen = 512
+const bcntSeed = 99
+
+func bcntSource() string {
+	return `
+        .data
+nib:    .word 0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4
+buf:    .space 512
+        .text
+main:   li   $s7, 99
+        la   $s2, buf
+        li   $s1, 512
+        li   $t0, 0
+fill:   jal  lcg
+        add  $t4, $s2, $t0
+        sw   $v0, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $s1, fill
+
+        la   $s0, nib
+        li   $s3, 0                # total
+        li   $t0, 0
+loop:   add  $t4, $s2, $t0
+        lw   $t5, 0($t4)
+        li   $t6, 8                # nibbles per word
+nl:     andi $t7, $t5, 0xF
+        add  $t8, $s0, $t7
+        lw   $t9, 0($t8)
+        add  $s3, $s3, $t9
+        srl  $t5, $t5, 4
+        subi $t6, $t6, 1
+        bnez $t6, nl
+        addi $t0, $t0, 1
+        bne  $t0, $s1, loop
+        out  $s3
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`
+}
+
+func bcntReference() []uint32 {
+	nib := [16]uint32{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4}
+	rng := lcg(bcntSeed)
+	total := uint32(0)
+	for i := 0; i < bcntBufLen; i++ {
+		w := rng.next()
+		for n := 0; n < 8; n++ {
+			total += nib[w&0xF]
+			w >>= 4
+		}
+	}
+	return []uint32{total}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "bcnt",
+		Description: "nibble-table bit counting over a random word buffer",
+		Source:      bcntSource,
+		Reference:   bcntReference,
+		MemWords:    1024,
+		MaxSteps:    2_000_000,
+	})
+}

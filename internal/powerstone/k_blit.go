@@ -1,0 +1,115 @@
+package powerstone
+
+// blit: image block transfer (the paper: "an image rendering algorithm
+// called blit"). The kernel ORs a 16-row × 8-word source bitmap into a
+// wider destination at a 5-bit offset — the classic shift-and-carry word
+// loop of bitblt — then checksums the destination.
+
+const (
+	blitRows      = 16
+	blitSrcWords  = 8
+	blitDstStride = 12
+	blitShift     = 5
+	blitSeed      = 616161
+)
+
+func blitSource() string {
+	return `
+        .data
+src:    .space 128                 # 16 rows x 8 words
+dst:    .space 192                 # 16 rows x 12 words
+        .text
+main:   li   $s7, 616161
+        la   $s0, src
+        la   $s1, dst
+        li   $t0, 0
+        li   $k1, 128
+fill:   jal  lcg
+        add  $t4, $s0, $t0
+        sw   $v0, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $k1, fill
+
+        li   $s2, 0                # row
+rowl:   sll  $t0, $s2, 3           # src row base = row*8
+        add  $t0, $t0, $s0
+        li   $at, 12
+        mul  $t1, $s2, $at         # dst row base = row*12
+        add  $t1, $t1, $s1
+        li   $t2, 0                # carry
+        li   $t3, 0                # word index
+wordl:  add  $t4, $t0, $t3
+        lw   $t5, 0($t4)           # v = src word
+        sll  $t6, $t5, 5
+        or   $t6, $t6, $t2         # (v<<5) | carry
+        add  $t7, $t1, $t3
+        lw   $t8, 0($t7)
+        or   $t8, $t8, $t6
+        sw   $t8, 0($t7)           # dst |= merged
+        srl  $t2, $t5, 27          # carry = v >> (32-5)
+        addi $t3, $t3, 1
+        li   $at, 8
+        bne  $t3, $at, wordl
+        add  $t7, $t1, $t3         # spill final carry into word 8
+        lw   $t8, 0($t7)
+        or   $t8, $t8, $t2
+        sw   $t8, 0($t7)
+        addi $s2, $s2, 1
+        li   $at, 16
+        bne  $s2, $at, rowl
+
+        li   $s4, 0                # checksum
+        li   $t0, 0
+        li   $k1, 192
+cks:    add  $t4, $s1, $t0
+        lw   $t5, 0($t4)
+        addi $t6, $t0, 3
+        mul  $t5, $t5, $t6
+        add  $s4, $s4, $t5
+        addi $t0, $t0, 1
+        bne  $t0, $k1, cks
+        out  $s4
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`
+}
+
+func blitReference() []uint32 {
+	rng := lcg(blitSeed)
+	src := make([]uint32, blitRows*blitSrcWords)
+	for i := range src {
+		src[i] = rng.next()
+	}
+	dst := make([]uint32, blitRows*blitDstStride)
+	for row := 0; row < blitRows; row++ {
+		carry := uint32(0)
+		for w := 0; w < blitSrcWords; w++ {
+			v := src[row*blitSrcWords+w]
+			dst[row*blitDstStride+w] |= v<<blitShift | carry
+			carry = v >> (32 - blitShift)
+		}
+		dst[row*blitDstStride+blitSrcWords] |= carry
+	}
+	var sum uint32
+	for i, v := range dst {
+		sum += v * uint32(i+3)
+	}
+	return []uint32{sum}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "blit",
+		Description: "shift-and-carry bit block transfer with checksum pass",
+		Source:      blitSource,
+		Reference:   blitReference,
+		MemWords:    512,
+		MaxSteps:    2_000_000,
+	})
+}

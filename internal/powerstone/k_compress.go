@@ -1,0 +1,123 @@
+package powerstone
+
+// compress: LZW dictionary compression (the paper: "a Unix compression
+// utility called compress", whose core is LZW). The kernel compresses a
+// 600-symbol stream over a 4-symbol alphabet, holding the dictionary as
+// parallel parent/symbol arrays searched linearly — the data-reference-
+// heavy inner loop that makes compress the paper's largest data trace.
+
+const (
+	compressInput = 600
+	compressDict  = 256
+	compressSeed  = 424242
+)
+
+func compressSource() string {
+	return `
+        .data
+parent: .space 256
+symb:   .space 256
+        .text
+main:   li   $s7, 424242
+        la   $s0, parent
+        la   $s1, symb
+        li   $s2, 4                # dictionary size (0..3 are literals)
+        li   $s4, 0                # output code count
+        li   $s5, 0                # output code sum
+        jal  nextsym
+        move $s3, $v0              # w = first symbol
+        li   $s6, 1                # symbols consumed
+loop:   li   $at, 600
+        beq  $s6, $at, fin
+        jal  nextsym
+        move $k0, $v0              # c
+        li   $t0, 4                # search the dictionary for (w, c)
+srch:   beq  $t0, $s2, nofind
+        add  $t1, $s0, $t0
+        lw   $t2, 0($t1)
+        bne  $t2, $s3, nxt
+        add  $t1, $s1, $t0
+        lw   $t2, 0($t1)
+        beq  $t2, $k0, found
+nxt:    addi $t0, $t0, 1
+        b    srch
+found:  move $s3, $t0
+        b    cont
+nofind: addi $s4, $s4, 1           # emit w
+        add  $s5, $s5, $s3
+        li   $at, 256
+        beq  $s2, $at, full        # dictionary full: stop growing
+        add  $t1, $s0, $s2
+        sw   $s3, 0($t1)
+        add  $t1, $s1, $s2
+        sw   $k0, 0($t1)
+        addi $s2, $s2, 1
+full:   move $s3, $k0
+cont:   addi $s6, $s6, 1
+        b    loop
+fin:    addi $s4, $s4, 1           # emit final w
+        add  $s5, $s5, $s3
+        out  $s4
+        out  $s5
+        out  $s2
+        halt
+
+nextsym:
+        li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        srl  $v0, $v0, 9
+        andi $v0, $v0, 3
+        jr   $ra
+`
+}
+
+func compressReference() []uint32 {
+	rng := lcg(compressSeed)
+	nextsym := func() uint32 { return (rng.next() >> 9) & 3 }
+
+	parent := make([]uint32, compressDict)
+	symb := make([]uint32, compressDict)
+	size := uint32(4)
+	var count, sum uint32
+
+	w := nextsym()
+	for i := 1; i < compressInput; i++ {
+		c := nextsym()
+		found := false
+		for e := uint32(4); e < size; e++ {
+			if parent[e] == w && symb[e] == c {
+				w = e
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		count++
+		sum += w
+		if size < compressDict {
+			parent[size] = w
+			symb[size] = c
+			size++
+		}
+		w = c
+	}
+	count++
+	sum += w
+	return []uint32{count, sum, size}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "compress",
+		Description: "LZW compression with linear dictionary search",
+		Source:      compressSource,
+		Reference:   compressReference,
+		MemWords:    1024,
+		MaxSteps:    8_000_000,
+	})
+}

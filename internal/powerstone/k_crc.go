@@ -1,0 +1,110 @@
+package powerstone
+
+// crc: table-driven CRC-32 checksum (the paper: "a CRC checksum algorithm
+// called crc"). The kernel builds the 256-entry reflected CRC-32 table,
+// synthesises a 256-byte message with the shared LCG, and folds the message
+// through the table four times, emitting the final complemented checksum.
+
+const crcMsgLen = 256
+const crcPasses = 4
+const crcSeed = 12345
+
+func crcSource() string {
+	return `
+        .data
+table:  .space 256
+msg:    .space 256
+        .text
+main:   la   $s0, table
+        li   $t0, 0
+        li   $s1, 256
+tloop:  move $t1, $t0              # c = i
+        li   $t2, 8
+jloop:  andi $t3, $t1, 1
+        srl  $t1, $t1, 1
+        beqz $t3, noxor
+        li   $at, 0xEDB88320
+        xor  $t1, $t1, $at
+noxor:  subi $t2, $t2, 1
+        bnez $t2, jloop
+        add  $t4, $s0, $t0
+        sw   $t1, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $s1, tloop
+
+        li   $s7, 12345            # LCG seed
+        la   $s2, msg
+        li   $t0, 0
+floop:  jal  lcg
+        andi $v0, $v0, 0xFF
+        add  $t4, $s2, $t0
+        sw   $v0, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $s1, floop
+
+        li   $s3, 0                # pass counter
+        li   $s4, 4
+        li   $s5, -1               # crc = 0xFFFFFFFF
+ploop:  li   $t0, 0
+bloop:  add  $t4, $s2, $t0
+        lw   $t5, 0($t4)
+        xor  $t6, $s5, $t5
+        andi $t6, $t6, 0xFF
+        add  $t4, $s0, $t6
+        lw   $t7, 0($t4)
+        srl  $s5, $s5, 8
+        xor  $s5, $s5, $t7
+        addi $t0, $t0, 1
+        bne  $t0, $s1, bloop
+        addi $s3, $s3, 1
+        bne  $s3, $s4, ploop
+        not  $v0, $s5
+        out  $v0
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`
+}
+
+func crcReference() []uint32 {
+	var table [256]uint32
+	for i := range table {
+		c := uint32(i)
+		for j := 0; j < 8; j++ {
+			bit := c & 1
+			c >>= 1
+			if bit != 0 {
+				c ^= 0xEDB88320
+			}
+		}
+		table[i] = c
+	}
+	rng := lcg(crcSeed)
+	msg := make([]uint32, crcMsgLen)
+	for i := range msg {
+		msg[i] = rng.next() & 0xFF
+	}
+	crc := ^uint32(0)
+	for p := 0; p < crcPasses; p++ {
+		for _, b := range msg {
+			crc = crc>>8 ^ table[(crc^b)&0xFF]
+		}
+	}
+	return []uint32{^crc}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "crc",
+		Description: "table-driven CRC-32 checksum over a synthetic message",
+		Source:      crcSource,
+		Reference:   crcReference,
+		MemWords:    1024,
+		MaxSteps:    2_000_000,
+	})
+}

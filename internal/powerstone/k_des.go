@@ -1,0 +1,133 @@
+package powerstone
+
+// des: block encryption (the paper: "an encryption algorithm called des").
+// The kernel is a 16-round Feistel network over 64-bit blocks with eight
+// 16-entry S-boxes — the table-lookup-per-round memory behaviour of DES —
+// with S-boxes and round keys synthesised from the shared LCG. Full
+// FIPS-46 permutation tables are omitted; the substitution keeps the
+// round-structured S-box traffic that shapes the trace (see DESIGN.md §2).
+
+const (
+	desBlocks = 48
+	desRounds = 16
+	desSeed   = 777
+)
+
+func desSource() string {
+	return `
+        .data
+sbox:   .space 128                 # 8 boxes x 16 nibble entries
+rkey:   .space 16
+        .text
+main:   li   $s7, 777
+        la   $s0, sbox
+        li   $t0, 0
+        li   $k1, 128
+sfill:  jal  lcg
+        andi $v0, $v0, 0xF
+        add  $t4, $s0, $t0
+        sw   $v0, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $k1, sfill
+        la   $s1, rkey
+        li   $t0, 0
+        li   $k1, 16
+kfill:  jal  lcg
+        add  $t4, $s1, $t0
+        sw   $v0, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $k1, kfill
+
+        li   $s4, 0                # checksum L
+        li   $s5, 0                # checksum R
+        li   $s6, 0                # block counter
+bloop:  jal  lcg
+        move $s2, $v0              # L
+        jal  lcg
+        move $s3, $v0              # R
+        li   $k0, 0                # round
+rloop:  add  $t4, $s1, $k0
+        lw   $t5, 0($t4)           # round key
+        xor  $t5, $s3, $t5         # t = R ^ rk
+        li   $t6, 0                # F
+        li   $t7, 0                # s-box index
+floop:  sll  $t8, $t7, 2           # shift = 4*s
+        srlv $t9, $t8, $t5         # t >> shift
+        andi $t9, $t9, 0xF
+        sll  $at, $t7, 4           # box base = 16*s
+        add  $t9, $t9, $at
+        add  $t9, $t9, $s0
+        lw   $t9, 0($t9)           # sbox value
+        sllv $t9, $t8, $t9         # value << shift
+        or   $t6, $t6, $t9
+        addi $t7, $t7, 1
+        li   $at, 8
+        bne  $t7, $at, floop
+        sll  $t8, $t6, 1           # F = rotl1(F)
+        srl  $t9, $t6, 31
+        or   $t6, $t8, $t9
+        xor  $t8, $s2, $t6         # newR = L ^ F
+        move $s2, $s3              # newL = R
+        move $s3, $t8
+        addi $k0, $k0, 1
+        li   $at, 16
+        bne  $k0, $at, rloop
+        add  $s4, $s4, $s2
+        add  $s5, $s5, $s3
+        addi $s6, $s6, 1
+        li   $at, 48
+        bne  $s6, $at, bloop
+        out  $s4
+        out  $s5
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`
+}
+
+func desReference() []uint32 {
+	rng := lcg(desSeed)
+	var sbox [128]uint32
+	for i := range sbox {
+		sbox[i] = rng.next() & 0xF
+	}
+	var rkey [desRounds]uint32
+	for i := range rkey {
+		rkey[i] = rng.next()
+	}
+	var sumL, sumR uint32
+	for b := 0; b < desBlocks; b++ {
+		l := rng.next()
+		r := rng.next()
+		for round := 0; round < desRounds; round++ {
+			t := r ^ rkey[round]
+			f := uint32(0)
+			for s := 0; s < 8; s++ {
+				shift := uint(4 * s)
+				nib := (t >> shift) & 0xF
+				f |= sbox[16*uint32(s)+nib] << shift
+			}
+			f = f<<1 | f>>31
+			l, r = r, l^f
+		}
+		sumL += l
+		sumR += r
+	}
+	return []uint32{sumL, sumR}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "des",
+		Description: "16-round Feistel cipher with S-box table lookups",
+		Source:      desSource,
+		Reference:   desReference,
+		MemWords:    512,
+		MaxSteps:    4_000_000,
+	})
+}

@@ -1,0 +1,119 @@
+package powerstone
+
+import (
+	"fmt"
+	"strings"
+)
+
+// engine: engine controller (the paper: "an engine controller called
+// engine"). The kernel walks 256 synthetic operating points (rpm, load),
+// looks up spark advance in an 8x8 calibration map with fixed-point
+// bilinear interpolation, and integrates a dwell state.
+
+const (
+	enginePoints = 256
+	engineDim    = 8
+)
+
+// engineMap returns the calibration value at map cell (r, c).
+func engineMap(r, c int) int32 { return int32((r*engineDim+c)*3%50 + 5) }
+
+func engineSource() string {
+	var rows []string
+	for r := 0; r < engineDim; r++ {
+		var cells []string
+		for c := 0; c < engineDim; c++ {
+			cells = append(cells, fmt.Sprintf("%d", engineMap(r, c)))
+		}
+		rows = append(rows, "        .word "+strings.Join(cells, ","))
+	}
+	return fmt.Sprintf(`
+        .data
+map:
+%s
+        .text
+main:   la   $s0, map
+        li   $s4, 0                # advance accumulator
+        li   $s5, 0                # dwell state
+        li   $s6, 0                # t
+loop:   li   $at, 37               # rpm = (t*37) %% 1792
+        mul  $t0, $s6, $at
+        li   $at, 1792
+        rem  $t0, $t0, $at
+        li   $at, 53               # load = (t*53) %% 1792
+        mul  $t1, $s6, $at
+        li   $at, 1792
+        rem  $t1, $t1, $at
+        srl  $t2, $t0, 8           # ri in 0..6
+        andi $t3, $t0, 255         # fr
+        srl  $t4, $t1, 8           # li in 0..6
+        andi $t5, $t1, 255         # fl
+        sll  $t6, $t2, 3           # row base = ri*8
+        add  $t6, $t6, $t4         # + li
+        add  $t6, $t6, $s0
+        lw   $t7, 0($t6)           # a = map[ri][li]
+        lw   $t8, 8($t6)           # b = map[ri+1][li]
+        lw   $t9, 1($t6)           # c = map[ri][li+1]
+        lw   $k0, 9($t6)           # d = map[ri+1][li+1]
+        li   $at, 256
+        sub  $k1, $at, $t3         # 256-fr
+        mul  $t7, $t7, $k1         # top = a*(256-fr) + b*fr
+        mul  $t8, $t8, $t3
+        add  $t7, $t7, $t8
+        mul  $t9, $t9, $k1         # bot = c*(256-fr) + d*fr
+        mul  $k0, $k0, $t3
+        add  $t9, $t9, $k0
+        li   $at, 256
+        sub  $k1, $at, $t5
+        mul  $t7, $t7, $k1         # val = (top*(256-fl)+bot*fl) >> 16
+        mul  $t9, $t9, $t5
+        add  $t7, $t7, $t9
+        sra  $t7, $t7, 16
+        add  $s4, $s4, $t7
+        # dwell state: saturating integrator of (val - 20)
+        subi $t8, $t7, 20
+        add  $s5, $s5, $t8
+        bge  $s5, $0, pos
+        li   $s5, 0
+pos:    addi $s6, $s6, 1
+        li   $at, %d
+        bne  $s6, $at, loop
+        out  $s4
+        out  $s5
+        halt
+`, strings.Join(rows, "\n"), enginePoints)
+}
+
+func engineReference() []uint32 {
+	var advance, dwell int32
+	for t := 0; t < enginePoints; t++ {
+		rpm := int32(t*37) % 1792
+		load := int32(t*53) % 1792
+		ri, fr := rpm>>8, rpm&255
+		li, fl := load>>8, load&255
+		a := engineMap(int(ri), int(li))
+		b := engineMap(int(ri+1), int(li))
+		c := engineMap(int(ri), int(li+1))
+		d := engineMap(int(ri+1), int(li+1))
+		top := a*(256-fr) + b*fr
+		bot := c*(256-fr) + d*fr
+		val := (top*(256-fl) + bot*fl) >> 16
+		advance += val
+		dwell += val - 20
+		if dwell < 0 {
+			dwell = 0
+		}
+	}
+	return []uint32{uint32(advance), uint32(dwell)}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "engine",
+		Description: "spark-advance controller with bilinear map interpolation",
+		Source:      engineSource,
+		Reference:   engineReference,
+		MemWords:    256,
+		MaxSteps:    2_000_000,
+	})
+}

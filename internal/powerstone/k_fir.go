@@ -1,0 +1,101 @@
+package powerstone
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fir: 32-tap fixed-point FIR filter over a 512-sample synthetic signal
+// (the paper: "an FIR filter called fir"). Taps follow a deterministic
+// formula; samples come from the shared LCG as signed 16-bit values. The
+// kernel emits the wrapping sum of all filter outputs.
+
+const (
+	firTaps    = 32
+	firSamples = 512
+	firSeed    = 31415
+	firShift   = 6
+)
+
+func firTap(k int) int32 { return int32((k*37)%64) - 31 }
+
+func firSource() string {
+	var taps []string
+	for k := 0; k < firTaps; k++ {
+		taps = append(taps, fmt.Sprintf("%d", firTap(k)))
+	}
+	return fmt.Sprintf(`
+        .data
+taps:   .word %s
+sig:    .space %d
+        .text
+main:   li   $s7, %d
+        la   $s2, sig
+        li   $s1, %d
+        li   $t0, 0
+fill:   jal  lcg
+        andi $v0, $v0, 0xFFFF
+        subi $v0, $v0, 0x8000      # signed 16-bit sample
+        add  $t4, $s2, $t0
+        sw   $v0, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $s1, fill
+
+        la   $s0, taps
+        li   $s3, 0                # checksum
+        li   $t0, %d               # n = taps-1
+floop:  li   $t1, 0                # k
+        li   $t2, 0                # acc
+kloop:  add  $t4, $s0, $t1
+        lw   $t5, 0($t4)           # taps[k]
+        sub  $t6, $t0, $t1         # n-k
+        add  $t4, $s2, $t6
+        lw   $t7, 0($t4)           # sig[n-k]
+        mul  $t5, $t5, $t7
+        add  $t2, $t2, $t5
+        addi $t1, $t1, 1
+        li   $at, %d
+        bne  $t1, $at, kloop
+        sra  $t2, $t2, %d
+        add  $s3, $s3, $t2
+        addi $t0, $t0, 1
+        bne  $t0, $s1, floop
+        out  $s3
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`, strings.Join(taps, ", "), firSamples, firSeed, firSamples, firTaps-1, firTaps, firShift)
+}
+
+func firReference() []uint32 {
+	rng := lcg(firSeed)
+	sig := make([]int32, firSamples)
+	for i := range sig {
+		sig[i] = int32(rng.next()&0xFFFF) - 0x8000
+	}
+	sum := uint32(0)
+	for n := firTaps - 1; n < firSamples; n++ {
+		acc := int32(0)
+		for k := 0; k < firTaps; k++ {
+			acc += firTap(k) * sig[n-k]
+		}
+		sum += uint32(acc >> firShift)
+	}
+	return []uint32{sum}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "fir",
+		Description: "32-tap fixed-point FIR filter over a synthetic signal",
+		Source:      firSource,
+		Reference:   firReference,
+		MemWords:    1024,
+		MaxSteps:    4_000_000,
+	})
+}

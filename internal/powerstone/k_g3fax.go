@@ -1,0 +1,113 @@
+package powerstone
+
+import (
+	"fmt"
+	"strings"
+)
+
+// g3fax: Group 3 fax decoder (the paper: "a group three fax decoder called
+// g3fax"). The kernel run-length decodes 16 scanlines of 128 pixels from a
+// coded stream: each 4-bit code indexes a run-length table (the lookup-
+// table step of MH decoding), runs alternate white/black, and decoded
+// pixels are written into a bitmap that a second pass checksums.
+
+const (
+	g3faxWidth = 128
+	g3faxLines = 16
+	g3faxSeed  = 3131
+)
+
+// g3faxRunTable maps a 4-bit code to a run length, white-run flavoured.
+var g3faxRunTable = [16]uint32{1, 2, 3, 4, 5, 7, 9, 11, 14, 18, 23, 29, 37, 47, 60, 64}
+
+func g3faxSource() string {
+	var lut []string
+	for _, v := range g3faxRunTable {
+		lut = append(lut, fmt.Sprintf("%d", v))
+	}
+	return fmt.Sprintf(`
+        .data
+runs:   .word %s
+bmp:    .space %d
+        .text
+main:   li   $s7, %d
+        la   $s0, runs
+        la   $s1, bmp
+        li   $s2, 0                # pixel cursor
+        li   $s3, 0                # colour (0 white, 1 black)
+        li   $k1, %d               # total pixels
+dloop:  jal  lcg
+        andi $v0, $v0, 0xF
+        add  $t0, $s0, $v0
+        lw   $t1, 0($t0)           # run length
+rloop:  beq  $s2, $k1, decoded
+        beqz $t1, next
+        add  $t2, $s1, $s2
+        sw   $s3, 0($t2)
+        addi $s2, $s2, 1
+        subi $t1, $t1, 1
+        b    rloop
+next:   xori $s3, $s3, 1           # alternate colour
+        b    dloop
+decoded:
+        li   $s4, 0                # weighted checksum
+        li   $s5, 0                # black pixel count
+        li   $t0, 0
+cloop:  add  $t2, $s1, $t0
+        lw   $t3, 0($t2)
+        add  $s5, $s5, $t3
+        li   $at, 7
+        mul  $t4, $t0, $at
+        addi $t4, $t4, 1
+        mul  $t4, $t4, $t3
+        add  $s4, $s4, $t4
+        addi $t0, $t0, 1
+        bne  $t0, $k1, cloop
+        out  $s4
+        out  $s5
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`, strings.Join(lut, ","), g3faxWidth*g3faxLines, g3faxSeed, g3faxWidth*g3faxLines)
+}
+
+func g3faxReference() []uint32 {
+	rng := lcg(g3faxSeed)
+	total := g3faxWidth * g3faxLines
+	bmp := make([]uint32, total)
+	cursor := 0
+	colour := uint32(0)
+	for cursor < total {
+		run := g3faxRunTable[rng.next()&0xF]
+		for run > 0 && cursor < total {
+			bmp[cursor] = colour
+			cursor++
+			run--
+		}
+		if cursor < total {
+			colour ^= 1
+		}
+	}
+	var checksum, black uint32
+	for i, p := range bmp {
+		black += p
+		checksum += uint32(i*7+1) * p
+	}
+	return []uint32{checksum, black}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "g3fax",
+		Description: "run-length fax decode into a bitmap plus checksum pass",
+		Source:      g3faxSource,
+		Reference:   g3faxReference,
+		MemWords:    4096,
+		MaxSteps:    4_000_000,
+	})
+}

@@ -1,0 +1,140 @@
+package powerstone
+
+// pocsag: POCSAG paging protocol decoder (the paper: "a POCSAG
+// communication protocol for paging applications"). The kernel encodes 64
+// BCH(31,21) codewords from LCG data, corrupts every third one with a
+// single bit error, stores the batch, then decodes it: a syndrome
+// (polynomial division by the POCSAG generator) is computed per received
+// word, valid codewords counted and syndromes accumulated.
+
+const (
+	pocsagWords = 64
+	pocsagSeed  = 555
+	// pocsagGen is the BCH(31,21) generator polynomial
+	// x^10+x^9+x^8+x^6+x^5+x^3+1 used by POCSAG.
+	pocsagGen = 0x769
+)
+
+func pocsagSource() string {
+	return `
+        .data
+batch:  .space 64
+        .text
+main:   li   $s7, 555
+        la   $s0, batch
+        li   $s6, 0                # word counter
+enc:    jal  lcg
+        srl  $t0, $v0, 11          # 21 data bits
+        sll  $t1, $t0, 10          # shift into codeword position
+        move $t2, $t1              # working remainder
+        li   $t3, 30               # bit index
+divl:   srlv $t4, $t3, $t2         # remainder >> bit
+        andi $t4, $t4, 1
+        beqz $t4, nod
+        subi $t5, $t3, 10          # align generator at bit
+        li   $at, 0x769
+        sllv $t5, $t5, $at
+        xor  $t2, $t2, $t5
+nod:    subi $t3, $t3, 1
+        li   $at, 9
+        bgt  $t3, $at, divl        # stop when bit < 10
+        or   $t1, $t1, $t2         # codeword = data | parity
+        # corrupt every third codeword with one bit flip
+        li   $at, 3
+        rem  $t6, $s6, $at
+        bnez $t6, store
+        andi $t7, $v0, 31          # bit position 0..30 (31 maps to 0)
+        li   $at, 31
+        beq  $t7, $at, fix
+        b    flip
+fix:    li   $t7, 0
+flip:   li   $t8, 1
+        sllv $t8, $t7, $t8
+        xor  $t1, $t1, $t8
+store:  add  $t9, $s0, $s6
+        sw   $t1, 0($t9)
+        addi $s6, $s6, 1
+        li   $at, 64
+        bne  $s6, $at, enc
+
+        li   $s4, 0                # valid count
+        li   $s5, 0                # syndrome sum
+        li   $s6, 0
+dec:    add  $t9, $s0, $s6
+        lw   $t2, 0($t9)           # received word
+        li   $t3, 30
+divl2:  srlv $t4, $t3, $t2
+        andi $t4, $t4, 1
+        beqz $t4, nod2
+        subi $t5, $t3, 10
+        li   $at, 0x769
+        sllv $t5, $t5, $at
+        xor  $t2, $t2, $t5
+nod2:   subi $t3, $t3, 1
+        li   $at, 9
+        bgt  $t3, $at, divl2
+        add  $s5, $s5, $t2         # syndrome
+        bnez $t2, bad
+        addi $s4, $s4, 1
+bad:    addi $s6, $s6, 1
+        li   $at, 64
+        bne  $s6, $at, dec
+        out  $s4
+        out  $s5
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`
+}
+
+func pocsagReference() []uint32 {
+	syndrome := func(w uint32) uint32 {
+		for bit := 30; bit >= 10; bit-- {
+			if w>>uint(bit)&1 != 0 {
+				w ^= pocsagGen << uint(bit-10)
+			}
+		}
+		return w
+	}
+	rng := lcg(pocsagSeed)
+	batch := make([]uint32, pocsagWords)
+	for i := range batch {
+		v := rng.next()
+		data := v >> 11
+		cw := data << 10
+		cw |= syndrome(cw)
+		if i%3 == 0 {
+			pos := v & 31
+			if pos == 31 {
+				pos = 0
+			}
+			cw ^= 1 << pos
+		}
+		batch[i] = cw
+	}
+	var valid, sum uint32
+	for _, w := range batch {
+		s := syndrome(w)
+		sum += s
+		if s == 0 {
+			valid++
+		}
+	}
+	return []uint32{valid, sum}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "pocsag",
+		Description: "BCH(31,21) codeword batch encode, corrupt, and syndrome decode",
+		Source:      pocsagSource,
+		Reference:   pocsagReference,
+		MemWords:    256,
+		MaxSteps:    2_000_000,
+	})
+}

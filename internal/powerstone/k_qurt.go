@@ -1,0 +1,154 @@
+package powerstone
+
+// qurt: quadratic root computation (the original PowerStone qurt computes
+// roots of quadratic equations). The kernel stores 64 coefficient triples
+// (a, b, c), then solves a·x² + b·x + c = 0 for each: discriminant, bit-by-
+// bit integer square root, integer roots. It emits the count of real-root
+// cases and the accumulated root values.
+
+const (
+	qurtTriples = 64
+	qurtSeed    = 8888
+)
+
+func qurtSource() string {
+	return `
+        .data
+coef:   .space 192                 # 64 triples (a, b, c)
+        .text
+main:   li   $s7, 8888
+        la   $s0, coef
+        li   $t0, 0
+        li   $k1, 192
+gen:    jal  lcg
+        andi $v0, $v0, 0xFF
+        add  $t4, $s0, $t0
+        sw   $v0, 0($t4)           # raw word; shaped during solve
+        addi $t0, $t0, 1
+        bne  $t0, $k1, gen
+
+        li   $s4, 0                # real-root count
+        li   $s5, 0                # root accumulator
+        li   $s6, 0                # triple index
+solve:  sll  $t0, $s6, 1
+        add  $t0, $t0, $s6         # 3*i
+        add  $t0, $t0, $s0
+        lw   $t1, 0($t0)           # a raw
+        andi $t1, $t1, 0xF
+        addi $t1, $t1, 1           # a in 1..16
+        lw   $t2, 1($t0)           # b raw (0..255)
+        subi $t2, $t2, 128         # b in -128..127
+        lw   $t3, 2($t0)           # c raw
+        subi $t3, $t3, 128         # c in -128..127
+        mul  $t4, $t2, $t2         # b*b
+        mul  $t5, $t1, $t3
+        sll  $t5, $t5, 2           # 4ac
+        sub  $t4, $t4, $t5         # disc
+        blt  $t4, $0, imag
+        # integer sqrt of $t4 -> $t6
+        move $a0, $t4
+        jal  isqrt
+        move $t6, $v0
+        # r1 = (-b + s) / (2a), r2 = (-b - s) / (2a)
+        neg  $t7, $t2
+        add  $t8, $t7, $t6
+        sub  $t9, $t7, $t6
+        sll  $k0, $t1, 1           # 2a
+        div  $t8, $t8, $k0
+        div  $t9, $t9, $k0
+        add  $s5, $s5, $t8
+        add  $s5, $s5, $t9
+        addi $s4, $s4, 1
+imag:   addi $s6, $s6, 1
+        li   $at, 64
+        bne  $s6, $at, solve
+        out  $s4
+        out  $s5
+        halt
+
+# bit-by-bit integer square root: $a0 in, $v0 out ($a1/$a2 scratch)
+isqrt:  li   $v0, 0
+        li   $a1, 1
+        sll  $a1, $a1, 30          # bit = 1<<30
+isq1:   ble  $a1, $a0, isq2        # while bit > num
+        beqz $a1, isqdone
+        srl  $a1, $a1, 2
+        b    isq1
+isq2:   beqz $a1, isqdone
+        add  $a2, $v0, $a1         # res + bit
+        blt  $a0, $a2, isq3
+        sub  $a0, $a0, $a2
+        srl  $v0, $v0, 1
+        add  $v0, $v0, $a1
+        b    isq4
+isq3:   srl  $v0, $v0, 1
+isq4:   srl  $a1, $a1, 2
+        bnez $a1, isq2
+isqdone:
+        jr   $ra
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`
+}
+
+// qurtIsqrt mirrors the kernel's bit-by-bit square root.
+func qurtIsqrt(num int32) int32 {
+	res := int32(0)
+	bit := int32(1) << 30
+	for bit > num {
+		if bit == 0 {
+			return res
+		}
+		bit >>= 2
+	}
+	for bit != 0 {
+		if num >= res+bit {
+			num -= res + bit
+			res = res>>1 + bit
+		} else {
+			res >>= 1
+		}
+		bit >>= 2
+	}
+	return res
+}
+
+func qurtReference() []uint32 {
+	rng := lcg(qurtSeed)
+	raw := make([]int32, 3*qurtTriples)
+	for i := range raw {
+		raw[i] = int32(rng.next() & 0xFF)
+	}
+	var count, sum uint32
+	for i := 0; i < qurtTriples; i++ {
+		a := raw[3*i]&0xF + 1
+		b := raw[3*i+1] - 128
+		c := raw[3*i+2] - 128
+		disc := b*b - 4*a*c
+		if disc < 0 {
+			continue
+		}
+		s := qurtIsqrt(disc)
+		r1 := (-b + s) / (2 * a)
+		r2 := (-b - s) / (2 * a)
+		sum += uint32(r1) + uint32(r2)
+		count++
+	}
+	return []uint32{count, sum}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "qurt",
+		Description: "quadratic roots via discriminant and integer square root",
+		Source:      qurtSource,
+		Reference:   qurtReference,
+		MemWords:    512,
+		MaxSteps:    2_000_000,
+	})
+}

@@ -1,0 +1,141 @@
+package powerstone
+
+// ucbqsort: the Berkeley quicksort benchmark — iterative quicksort with an
+// explicit range stack and Lomuto partitioning over a random array. The
+// kernel emits a position-weighted checksum of the sorted array.
+
+const (
+	qsortLen  = 256
+	qsortSeed = 7777
+)
+
+func ucbqsortSource() string {
+	return `
+        .data
+arr:    .space 256
+stk:    .space 512
+        .text
+main:   li   $s7, 7777
+        la   $s0, arr
+        li   $s1, 256
+        li   $t0, 0
+fill:   jal  lcg
+        srl  $v0, $v0, 1           # keep values non-negative
+        add  $t4, $s0, $t0
+        sw   $v0, 0($t4)
+        addi $t0, $t0, 1
+        bne  $t0, $s1, fill
+
+        la   $sp, stk
+        la   $s6, stk              # stack base for the empty test
+        li   $t1, 0
+        sw   $t1, 0($sp)           # push lo=0
+        li   $t2, 255
+        sw   $t2, 1($sp)           # push hi=255
+        addi $sp, $sp, 2
+
+qloop:  beq  $sp, $s6, done
+        subi $sp, $sp, 2
+        lw   $s2, 0($sp)           # lo
+        lw   $s3, 1($sp)           # hi
+        bge  $s2, $s3, qloop
+
+        add  $t4, $s0, $s3
+        lw   $t5, 0($t4)           # pivot = arr[hi]
+        subi $t6, $s2, 1           # i = lo-1
+        move $t7, $s2              # j = lo
+ploop:  bge  $t7, $s3, pdone
+        add  $t4, $s0, $t7
+        lw   $t8, 0($t4)
+        bgt  $t8, $t5, noswap
+        addi $t6, $t6, 1
+        add  $t9, $s0, $t6
+        lw   $at, 0($t9)
+        sw   $t8, 0($t9)
+        sw   $at, 0($t4)
+noswap: addi $t7, $t7, 1
+        b    ploop
+pdone:  addi $t6, $t6, 1           # p = i+1
+        add  $t9, $s0, $t6
+        lw   $at, 0($t9)
+        add  $t4, $s0, $s3
+        lw   $t8, 0($t4)
+        sw   $t8, 0($t9)
+        sw   $at, 0($t4)
+        subi $t1, $t6, 1           # push (lo, p-1)
+        sw   $s2, 0($sp)
+        sw   $t1, 1($sp)
+        addi $sp, $sp, 2
+        addi $t1, $t6, 1           # push (p+1, hi)
+        sw   $t1, 0($sp)
+        sw   $s3, 1($sp)
+        addi $sp, $sp, 2
+        b    qloop
+
+done:   li   $s4, 0
+        li   $t0, 0
+cks:    add  $t4, $s0, $t0
+        lw   $t5, 0($t4)
+        addi $t6, $t0, 1
+        mul  $t5, $t5, $t6
+        add  $s4, $s4, $t5
+        addi $t0, $t0, 1
+        bne  $t0, $s1, cks
+        out  $s4
+        halt
+
+lcg:    li   $at, 1664525
+        mul  $v0, $s7, $at
+        li   $at, 1013904223
+        add  $v0, $v0, $at
+        move $s7, $v0
+        jr   $ra
+`
+}
+
+func ucbqsortReference() []uint32 {
+	rng := lcg(qsortSeed)
+	arr := make([]uint32, qsortLen)
+	for i := range arr {
+		arr[i] = rng.next() >> 1
+	}
+	// Mirror the kernel's iterative Lomuto quicksort exactly; the final
+	// array is simply sorted, so a library sort would do, but keeping the
+	// same control flow documents what the kernel executes.
+	type rng2 struct{ lo, hi int32 }
+	stack := []rng2{{0, qsortLen - 1}}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r.lo >= r.hi {
+			continue
+		}
+		pivot := arr[r.hi]
+		i := r.lo - 1
+		for j := r.lo; j < r.hi; j++ {
+			if arr[j] <= pivot {
+				i++
+				arr[i], arr[j] = arr[j], arr[i]
+			}
+		}
+		i++
+		arr[i], arr[r.hi] = arr[r.hi], arr[i]
+		stack = append(stack, rng2{r.lo, i - 1}, rng2{i + 1, r.hi})
+	}
+	sum := uint32(0)
+	for i, v := range arr {
+		sum += v * uint32(i+1)
+	}
+	return []uint32{sum}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "ucbqsort",
+		Description: "iterative quicksort with explicit range stack",
+		Source:      ucbqsortSource,
+		Reference:   ucbqsortReference,
+		MemWords:    2048,
+		MaxSteps:    4_000_000,
+	})
+}

@@ -1,0 +1,103 @@
+package powerstone
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// TestAllBenchmarksRun executes every kernel and checks its output against
+// the Go reference (Run does the comparison), plus basic trace sanity.
+func TestAllBenchmarksRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b := Get(name)
+			if b == nil {
+				t.Fatalf("Get(%q) = nil", name)
+			}
+			res, err := b.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Steps == 0 {
+				t.Fatal("no instructions executed")
+			}
+			if res.Instr.Len() != int(res.Steps) {
+				t.Errorf("instruction trace %d refs != %d steps", res.Instr.Len(), res.Steps)
+			}
+			if res.Data.Len() == 0 {
+				t.Error("kernel produced no data references")
+			}
+			for _, r := range res.Instr.Refs {
+				if r.Kind != trace.Instr {
+					t.Fatal("instruction trace contains non-instruction refs")
+				}
+			}
+			for _, r := range res.Data.Refs {
+				if r.Kind == trace.Instr {
+					t.Fatal("data trace contains instruction refs")
+				}
+			}
+			t.Logf("%s: steps=%d N_instr=%d N_data=%d out=%v",
+				name, res.Steps, res.Instr.Len(), res.Data.Len(), res.Out)
+		})
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Error("Names() not sorted")
+	}
+	want := []string{"adpcm", "bcnt", "blit", "compress", "crc", "des",
+		"engine", "fir", "g3fax", "pocsag", "qurt", "ucbqsort"}
+	if len(names) != len(want) {
+		t.Fatalf("suite has %d benchmarks %v, want the paper's 12 %v", len(names), names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if Get("nosuch") != nil {
+		t.Fatal("Get of unknown benchmark should be nil")
+	}
+}
+
+func TestLCGSequence(t *testing.T) {
+	// Pin the generator so assembly and Go stay in lockstep.
+	r := lcg(1)
+	want := []uint32{1015568748, 1586005467, 2165703038, 3027450565}
+	for i, w := range want {
+		if got := r.next(); got != w {
+			t.Fatalf("lcg step %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestTracesAreDeterministic runs a kernel twice and expects identical
+// traces: the whole experiment pipeline depends on reproducibility.
+func TestTracesAreDeterministic(t *testing.T) {
+	b := Get("crc")
+	r1, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Instr.Len() != r2.Instr.Len() || r1.Data.Len() != r2.Data.Len() {
+		t.Fatal("trace lengths differ between runs")
+	}
+	for i := range r1.Data.Refs {
+		if r1.Data.Refs[i] != r2.Data.Refs[i] {
+			t.Fatalf("data ref %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package report renders the paper's tables and computes the Figure 4
+// regression: experiment harness output formatting, CSV emission, and
+// least-squares fitting shared by cmd/repro and the benchmark suite.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as fixed-width text.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		// Trim trailing padding.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values (no escaping — cells in
+// this repository never contain commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if len(t.Headers) > 0 {
+		b.WriteString(strings.Join(t.Headers, ","))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fit is a least-squares linear fit y = Slope*x + Intercept with its
+// coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// LinearFit computes the ordinary least squares fit of ys on xs. It
+// returns an error when fewer than two points are given or all xs are
+// identical.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("report: %d xs but %d ys", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Fit{}, fmt.Errorf("report: need at least 2 points, got %d", n)
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("report: all x values identical")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx, N: n}
+	if syy == 0 {
+		fit.R2 = 1 // constant ys fitted exactly
+	} else {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	}
+	if math.IsNaN(fit.R2) {
+		fit.R2 = 0
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fit at x.
+func (f Fit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// GeoMean returns the geometric mean of positive values; zero if the input
+// is empty or contains non-positive values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// AsciiScatter renders an ASCII scatter plot of the points with the fitted
+// line, the textual stand-in for Figure 4.
+func AsciiScatter(xs, ys []float64, fit Fit, width, height int) string {
+	if len(xs) == 0 || width < 8 || height < 4 {
+		return ""
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		minX, maxX = math.Min(minX, xs[i]), math.Max(maxX, xs[i])
+		minY, maxY = math.Min(minY, ys[i]), math.Max(maxY, ys[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, ch byte) {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+		if c >= 0 && c < width && r >= 0 && r < height {
+			if grid[r][c] == ' ' || ch == '*' {
+				grid[r][c] = ch
+			}
+		}
+	}
+	for c := 0; c < width; c++ {
+		x := minX + (maxX-minX)*float64(c)/float64(width-1)
+		plot(x, fit.Predict(x), '.')
+	}
+	for i := range xs {
+		plot(xs[i], ys[i], '*')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: %.3g .. %.3g   x: %.3g .. %.3g   (* data, . fit)\n", minY, maxY, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Table X",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 123456)
+	out := tb.Render()
+	if !strings.HasPrefix(out, "Table X\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header line wrong: %q", lines[1])
+	}
+	// Columns align: "longer" defines the first column width.
+	if !strings.HasPrefix(lines[4], "longer  123456") {
+		t.Fatalf("row line wrong: %q", lines[4])
+	}
+	if !strings.HasPrefix(lines[3], "a       1") {
+		t.Fatalf("row line wrong: %q", lines[3])
+	}
+}
+
+func TestTableRenderNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("x")
+	out := tb.Render()
+	if out != "x\n" {
+		t.Fatalf("Render = %q", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("1", "2", "3")
+	out := tb.Render()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("ragged row dropped cells:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	if got, want := tb.CSV(), "a,b\n1,2\n"; got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Predict(10); math.Abs(got-21) > 1e-9 {
+		t.Fatalf("Predict(10) = %v, want 21", got)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 4.9}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 0.9 || fit.Slope > 1.1 {
+		t.Fatalf("slope = %v, want ~1", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Fatalf("fit = %+v, want slope 0, R2 1", fit)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should be 0")
+	}
+	if GeoMean([]float64{-1, 2}) != 0 {
+		t.Error("GeoMean with negative should be 0")
+	}
+}
+
+func TestAsciiScatter(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	fit, _ := LinearFit(xs, ys)
+	out := AsciiScatter(xs, ys, fit, 40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, ".") {
+		t.Fatalf("scatter missing marks:\n%s", out)
+	}
+	if AsciiScatter(nil, nil, fit, 40, 10) != "" {
+		t.Error("empty input should render nothing")
+	}
+	if AsciiScatter(xs, ys, fit, 2, 2) != "" {
+		t.Error("tiny canvas should render nothing")
+	}
+}
+
+// Property: R2 is within [0, 1] and Predict passes through the centroid.
+func TestQuickLinearFitInvariants(t *testing.T) {
+	f := func(pts []struct{ X, Y int16 }) bool {
+		if len(pts) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		allSameX := true
+		for i, p := range pts {
+			xs[i] = float64(p.X)
+			ys[i] = float64(p.Y)
+			if xs[i] != xs[0] {
+				allSameX = false
+			}
+		}
+		fit, err := LinearFit(xs, ys)
+		if allSameX {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		if fit.R2 < -1e-9 || fit.R2 > 1+1e-9 {
+			return false
+		}
+		var mx, my float64
+		for i := range xs {
+			mx += xs[i]
+			my += ys[i]
+		}
+		mx /= float64(len(xs))
+		my /= float64(len(ys))
+		return math.Abs(fit.Predict(mx)-my) < 1e-6*(1+math.Abs(my))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

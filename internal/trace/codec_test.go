@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	t := New(0)
+	t.Append(Ref{Addr: 0x1000, Kind: Instr})
+	t.Append(Ref{Addr: 0x2000, Kind: DataRead})
+	t.Append(Ref{Addr: 0x2004, Kind: DataWrite})
+	t.Append(Ref{Addr: 0x1001, Kind: Instr})
+	t.Append(Ref{Addr: 0, Kind: DataRead})
+	t.Append(Ref{Addr: 0xFFFFFFFF, Kind: DataWrite})
+	return t
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sampleTrace()
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !tracesEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig.Refs, got.Refs)
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(0)
+	tr.Append(Ref{Addr: 0xABCD, Kind: Instr})
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "2 abcd\n"; got != want {
+		t.Fatalf("text = %q, want %q", got, want)
+	}
+}
+
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n0 10\n   \n1 20\n2 30\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Refs[0].Kind != DataRead || tr.Refs[1].Kind != DataWrite || tr.Refs[2].Kind != Instr {
+		t.Fatalf("kinds wrong: %+v", tr.Refs)
+	}
+	if tr.Refs[0].Addr != 0x10 || tr.Refs[2].Addr != 0x30 {
+		t.Fatalf("addrs wrong: %+v", tr.Refs)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"0",           // missing address
+		"x 10",        // non-numeric label
+		"9 10",        // unknown label
+		"0 zz",        // bad hex
+		"0 1ffffffff", // address overflows 32 bits
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadText(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestWriteTextInvalidKind(t *testing.T) {
+	tr := New(0)
+	tr.Append(Ref{Addr: 1, Kind: Kind(9)})
+	if err := WriteText(&bytes.Buffer{}, tr); err == nil {
+		t.Fatal("WriteText with invalid kind succeeded")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sampleTrace()
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !tracesEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig.Refs, got.Refs)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, New(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", got.Len())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("ReadBinary accepted bad magic")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, n := range []int{0, 2, 4, 5, len(b) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(b[:n])); err == nil {
+			t.Errorf("ReadBinary of %d-byte prefix succeeded, want error", n)
+		}
+	}
+}
+
+func TestBinaryCompression(t *testing.T) {
+	// A loopy trace should encode well below 5 bytes per reference.
+	tr := New(0)
+	for i := 0; i < 1000; i++ {
+		tr.Append(Ref{Addr: uint32(0x1000 + i%16), Kind: Instr})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if perRef := float64(buf.Len()) / float64(tr.Len()); perRef > 3 {
+		t.Fatalf("binary encoding uses %.1f bytes/ref, want <= 3", perRef)
+	}
+}
+
+// Property: binary round trip over random traces.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(addrs []uint32, kinds []uint8) bool {
+		tr := New(0)
+		for i, a := range addrs {
+			k := DataRead
+			if i < len(kinds) {
+				k = Kind(kinds[i] % 3)
+			}
+			tr.Append(Ref{Addr: a, Kind: k})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: text round trip over random traces.
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		tr := FromAddrs(DataWrite, addrs)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New(0)
+	for i := 0; i < 100000; i++ {
+		tr.Append(Ref{Addr: uint32(rng.Intn(1 << 16)), Kind: Kind(rng.Intn(3))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

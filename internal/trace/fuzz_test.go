@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets guard the codecs against hostile inputs: parsers must
+// return errors, never panic or over-allocate, and accepted inputs must
+// round-trip. `go test` runs the seed corpus; `go test -fuzz=Fuzz...`
+// explores further.
+
+func FuzzReadText(f *testing.F) {
+	f.Add("0 10\n1 20\n2 30\n")
+	f.Add("# comment\n\n0 ffffffff\n")
+	f.Add("2 zz\n")
+	f.Add("9 10\n")
+	f.Add(strings.Repeat("0 1\n", 100))
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted traces re-encode and re-parse to the same refs.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			t.Fatalf("WriteText of accepted trace failed: %v", err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed length %d -> %d", tr.Len(), again.Len())
+		}
+		for i := range tr.Refs {
+			if tr.Refs[i] != again.Refs[i] {
+				t.Fatalf("ref %d changed: %v -> %v", i, tr.Refs[i], again.Refs[i])
+			}
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid encoding and mutations of it.
+	var buf bytes.Buffer
+	tr := FromAddrs(DataRead, []uint32{1, 5, 5, 1000, 0})
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CTR1"))
+	f.Add([]byte{})
+	f.Add([]byte("CTR1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("WriteBinary of accepted trace failed: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil || again.Len() != tr.Len() {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

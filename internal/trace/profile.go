@@ -1,0 +1,102 @@
+package trace
+
+// Workload profiling helpers: the working-set and reuse-distance views of
+// a trace that designers read before picking a budget K. Both quantities
+// underlie the paper's machinery — the reuse-distance histogram at depth 1
+// is exactly the conflict-set-cardinality histogram the postlude computes
+// for the whole-cache row — and are exposed here as first-class analysis
+// tools for the CLI.
+
+// WorkingSetPoint is one sample of Denning's working-set function: the
+// number of distinct addresses touched in a window of the given length.
+type WorkingSetPoint struct {
+	Window int
+	// AvgSize is the mean distinct-address count over all windows of this
+	// length (sliding, step = window for O(N) cost).
+	AvgSize float64
+	// MaxSize is the largest distinct-address count seen in any window.
+	MaxSize int
+}
+
+// WorkingSet computes the working-set function at the given window
+// lengths. Windows are tiled (non-overlapping), which keeps the cost
+// linear per window length and is the standard approximation.
+func WorkingSet(t *Trace, windows []int) []WorkingSetPoint {
+	out := make([]WorkingSetPoint, 0, len(windows))
+	for _, w := range windows {
+		if w < 1 || t.Len() == 0 {
+			out = append(out, WorkingSetPoint{Window: w})
+			continue
+		}
+		seen := make(map[uint32]bool, 64)
+		var sizes []int
+		for i, r := range t.Refs {
+			seen[r.Addr] = true
+			if (i+1)%w == 0 || i == t.Len()-1 {
+				sizes = append(sizes, len(seen))
+				seen = make(map[uint32]bool, len(seen))
+			}
+		}
+		p := WorkingSetPoint{Window: w}
+		total := 0
+		for _, s := range sizes {
+			total += s
+			if s > p.MaxSize {
+				p.MaxSize = s
+			}
+		}
+		if len(sizes) > 0 {
+			p.AvgSize = float64(total) / float64(len(sizes))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ReuseHistogram returns the global LRU reuse-distance histogram: hist[d]
+// counts non-cold references with exactly d distinct addresses touched
+// since their previous occurrence, and cold is the first-touch count.
+// This is the fully-associative miss profile: a fully-associative LRU
+// cache of capacity c misses exactly sum(hist[d] for d >= c) non-cold
+// references.
+func ReuseHistogram(t *Trace) (hist []int, cold int) {
+	stack := make([]uint32, 0, 1024)
+	for _, r := range t.Refs {
+		pos := -1
+		for i, a := range stack {
+			if a == r.Addr {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			cold++
+			stack = append(stack, 0)
+			copy(stack[1:], stack)
+			stack[0] = r.Addr
+			continue
+		}
+		if pos >= len(hist) {
+			grown := make([]int, pos+1)
+			copy(grown, hist)
+			hist = grown
+		}
+		hist[pos]++
+		copy(stack[1:pos+1], stack[:pos])
+		stack[0] = r.Addr
+	}
+	return hist, cold
+}
+
+// MissesAtCapacity folds a reuse histogram into the non-cold miss count of
+// a fully-associative LRU cache with the given capacity in lines.
+func MissesAtCapacity(hist []int, capacity int) int {
+	if capacity < 0 {
+		capacity = 0
+	}
+	m := 0
+	for d := capacity; d < len(hist); d++ {
+		m += hist[d]
+	}
+	return m
+}

@@ -1,0 +1,52 @@
+package trace
+
+// Trace reduction in the spirit of Wu & Wolf [14] and Lajolo et al. [15]:
+// shrink a trace while provably preserving cache behaviour. The reduction
+// implemented here is exact for the paper's entire design space.
+//
+// Claim: removing a reference that immediately repeats its predecessor
+// changes neither the miss count nor the final state of ANY set-associative
+// cache with LRU, FIFO, PLRU or Random replacement, at any depth, any
+// associativity and any line size that maps both references to the same
+// line (line size 1 in the worst case — equal addresses always share a
+// line).
+//
+// Proof sketch: the repeated reference hits (its line was touched by the
+// immediately preceding access, so it is resident and most recently used in
+// its set). A hit on the MRU line leaves LRU order, FIFO arrival order and
+// PLRU tree bits unchanged, performs no replacement (so Random draws no
+// victim... for Random the PRNG is only consulted on misses), and marks no
+// new state other than recency already in place. Hence every subsequent
+// access sees an identical cache. Only the hit counter differs.
+//
+// The non-cold miss budget K of the paper therefore transfers verbatim to
+// the reduced trace, while N (and the prelude cost, which is linear in N)
+// shrinks by the number of immediate repeats — substantial for straight-
+// line data traces that read and then write the same location.
+
+// Dedup returns a copy of the trace with immediate same-address repeats
+// removed, together with the number of references removed. A read followed
+// by a write to the same address keeps the write's kind by upgrading the
+// retained reference: dropping the write would lose dirtiness, which
+// write-back statistics observe even though miss counts do not.
+//
+// The kind upgrade assumes write-allocate caches (the paper's write-back
+// model always allocates). Under write-through no-allocate, turning a
+// leading read into a write changes whether the line is filled; use Dedup
+// only with allocate-on-miss configurations, which is the entire design
+// space the analytical method covers.
+func Dedup(t *Trace) (*Trace, int) {
+	out := New(t.Len())
+	removed := 0
+	for _, r := range t.Refs {
+		if n := out.Len(); n > 0 && out.Refs[n-1].Addr == r.Addr {
+			removed++
+			if r.Kind == DataWrite {
+				out.Refs[n-1].Kind = DataWrite
+			}
+			continue
+		}
+		out.Append(r)
+	}
+	return out, removed
+}

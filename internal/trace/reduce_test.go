@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDedupBasic(t *testing.T) {
+	tr := FromAddrs(DataRead, []uint32{1, 1, 2, 2, 2, 3, 1, 1})
+	out, removed := Dedup(tr)
+	if removed != 4 {
+		t.Fatalf("removed = %d, want 4", removed)
+	}
+	want := []uint32{1, 2, 3, 1}
+	if out.Len() != len(want) {
+		t.Fatalf("reduced = %v", out.Refs)
+	}
+	for i, w := range want {
+		if out.Refs[i].Addr != w {
+			t.Fatalf("reduced[%d] = %d, want %d", i, out.Refs[i].Addr, w)
+		}
+	}
+	// Original untouched.
+	if tr.Len() != 8 {
+		t.Fatal("Dedup mutated its input")
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	out, removed := Dedup(New(0))
+	if out.Len() != 0 || removed != 0 {
+		t.Fatal("empty trace should reduce to empty")
+	}
+}
+
+func TestDedupKeepsWriteKind(t *testing.T) {
+	tr := New(0)
+	tr.Append(Ref{Addr: 5, Kind: DataRead})
+	tr.Append(Ref{Addr: 5, Kind: DataWrite}) // read-modify-write
+	out, removed := Dedup(tr)
+	if removed != 1 || out.Len() != 1 {
+		t.Fatalf("reduced = %v removed = %d", out.Refs, removed)
+	}
+	if out.Refs[0].Kind != DataWrite {
+		t.Fatal("dirtying write was dropped without upgrading the survivor")
+	}
+	// Write then read: the surviving write already carries dirtiness.
+	tr = New(0)
+	tr.Append(Ref{Addr: 5, Kind: DataWrite})
+	tr.Append(Ref{Addr: 5, Kind: DataRead})
+	out, _ = Dedup(tr)
+	if out.Refs[0].Kind != DataWrite {
+		t.Fatal("surviving write lost its kind")
+	}
+}
+
+func TestDedupNoRepeats(t *testing.T) {
+	tr := FromAddrs(DataRead, []uint32{1, 2, 3, 2, 1})
+	out, removed := Dedup(tr)
+	if removed != 0 || out.Len() != 5 {
+		t.Fatalf("repeat-free trace changed: %v", out.Refs)
+	}
+}
+
+// Property: the reduced trace contains no immediate repeats and preserves
+// the subsequence of distinct addresses.
+func TestQuickDedupShape(t *testing.T) {
+	f := func(addrs []uint8) bool {
+		tr := New(0)
+		for _, a := range addrs {
+			tr.Append(Ref{Addr: uint32(a % 4), Kind: DataRead}) // force repeats
+		}
+		out, removed := Dedup(tr)
+		if out.Len()+removed != tr.Len() {
+			return false
+		}
+		for i := 1; i < out.Len(); i++ {
+			if out.Refs[i].Addr == out.Refs[i-1].Addr {
+				return false
+			}
+		}
+		// Same stats that matter: N' and max misses are invariant.
+		a, b := ComputeStats(tr), ComputeStats(out)
+		return a.NUnique == b.NUnique && a.MaxMisses == b.MaxMisses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package trace
+
+// Stats summarises a trace the way Tables 5 and 6 of the paper do: total
+// size N, unique references N', and the maximum number of non-cold misses.
+type Stats struct {
+	// N is the total number of references.
+	N int
+	// NUnique is N', the number of distinct addresses.
+	NUnique int
+	// MaxMisses is the number of non-cold misses the trace incurs on the
+	// worst cache in the design space: a direct-mapped cache of depth one
+	// (a single slot). This is the reference point against which the miss
+	// budget K is expressed (K = 5..20% of MaxMisses in the experiments).
+	MaxMisses int
+}
+
+// ComputeStats derives the Table 5/6 statistics for a trace.
+//
+// With a single cache slot, a reference hits exactly when it repeats the
+// immediately preceding address; everything else is a miss, and a miss is
+// cold the first time the address is ever seen. The direct computation here
+// is cross-checked against the full cache simulator in integration tests.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{N: t.Len()}
+	seen := make(map[uint32]bool, 1024)
+	haveLast := false
+	var last uint32
+	for _, r := range t.Refs {
+		if haveLast && r.Addr == last {
+			// hit
+		} else if !seen[r.Addr] {
+			// cold miss: excluded from MaxMisses
+		} else {
+			s.MaxMisses++
+		}
+		seen[r.Addr] = true
+		last, haveLast = r.Addr, true
+	}
+	s.NUnique = len(seen)
+	return s
+}

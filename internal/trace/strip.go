@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"github.com/example/cachedse/internal/bitset"
+)
+
+// Stripped is the stripped form of a trace (Table 2 of the paper): the N'
+// unique references in order of first appearance, each assigned a numeric
+// identifier, plus the original trace re-expressed as a sequence of those
+// identifiers.
+//
+// Identifiers are zero-based here (the paper numbers from 1); every data
+// structure downstream is internally consistent, and rendering helpers add
+// one where a table must match the paper's numbering.
+type Stripped struct {
+	// Unique holds the distinct addresses in first-appearance order;
+	// Unique[id] is the address of identifier id. len(Unique) == N'.
+	Unique []uint32
+	// IDs is the original trace as identifiers: IDs[i] is the identifier of
+	// the i-th reference. len(IDs) == N.
+	IDs []int
+	// index maps address -> identifier.
+	index map[uint32]int
+}
+
+// Strip reduces a trace of N references to its N' unique references using a
+// hash table, the O(N) formulation recommended in §2.4 over sorting.
+func Strip(t *Trace) *Stripped {
+	s := &Stripped{
+		IDs:   make([]int, 0, t.Len()),
+		index: make(map[uint32]int),
+	}
+	for _, r := range t.Refs {
+		id, ok := s.index[r.Addr]
+		if !ok {
+			id = len(s.Unique)
+			s.index[r.Addr] = id
+			s.Unique = append(s.Unique, r.Addr)
+		}
+		s.IDs = append(s.IDs, id)
+	}
+	return s
+}
+
+// N returns the original trace length.
+func (s *Stripped) N() int { return len(s.IDs) }
+
+// NUnique returns N', the number of unique references.
+func (s *Stripped) NUnique() int { return len(s.Unique) }
+
+// ID returns the identifier of addr and whether it appears in the trace.
+func (s *Stripped) ID(addr uint32) (int, bool) {
+	id, ok := s.index[addr]
+	return id, ok
+}
+
+// Addr returns the address of identifier id.
+func (s *Stripped) Addr(id int) uint32 { return s.Unique[id] }
+
+// AddrBits returns the number of significant address bits over the unique
+// references.
+func (s *Stripped) AddrBits() int {
+	var max uint32
+	for _, a := range s.Unique {
+		if a > max {
+			max = a
+		}
+	}
+	bits := 0
+	for max != 0 {
+		bits++
+		max >>= 1
+	}
+	return bits
+}
+
+// ZeroOne is the pair of sets computed for one address bit (Table 3): Zero
+// holds the identifiers whose address has a 0 at that bit, One those with a
+// 1.
+type ZeroOne struct {
+	Zero *bitset.Set
+	One  *bitset.Set
+}
+
+// ZeroOneSets computes, for each of the given number of low-order address
+// bits B_0..B_{bits-1}, the pair (Z_i, O_i) over the unique references.
+// These cross-intersect to form the BCAT nodes (Algorithm 1). If bits is
+// zero or negative, AddrBits() is used; bits may exceed AddrBits, in which
+// case the extra planes have every identifier in Zero.
+func (s *Stripped) ZeroOneSets(bits int) []ZeroOne {
+	if bits <= 0 {
+		bits = s.AddrBits()
+	}
+	n := s.NUnique()
+	out := make([]ZeroOne, bits)
+	for b := range out {
+		out[b] = ZeroOne{Zero: bitset.New(n), One: bitset.New(n)}
+	}
+	for id, addr := range s.Unique {
+		for b := 0; b < bits; b++ {
+			if addr>>uint(b)&1 == 1 {
+				out[b].One.Add(id)
+			} else {
+				out[b].Zero.Add(id)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The paper's running example (Tables 1–3), duplicated here because the
+// shared fixture package paperex imports trace and would form a test import
+// cycle. internal/paperex carries the authoritative copy with provenance.
+var (
+	paperAddrs   = []uint32{0b1011, 0b1100, 0b0110, 0b0011, 0b1011, 0b0100, 0b1100, 0b0011, 0b1011, 0b0110}
+	paperUnique  = []uint32{0b1011, 0b1100, 0b0110, 0b0011, 0b0100}
+	paperIDs     = []int{1, 2, 3, 4, 1, 5, 2, 4, 1, 3}
+	paperZeroOne = []struct{ Zero, One []int }{
+		{Zero: []int{2, 3, 5}, One: []int{1, 4}},
+		{Zero: []int{2, 5}, One: []int{1, 3, 4}},
+		{Zero: []int{1, 4}, One: []int{2, 3, 5}},
+		{Zero: []int{3, 4, 5}, One: []int{1, 2}},
+	}
+)
+
+func paperTrace() *Trace { return FromAddrs(DataRead, paperAddrs) }
+
+func TestStripPaperExample(t *testing.T) {
+	s := Strip(paperTrace())
+	if s.N() != 10 {
+		t.Fatalf("N = %d, want 10", s.N())
+	}
+	if s.NUnique() != 5 {
+		t.Fatalf("N' = %d, want 5", s.NUnique())
+	}
+	// Table 2: unique references in first-appearance order.
+	for id, want := range paperUnique {
+		if got := s.Addr(id); got != want {
+			t.Errorf("Unique[%d] = %04b, want %04b", id, got, want)
+		}
+	}
+	// Identifier sequence (paper IDs are one-based).
+	for i, want := range paperIDs {
+		if got := s.IDs[i] + 1; got != want {
+			t.Errorf("IDs[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStripIDLookup(t *testing.T) {
+	s := Strip(paperTrace())
+	id, ok := s.ID(0b1100)
+	if !ok || id != 1 {
+		t.Fatalf("ID(1100) = %d, %v; want 1, true", id, ok)
+	}
+	if _, ok := s.ID(0xFFFF); ok {
+		t.Fatal("ID of absent address reported present")
+	}
+}
+
+func TestStripEmpty(t *testing.T) {
+	s := Strip(New(0))
+	if s.N() != 0 || s.NUnique() != 0 {
+		t.Fatalf("empty strip: N=%d N'=%d", s.N(), s.NUnique())
+	}
+	if s.AddrBits() != 0 {
+		t.Fatalf("AddrBits of empty = %d, want 0", s.AddrBits())
+	}
+}
+
+func TestStrippedAddrBits(t *testing.T) {
+	s := Strip(paperTrace())
+	if got := s.AddrBits(); got != 4 {
+		t.Fatalf("AddrBits = %d, want 4", got)
+	}
+}
+
+func TestZeroOneSetsPaperExample(t *testing.T) {
+	s := Strip(paperTrace())
+	zo := s.ZeroOneSets(0) // default to AddrBits = 4
+	if len(zo) != 4 {
+		t.Fatalf("got %d bit planes, want 4", len(zo))
+	}
+	for b, want := range paperZeroOne {
+		for _, id := range want.Zero {
+			if !zo[b].Zero.Contains(id - 1) {
+				t.Errorf("bit %d: Zero missing id %d", b, id)
+			}
+		}
+		for _, id := range want.One {
+			if !zo[b].One.Contains(id - 1) {
+				t.Errorf("bit %d: One missing id %d", b, id)
+			}
+		}
+		if got := zo[b].Zero.Count() + zo[b].One.Count(); got != 5 {
+			t.Errorf("bit %d: |Z|+|O| = %d, want 5", b, got)
+		}
+	}
+}
+
+func TestZeroOneSetsExplicitWidth(t *testing.T) {
+	s := Strip(FromAddrs(DataRead, []uint32{0, 1}))
+	zo := s.ZeroOneSets(3)
+	if len(zo) != 3 {
+		t.Fatalf("got %d planes, want 3", len(zo))
+	}
+	// Bits beyond AddrBits: every id is in Zero.
+	if zo[2].Zero.Count() != 2 || zo[2].One.Count() != 0 {
+		t.Fatalf("high plane Z=%d O=%d, want 2, 0", zo[2].Zero.Count(), zo[2].One.Count())
+	}
+}
+
+// Property: stripping preserves the trace — reconstructing addresses from
+// IDs yields the original sequence.
+func TestQuickStripRoundTrip(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		tr := FromAddrs(DataRead, addrs)
+		s := Strip(tr)
+		if s.N() != len(addrs) {
+			return false
+		}
+		for i, id := range s.IDs {
+			if s.Addr(id) != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: N' <= N, and N' equals the size of the address set.
+func TestQuickStripUniqueCount(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		s := Strip(FromAddrs(DataRead, addrs))
+		set := make(map[uint32]bool)
+		for _, a := range addrs {
+			set[a] = true
+		}
+		return s.NUnique() == len(set) && s.NUnique() <= s.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: zero/one sets partition the identifier space at every bit.
+func TestQuickZeroOnePartition(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		s := Strip(FromAddrs(DataRead, addrs))
+		for _, zo := range s.ZeroOneSets(0) {
+			if zo.Zero.Intersects(zo.One) {
+				return false
+			}
+			if zo.Zero.Count()+zo.One.Count() != s.NUnique() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package vm
+
+import (
+	"fmt"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Memory is the word-addressed data store. Addresses are word indices; the
+// byte-offset bits the paper strips at capture time never exist here.
+type Memory struct {
+	words []uint32
+}
+
+// NewMemory allocates a data memory of n words.
+func NewMemory(n int) *Memory { return &Memory{words: make([]uint32, n)} }
+
+// Size returns the memory's capacity in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Load reads the word at addr.
+func (m *Memory) Load(addr uint32) (uint32, error) {
+	if int(addr) >= len(m.words) {
+		return 0, fmt.Errorf("vm: load from %#x beyond memory of %d words", addr, len(m.words))
+	}
+	return m.words[addr], nil
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr, v uint32) error {
+	if int(addr) >= len(m.words) {
+		return fmt.Errorf("vm: store to %#x beyond memory of %d words", addr, len(m.words))
+	}
+	m.words[addr] = v
+	return nil
+}
+
+// Words exposes the backing slice for program loading and inspection.
+func (m *Memory) Words() []uint32 { return m.words }
+
+// Tracer observes the machine's memory reference streams.
+type Tracer interface {
+	// Instr is called once per executed instruction with its PC.
+	Instr(pc uint32)
+	// Data is called once per load or store with the word address.
+	Data(addr uint32, write bool)
+}
+
+// Collector is a Tracer that appends references to a mixed trace.
+// Instruction references are offset by IBase so the two address spaces
+// cannot alias when callers inspect the mixed stream; Split by Kind
+// recovers the separate traces either way.
+type Collector struct {
+	Trace *trace.Trace
+	IBase uint32
+}
+
+// NewCollector returns a Collector with the conventional instruction-space
+// offset (the top of a 22-bit data space).
+func NewCollector() *Collector {
+	return &Collector{Trace: trace.New(0), IBase: 1 << 22}
+}
+
+// Instr implements Tracer.
+func (c *Collector) Instr(pc uint32) {
+	c.Trace.Append(trace.Ref{Addr: c.IBase + pc, Kind: trace.Instr})
+}
+
+// Data implements Tracer.
+func (c *Collector) Data(addr uint32, write bool) {
+	k := trace.DataRead
+	if write {
+		k = trace.DataWrite
+	}
+	c.Trace.Append(trace.Ref{Addr: addr, Kind: k})
+}
+
+// CPU is the execution engine. Zero value is not usable; construct with
+// NewCPU.
+type CPU struct {
+	Prog []Instr
+	Mem  *Memory
+	Reg  [32]uint32
+	PC   uint32
+	// Out receives values written by the out instruction; kernels use it
+	// to expose checksums so tests can verify functional correctness.
+	Out []uint32
+
+	Tracer Tracer
+	steps  uint64
+	halted bool
+}
+
+// NewCPU builds a CPU over a program and a data memory.
+func NewCPU(prog []Instr, mem *Memory) *CPU {
+	return &CPU{Prog: prog, Mem: mem}
+}
+
+// Steps returns the number of instructions executed so far.
+func (c *CPU) Steps() uint64 { return c.steps }
+
+// Halted reports whether the program has executed halt.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Step executes one instruction. It returns an error on a fault
+// (PC out of range, memory fault, division by zero) and is a no-op once
+// halted.
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	if int(c.PC) >= len(c.Prog) {
+		return fmt.Errorf("vm: pc %d beyond program of %d instructions", c.PC, len(c.Prog))
+	}
+	in := c.Prog[c.PC]
+	if c.Tracer != nil {
+		c.Tracer.Instr(c.PC)
+	}
+	c.steps++
+	next := c.PC + 1
+
+	rs, rt := c.Reg[in.Rs], c.Reg[in.Rt]
+	setRd := func(v uint32) {
+		if in.Rd != 0 {
+			c.Reg[in.Rd] = v
+		}
+	}
+	setRt := func(v uint32) {
+		if in.Rt != 0 {
+			c.Reg[in.Rt] = v
+		}
+	}
+
+	switch in.Op {
+	case OpAdd:
+		setRd(rs + rt)
+	case OpSub:
+		setRd(rs - rt)
+	case OpAnd:
+		setRd(rs & rt)
+	case OpOr:
+		setRd(rs | rt)
+	case OpXor:
+		setRd(rs ^ rt)
+	case OpNor:
+		setRd(^(rs | rt))
+	case OpSlt:
+		setRd(boolWord(int32(rs) < int32(rt)))
+	case OpSltu:
+		setRd(boolWord(rs < rt))
+	case OpSllv:
+		setRd(rt << (rs & 31))
+	case OpSrlv:
+		setRd(rt >> (rs & 31))
+	case OpSrav:
+		setRd(uint32(int32(rt) >> (rs & 31)))
+	case OpMul:
+		setRd(uint32(int32(rs) * int32(rt)))
+	case OpDiv:
+		if rt == 0 {
+			return fmt.Errorf("vm: division by zero at pc %d", c.PC)
+		}
+		setRd(uint32(int32(rs) / int32(rt)))
+	case OpRem:
+		if rt == 0 {
+			return fmt.Errorf("vm: remainder by zero at pc %d", c.PC)
+		}
+		setRd(uint32(int32(rs) % int32(rt)))
+	case OpJr:
+		next = rs
+	case OpJalr:
+		setRd(c.PC + 1)
+		next = rs
+	case OpOut:
+		c.Out = append(c.Out, rs)
+	case OpHalt:
+		c.halted = true
+		return nil
+
+	case OpAddi:
+		setRt(rs + uint32(in.Imm))
+	case OpAndi:
+		setRt(rs & uint32(in.Imm))
+	case OpOri:
+		setRt(rs | uint32(in.Imm))
+	case OpXori:
+		setRt(rs ^ uint32(in.Imm))
+	case OpSlti:
+		setRt(boolWord(int32(rs) < in.Imm))
+	case OpSll:
+		setRt(rs << uint32(in.Imm&31))
+	case OpSrl:
+		setRt(rs >> uint32(in.Imm&31))
+	case OpSra:
+		setRt(uint32(int32(rs) >> uint32(in.Imm&31)))
+	case OpLui:
+		setRt(uint32(in.Imm) << 16)
+	case OpLw:
+		addr := rs + uint32(in.Imm)
+		if c.Tracer != nil {
+			c.Tracer.Data(addr, false)
+		}
+		v, err := c.Mem.Load(addr)
+		if err != nil {
+			return fmt.Errorf("%v (pc %d: %s)", err, c.PC, in)
+		}
+		setRt(v)
+	case OpSw:
+		addr := rs + uint32(in.Imm)
+		if c.Tracer != nil {
+			c.Tracer.Data(addr, true)
+		}
+		if err := c.Mem.Store(addr, rt); err != nil {
+			return fmt.Errorf("%v (pc %d: %s)", err, c.PC, in)
+		}
+	case OpBeq:
+		if rs == rt {
+			next = uint32(int32(c.PC) + 1 + in.Imm)
+		}
+	case OpBne:
+		if rs != rt {
+			next = uint32(int32(c.PC) + 1 + in.Imm)
+		}
+	case OpBlt:
+		if int32(rs) < int32(rt) {
+			next = uint32(int32(c.PC) + 1 + in.Imm)
+		}
+	case OpBge:
+		if int32(rs) >= int32(rt) {
+			next = uint32(int32(c.PC) + 1 + in.Imm)
+		}
+
+	case OpJ:
+		next = uint32(in.Imm)
+	case OpJal:
+		c.Reg[31] = c.PC + 1
+		next = uint32(in.Imm)
+
+	default:
+		return fmt.Errorf("vm: invalid opcode %d at pc %d", in.Op, c.PC)
+	}
+	c.PC = next
+	return nil
+}
+
+// Run executes until halt or maxSteps instructions, whichever comes first.
+// Exceeding maxSteps is an error (runaway program).
+func (c *CPU) Run(maxSteps uint64) error {
+	start := c.steps
+	for !c.halted {
+		if c.steps-start >= maxSteps {
+			return fmt.Errorf("vm: exceeded %d steps without halting", maxSteps)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

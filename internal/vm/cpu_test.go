@@ -1,0 +1,318 @@
+package vm
+
+import (
+	"testing"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// negWord returns the two's-complement word for -v.
+func negWord(v int32) uint32 { return uint32(-v) }
+
+// runProg executes a program to halt on a small memory and returns the CPU.
+func runProg(t *testing.T, prog []Instr, mem []uint32) *CPU {
+	t.Helper()
+	m := NewMemory(256)
+	copy(m.Words(), mem)
+	c := NewCPU(prog, m)
+	if err := c.Run(100000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(4)
+	if m.Size() != 4 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	if err := m.Store(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Load(3); err != nil || v != 7 {
+		t.Fatalf("Load(3) = %d, %v", v, err)
+	}
+	if _, err := m.Load(4); err == nil {
+		t.Error("Load beyond memory succeeded")
+	}
+	if err := m.Store(100, 1); err == nil {
+		t.Error("Store beyond memory succeeded")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	prog := []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 7},
+		{Op: OpAddi, Rt: 2, Rs: 0, Imm: -3},
+		{Op: OpAdd, Rd: 3, Rs: 1, Rt: 2},  // 4
+		{Op: OpSub, Rd: 4, Rs: 1, Rt: 2},  // 10
+		{Op: OpMul, Rd: 5, Rs: 1, Rt: 2},  // -21
+		{Op: OpDiv, Rd: 6, Rs: 1, Rt: 2},  // -2 (Go truncation)
+		{Op: OpRem, Rd: 7, Rs: 1, Rt: 2},  // 1
+		{Op: OpSlt, Rd: 8, Rs: 2, Rt: 1},  // 1 (-3 < 7)
+		{Op: OpSltu, Rd: 9, Rs: 2, Rt: 1}, // 0 (huge unsigned -3)
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, nil)
+	want := map[int]uint32{
+		3: 4, 4: 10, 5: negWord(21), 6: negWord(2), 7: 1, 8: 1, 9: 0,
+	}
+	for r, w := range want {
+		if c.Reg[r] != w {
+			t.Errorf("r%d = %d, want %d", r, int32(c.Reg[r]), int32(w))
+		}
+	}
+}
+
+func TestLogicAndShifts(t *testing.T) {
+	prog := []Instr{
+		{Op: OpOri, Rt: 1, Rs: 0, Imm: 0xF0F0},
+		{Op: OpOri, Rt: 2, Rs: 0, Imm: 0x0FF0},
+		{Op: OpAnd, Rd: 3, Rs: 1, Rt: 2},
+		{Op: OpOr, Rd: 4, Rs: 1, Rt: 2},
+		{Op: OpXor, Rd: 5, Rs: 1, Rt: 2},
+		{Op: OpNor, Rd: 6, Rs: 1, Rt: 2},
+		{Op: OpSll, Rt: 7, Rs: 1, Imm: 4},
+		{Op: OpSrl, Rt: 8, Rs: 1, Imm: 4},
+		{Op: OpAddi, Rt: 9, Rs: 0, Imm: -16},
+		{Op: OpSra, Rt: 10, Rs: 9, Imm: 2},
+		{Op: OpAddi, Rt: 11, Rs: 0, Imm: 2},
+		{Op: OpSllv, Rd: 12, Rs: 11, Rt: 1},
+		{Op: OpSrlv, Rd: 13, Rs: 11, Rt: 1},
+		{Op: OpSrav, Rd: 14, Rs: 11, Rt: 9},
+		{Op: OpAndi, Rt: 15, Rs: 1, Imm: 0x00FF},
+		{Op: OpXori, Rt: 16, Rs: 1, Imm: 0xFFFF},
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, nil)
+	want := map[int]uint32{
+		3:  0x00F0,
+		4:  0xFFF0,
+		5:  0xFF00,
+		6:  ^uint32(0xFFF0),
+		7:  0xF0F00,
+		8:  0x0F0F,
+		10: negWord(4),
+		12: 0xF0F0 << 2,
+		13: 0xF0F0 >> 2,
+		14: negWord(4),
+		15: 0x00F0,
+		16: 0x0F0F,
+	}
+	for r, w := range want {
+		if c.Reg[r] != w {
+			t.Errorf("r%d = %#x, want %#x", r, c.Reg[r], w)
+		}
+	}
+}
+
+func TestLuiOriConstant(t *testing.T) {
+	prog := []Instr{
+		{Op: OpLui, Rt: 1, Imm: 0x1234},
+		{Op: OpOri, Rt: 1, Rs: 1, Imm: 0x5678},
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, nil)
+	if c.Reg[1] != 0x12345678 {
+		t.Fatalf("r1 = %#x, want 0x12345678", c.Reg[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	prog := []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 10}, // base
+		{Op: OpAddi, Rt: 2, Rs: 0, Imm: 99},
+		{Op: OpSw, Rt: 2, Rs: 1, Imm: 5}, // mem[15] = 99
+		{Op: OpLw, Rt: 3, Rs: 1, Imm: 5}, // r3 = 99
+		{Op: OpLw, Rt: 4, Rs: 0, Imm: 0}, // r4 = mem[0] = 42
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, []uint32{42})
+	if c.Reg[3] != 99 {
+		t.Errorf("r3 = %d, want 99", c.Reg[3])
+	}
+	if c.Reg[4] != 42 {
+		t.Errorf("r4 = %d, want 42", c.Reg[4])
+	}
+	if v, _ := c.Mem.Load(15); v != 99 {
+		t.Errorf("mem[15] = %d, want 99", v)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a bne loop.
+	prog := []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 0},  // sum
+		{Op: OpAddi, Rt: 2, Rs: 0, Imm: 1},  // i
+		{Op: OpAddi, Rt: 3, Rs: 0, Imm: 11}, // limit
+		// loop:
+		{Op: OpAdd, Rd: 1, Rs: 1, Rt: 2},
+		{Op: OpAddi, Rt: 2, Rs: 2, Imm: 1},
+		{Op: OpBne, Rs: 2, Rt: 3, Imm: -3}, // back to loop
+		{Op: OpOut, Rs: 1},
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, nil)
+	if len(c.Out) != 1 || c.Out[0] != 55 {
+		t.Fatalf("Out = %v, want [55]", c.Out)
+	}
+}
+
+func TestBltBge(t *testing.T) {
+	prog := []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: -5},
+		{Op: OpAddi, Rt: 2, Rs: 0, Imm: 3},
+		{Op: OpBlt, Rs: 1, Rt: 2, Imm: 1}, // taken: skip next
+		{Op: OpAddi, Rt: 3, Rs: 0, Imm: 111},
+		{Op: OpBge, Rs: 1, Rt: 2, Imm: 1}, // not taken
+		{Op: OpAddi, Rt: 4, Rs: 0, Imm: 222},
+		{Op: OpBge, Rs: 2, Rt: 2, Imm: 1}, // taken (equal)
+		{Op: OpAddi, Rt: 5, Rs: 0, Imm: 333},
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, nil)
+	if c.Reg[3] != 0 {
+		t.Error("blt not taken when rs < rt")
+	}
+	if c.Reg[4] != 222 {
+		t.Error("bge taken when rs < rt")
+	}
+	if c.Reg[5] != 0 {
+		t.Error("bge not taken when rs == rt")
+	}
+}
+
+func TestJumpAndLink(t *testing.T) {
+	prog := []Instr{
+		{Op: OpJal, Imm: 3}, // call sub at 3
+		{Op: OpOut, Rs: 5},
+		{Op: OpHalt},
+		// sub:
+		{Op: OpAddi, Rt: 5, Rs: 0, Imm: 77},
+		{Op: OpJr, Rs: 31},
+	}
+	c := runProg(t, prog, nil)
+	if len(c.Out) != 1 || c.Out[0] != 77 {
+		t.Fatalf("Out = %v, want [77]", c.Out)
+	}
+}
+
+func TestJalr(t *testing.T) {
+	prog := []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 4},
+		{Op: OpJalr, Rd: 2, Rs: 1}, // r2 = 2, jump to 4
+		{Op: OpHalt},               // skipped on first pass
+		{Op: OpHalt},
+		{Op: OpOut, Rs: 2},
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, nil)
+	if len(c.Out) != 1 || c.Out[0] != 2 {
+		t.Fatalf("Out = %v, want [2]", c.Out)
+	}
+}
+
+func TestJAbsolute(t *testing.T) {
+	prog := []Instr{
+		{Op: OpJ, Imm: 2},
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 1}, // skipped
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, nil)
+	if c.Reg[1] != 0 {
+		t.Error("jumped-over instruction executed")
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	prog := []Instr{
+		{Op: OpAddi, Rt: 0, Rs: 0, Imm: 42},
+		{Op: OpAdd, Rd: 0, Rs: 0, Rt: 0},
+		{Op: OpLw, Rt: 0, Rs: 0, Imm: 0},
+		{Op: OpHalt},
+	}
+	c := runProg(t, prog, []uint32{123})
+	if c.Reg[0] != 0 {
+		t.Fatalf("r0 = %d, want 0", c.Reg[0])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Instr
+	}{
+		{"pc overrun", []Instr{{Op: OpAddi, Rt: 1}}},
+		{"div by zero", []Instr{{Op: OpDiv, Rd: 1, Rs: 1, Rt: 0}}},
+		{"rem by zero", []Instr{{Op: OpRem, Rd: 1, Rs: 1, Rt: 0}}},
+		{"load fault", []Instr{{Op: OpLw, Rt: 1, Rs: 0, Imm: 9999}}},
+		{"store fault", []Instr{{Op: OpSw, Rt: 1, Rs: 0, Imm: 9999}}},
+	}
+	for _, c := range cases {
+		cpu := NewCPU(c.prog, NewMemory(16))
+		if err := cpu.Run(100); err == nil {
+			t.Errorf("%s: Run succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	prog := []Instr{{Op: OpJ, Imm: 0}} // infinite loop
+	c := NewCPU(prog, NewMemory(1))
+	if err := c.Run(1000); err == nil {
+		t.Fatal("runaway program did not error")
+	}
+	if c.Steps() != 1000 {
+		t.Fatalf("Steps = %d, want 1000", c.Steps())
+	}
+}
+
+func TestStepAfterHaltIsNoop(t *testing.T) {
+	c := NewCPU([]Instr{{Op: OpHalt}}, NewMemory(1))
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	steps := c.Steps()
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Steps() != steps {
+		t.Fatal("Step after halt executed an instruction")
+	}
+	if !c.Halted() {
+		t.Fatal("Halted() = false after halt")
+	}
+}
+
+func TestCollectorTracing(t *testing.T) {
+	prog := []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 3}, // pc 0
+		{Op: OpLw, Rt: 2, Rs: 1, Imm: 0},   // pc 1, read mem[3]
+		{Op: OpSw, Rt: 2, Rs: 1, Imm: 1},   // pc 2, write mem[4]
+		{Op: OpHalt},                       // pc 3
+	}
+	col := NewCollector()
+	c := NewCPU(prog, NewMemory(16))
+	c.Tracer = col
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	instr, data := col.Trace.Split()
+	if instr.Len() != 4 {
+		t.Fatalf("instruction trace length %d, want 4", instr.Len())
+	}
+	for i, r := range instr.Refs {
+		if r.Addr != col.IBase+uint32(i) {
+			t.Errorf("instr ref %d addr = %#x, want %#x", i, r.Addr, col.IBase+uint32(i))
+		}
+	}
+	if data.Len() != 2 {
+		t.Fatalf("data trace length %d, want 2", data.Len())
+	}
+	if data.Refs[0] != (trace.Ref{Addr: 3, Kind: trace.DataRead}) {
+		t.Errorf("data ref 0 = %+v", data.Refs[0])
+	}
+	if data.Refs[1] != (trace.Ref{Addr: 4, Kind: trace.DataWrite}) {
+		t.Errorf("data ref 1 = %+v", data.Refs[1])
+	}
+}

@@ -1,0 +1,51 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks Decode never panics and that everything it accepts
+// re-encodes to the same word (decode is a right inverse of encode on its
+// image).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0x00221820)) // add $3,$1,$2
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(uint32(0x0800FFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		again, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %#x to %v, which does not re-encode: %v", w, in, err)
+		}
+		back, err := Decode(again)
+		if err != nil || back != in {
+			t.Fatalf("re-decode mismatch: %#x -> %v -> %#x -> %v", w, in, again, back)
+		}
+	})
+}
+
+// FuzzReadImage checks the image parser on arbitrary bytes.
+func FuzzReadImage(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, []Instr{{Op: OpHalt}}, []uint32{7}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CVM1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		prog, data, err := ReadImage(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteImage(&out, prog, data); err != nil {
+			t.Fatalf("accepted image does not re-serialise: %v", err)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package vm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Program images: a serialised container for an assembled program (machine
+// words) plus its initial data segment, so kernels can be shipped as
+// binaries and reloaded without the assembler. Layout (little-endian):
+//
+//	magic "CVM1" | uvarint ninstr | ninstr x uint32 | uvarint ndata | ndata x uint32
+
+var imageMagic = [4]byte{'C', 'V', 'M', '1'}
+
+// WriteImage serialises a program and data segment.
+func WriteImage(w io.Writer, prog []Instr, data []uint32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(imageMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(prog)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var word [4]byte
+	for i, in := range prog {
+		enc, err := Encode(in)
+		if err != nil {
+			return fmt.Errorf("vm: image: instruction %d: %v", i, err)
+		}
+		binary.LittleEndian.PutUint32(word[:], enc)
+		if _, err := bw.Write(word[:]); err != nil {
+			return err
+		}
+	}
+	n = binary.PutUvarint(buf[:], uint64(len(data)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, d := range data {
+		binary.LittleEndian.PutUint32(word[:], d)
+		if _, err := bw.Write(word[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImage parses a program image.
+func ReadImage(r io.Reader) (prog []Instr, data []uint32, err error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("vm: image: reading magic: %v", err)
+	}
+	if magic != imageMagic {
+		return nil, nil, fmt.Errorf("vm: image: bad magic %q", magic[:])
+	}
+	const maxWords = 1 << 26
+	readWords := func(what string) ([]uint32, error) {
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("vm: image: reading %s count: %v", what, err)
+		}
+		if count > maxWords {
+			return nil, fmt.Errorf("vm: image: implausible %s count %d", what, count)
+		}
+		out := make([]uint32, count)
+		var word [4]byte
+		for i := range out {
+			if _, err := io.ReadFull(br, word[:]); err != nil {
+				return nil, fmt.Errorf("vm: image: reading %s word %d: %v", what, i, err)
+			}
+			out[i] = binary.LittleEndian.Uint32(word[:])
+		}
+		return out, nil
+	}
+	enc, err := readWords("instruction")
+	if err != nil {
+		return nil, nil, err
+	}
+	prog = make([]Instr, len(enc))
+	for i, w := range enc {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vm: image: instruction %d: %v", i, err)
+		}
+		prog[i] = in
+	}
+	data, err = readWords("data")
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, data, nil
+}
+
+// Disassemble renders a program listing with addresses and machine words,
+// suitable for debugging kernels.
+func Disassemble(prog []Instr) string {
+	var b strings.Builder
+	for pc, in := range prog {
+		w, err := Encode(in)
+		if err != nil {
+			fmt.Fprintf(&b, "%4d  <unencodable: %v>\n", pc, err)
+			continue
+		}
+		fmt.Fprintf(&b, "%4d  %08x  %s\n", pc, w, in)
+	}
+	return b.String()
+}

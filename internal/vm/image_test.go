@@ -1,0 +1,104 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleProg() []Instr {
+	return []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 5},
+		{Op: OpLw, Rt: 2, Rs: 1, Imm: -1},
+		{Op: OpBne, Rs: 1, Rt: 2, Imm: -2},
+		{Op: OpJal, Imm: 0},
+		{Op: OpHalt},
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	prog := sampleProg()
+	data := []uint32{1, 0xFFFFFFFF, 42}
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, prog, data); err != nil {
+		t.Fatal(err)
+	}
+	gotProg, gotData, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotProg) != len(prog) {
+		t.Fatalf("prog len %d, want %d", len(gotProg), len(prog))
+	}
+	for i := range prog {
+		if gotProg[i] != prog[i] {
+			t.Errorf("instr %d: %v != %v", i, gotProg[i], prog[i])
+		}
+	}
+	if len(gotData) != len(data) {
+		t.Fatalf("data len %d, want %d", len(gotData), len(data))
+	}
+	for i := range data {
+		if gotData[i] != data[i] {
+			t.Errorf("data %d: %d != %d", i, gotData[i], data[i])
+		}
+	}
+}
+
+func TestImageEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	prog, data, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 0 || len(data) != 0 {
+		t.Fatal("empty image round trip not empty")
+	}
+}
+
+func TestImageBadMagic(t *testing.T) {
+	if _, _, err := ReadImage(bytes.NewReader([]byte("XXXX1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestImageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, sampleProg(), []uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, n := range []int{0, 3, 5, 8, len(b) - 1} {
+		if _, _, err := ReadImage(bytes.NewReader(b[:n])); err == nil {
+			t.Errorf("prefix %d accepted", n)
+		}
+	}
+}
+
+func TestImageUnencodableInstr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, []Instr{{Op: Op(99)}}, nil); err == nil {
+		t.Fatal("invalid opcode serialised")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	out := Disassemble(sampleProg())
+	for _, want := range []string{"addi", "lw", "bne", "jal", "halt", "   0  "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(sampleProg()) {
+		t.Fatalf("%d listing lines for %d instructions", lines, len(sampleProg()))
+	}
+	// Unencodable entries are reported, not dropped.
+	out = Disassemble([]Instr{{Op: Op(99)}})
+	if !strings.Contains(out, "unencodable") {
+		t.Fatalf("bad instruction not flagged: %q", out)
+	}
+}

@@ -1,0 +1,275 @@
+// Package vm implements a MIPS-like 32-bit RISC virtual machine used as
+// the trace-generating processor substrate: the stand-in for the paper's
+// instrumented MIPS R3000 simulator ("We first compiled and executed the
+// benchmark applications on a MIPS R3000 simulator... instrumented to
+// output separate instruction and data memory reference traces", §3).
+//
+// The machine is Harvard-style: instructions live in their own program
+// store indexed by PC, data in a word-addressed data memory. Executing a
+// program therefore yields exactly the two streams the paper analyses —
+// the PC sequence (instruction trace) and the load/store address sequence
+// (data trace) — via the Tracer hook.
+//
+// The ISA is a compact MIPS-flavoured subset with fixed 32-bit encodings
+// (R/I/J formats); Encode and Decode round-trip every instruction so
+// programs can be stored or shipped as binaries.
+package vm
+
+import "fmt"
+
+// Op enumerates the instruction set.
+type Op uint8
+
+// Instruction opcodes. Arithmetic and logic follow MIPS semantics on
+// 32-bit two's-complement words; mul/div/rem are three-operand
+// simplifications of MIPS hi/lo.
+const (
+	OpAdd  Op = iota // rd = rs + rt
+	OpSub            // rd = rs - rt
+	OpAnd            // rd = rs & rt
+	OpOr             // rd = rs | rt
+	OpXor            // rd = rs ^ rt
+	OpNor            // rd = ^(rs | rt)
+	OpSlt            // rd = signed(rs) < signed(rt)
+	OpSltu           // rd = rs < rt (unsigned)
+	OpSllv           // rd = rt << (rs & 31)
+	OpSrlv           // rd = rt >> (rs & 31) logical
+	OpSrav           // rd = rt >> (rs & 31) arithmetic
+	OpMul            // rd = low32(rs * rt)
+	OpDiv            // rd = signed(rs) / signed(rt)
+	OpRem            // rd = signed(rs) % signed(rt)
+	OpJr             // pc = rs
+	OpJalr           // rd = pc+1; pc = rs
+	OpOut            // append rs to the output buffer
+	OpHalt           // stop execution
+
+	OpAddi // rt = rs + imm
+	OpAndi // rt = rs & uimm
+	OpOri  // rt = rs | uimm
+	OpXori // rt = rs ^ uimm
+	OpSlti // rt = signed(rs) < imm
+	OpSll  // rt = rs << shamt
+	OpSrl  // rt = rs >> shamt logical
+	OpSra  // rt = rs >> shamt arithmetic
+	OpLui  // rt = imm << 16
+	OpLw   // rt = mem[rs + imm]
+	OpSw   // mem[rs + imm] = rt
+	OpBeq  // if rs == rt: pc += 1 + imm
+	OpBne  // if rs != rt: pc += 1 + imm
+	OpBlt  // if signed(rs) < signed(rt): pc += 1 + imm
+	OpBge  // if signed(rs) >= signed(rt): pc += 1 + imm
+
+	OpJ   // pc = target
+	OpJal // r31 = pc+1; pc = target
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpNor: "nor", OpSlt: "slt", OpSltu: "sltu", OpSllv: "sllv",
+	OpSrlv: "srlv", OpSrav: "srav", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpJr: "jr", OpJalr: "jalr", OpOut: "out", OpHalt: "halt",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlti: "slti", OpSll: "sll", OpSrl: "srl", OpSra: "sra",
+	OpLui: "lui", OpLw: "lw", OpSw: "sw", OpBeq: "beq", OpBne: "bne",
+	OpBlt: "blt", OpBge: "bge", OpJ: "j", OpJal: "jal",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// Format classifies the encoding layout of an opcode.
+type Format uint8
+
+// Encoding formats.
+const (
+	FormatR Format = iota // register: rd, rs, rt (funct-selected)
+	FormatI               // immediate: rt, rs, 16-bit imm
+	FormatJ               // jump: 26-bit target
+)
+
+// OpFormat returns the encoding format of an opcode.
+func OpFormat(o Op) Format {
+	switch {
+	case o <= OpHalt:
+		return FormatR
+	case o <= OpBge:
+		return FormatI
+	default:
+		return FormatJ
+	}
+}
+
+// Instr is a decoded instruction. Field use depends on the format:
+//
+//	R: Rd = Rs op Rt (Jr/Jalr/Out/Halt use subsets)
+//	I: Rt = Rs op Imm; loads/stores use Imm as a displacement; branches as
+//	   a signed instruction offset relative to pc+1; shifts as shamt.
+//	J: Imm is the absolute target instruction index.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt uint8
+	Imm        int32
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch OpFormat(i.Op) {
+	case FormatR:
+		switch i.Op {
+		case OpJr:
+			return fmt.Sprintf("jr $%d", i.Rs)
+		case OpJalr:
+			return fmt.Sprintf("jalr $%d, $%d", i.Rd, i.Rs)
+		case OpOut:
+			return fmt.Sprintf("out $%d", i.Rs)
+		case OpHalt:
+			return "halt"
+		}
+		return fmt.Sprintf("%s $%d, $%d, $%d", i.Op, i.Rd, i.Rs, i.Rt)
+	case FormatI:
+		switch i.Op {
+		case OpLw:
+			return fmt.Sprintf("lw $%d, %d($%d)", i.Rt, i.Imm, i.Rs)
+		case OpSw:
+			return fmt.Sprintf("sw $%d, %d($%d)", i.Rt, i.Imm, i.Rs)
+		case OpBeq, OpBne, OpBlt, OpBge:
+			return fmt.Sprintf("%s $%d, $%d, %+d", i.Op, i.Rs, i.Rt, i.Imm)
+		case OpLui:
+			return fmt.Sprintf("lui $%d, %d", i.Rt, i.Imm)
+		case OpSll, OpSrl, OpSra:
+			return fmt.Sprintf("%s $%d, $%d, %d", i.Op, i.Rt, i.Rs, i.Imm)
+		}
+		return fmt.Sprintf("%s $%d, $%d, %d", i.Op, i.Rt, i.Rs, i.Imm)
+	default:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	}
+}
+
+// Machine encoding: |31 op 26|25 rs 21|20 rt 16|15 rd 11|10 shamt 6|5 funct 0|
+// R-type instructions share major opcode 0 and select by funct; I-type use
+// major opcodes 8..; J-type 2..3. The mapping below is self-consistent and
+// MIPS-flavoured rather than binary-compatible.
+
+const (
+	majorR   = 0
+	majorJ   = 2
+	majorJal = 3
+)
+
+// functs for R-type ops, indexed by Op.
+var functOf = map[Op]uint32{
+	OpAdd: 0x20, OpSub: 0x22, OpAnd: 0x24, OpOr: 0x25, OpXor: 0x26,
+	OpNor: 0x27, OpSlt: 0x2a, OpSltu: 0x2b, OpSllv: 0x04, OpSrlv: 0x06,
+	OpSrav: 0x07, OpMul: 0x18, OpDiv: 0x1a, OpRem: 0x1b, OpJr: 0x08,
+	OpJalr: 0x09, OpOut: 0x30, OpHalt: 0x3f,
+}
+
+// major opcodes for I-type ops.
+var majorOf = map[Op]uint32{
+	OpAddi: 0x08, OpAndi: 0x0c, OpOri: 0x0d, OpXori: 0x0e, OpSlti: 0x0a,
+	OpSll: 0x30, OpSrl: 0x31, OpSra: 0x32, OpLui: 0x0f, OpLw: 0x23,
+	OpSw: 0x2b, OpBeq: 0x04, OpBne: 0x05, OpBlt: 0x06, OpBge: 0x07,
+}
+
+var functToOp = invert(functOf)
+var majorToOp = invert(majorOf)
+
+func invert(m map[Op]uint32) map[uint32]Op {
+	out := make(map[uint32]Op, len(m))
+	for op, code := range m {
+		out[code] = op
+	}
+	return out
+}
+
+// Encode packs an instruction into its 32-bit machine word. It returns an
+// error when a field is out of range for the format (registers >= 32,
+// immediates outside 16 bits signed — unsigned logic immediates outside 16
+// bits unsigned — shift amounts outside 0..31, jump targets outside 26
+// bits).
+func Encode(i Instr) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("vm: encode: invalid opcode %d", i.Op)
+	}
+	if i.Rd >= 32 || i.Rs >= 32 || i.Rt >= 32 {
+		return 0, fmt.Errorf("vm: encode %s: register out of range", i.Op)
+	}
+	switch OpFormat(i.Op) {
+	case FormatR:
+		return majorR<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 |
+			uint32(i.Rd)<<11 | functOf[i.Op], nil
+	case FormatI:
+		var imm uint32
+		switch i.Op {
+		case OpAndi, OpOri, OpXori:
+			if i.Imm < 0 || i.Imm > 0xFFFF {
+				return 0, fmt.Errorf("vm: encode %s: immediate %d outside uint16", i.Op, i.Imm)
+			}
+			imm = uint32(i.Imm)
+		case OpSll, OpSrl, OpSra:
+			if i.Imm < 0 || i.Imm > 31 {
+				return 0, fmt.Errorf("vm: encode %s: shift amount %d outside 0..31", i.Op, i.Imm)
+			}
+			imm = uint32(i.Imm)
+		default:
+			if i.Imm < -0x8000 || i.Imm > 0x7FFF {
+				return 0, fmt.Errorf("vm: encode %s: immediate %d outside int16", i.Op, i.Imm)
+			}
+			imm = uint32(uint16(int16(i.Imm)))
+		}
+		return majorOf[i.Op]<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | imm, nil
+	default:
+		if i.Imm < 0 || i.Imm >= 1<<26 {
+			return 0, fmt.Errorf("vm: encode %s: target %d outside 26 bits", i.Op, i.Imm)
+		}
+		major := uint32(majorJ)
+		if i.Op == OpJal {
+			major = majorJal
+		}
+		return major<<26 | uint32(i.Imm), nil
+	}
+}
+
+// Decode unpacks a machine word. Unknown opcodes and functs are errors.
+func Decode(w uint32) (Instr, error) {
+	major := w >> 26
+	rs := uint8(w >> 21 & 31)
+	rt := uint8(w >> 16 & 31)
+	switch major {
+	case majorR:
+		op, ok := functToOp[w&0x3f]
+		if !ok {
+			return Instr{}, fmt.Errorf("vm: decode: unknown funct %#x", w&0x3f)
+		}
+		return Instr{Op: op, Rs: rs, Rt: rt, Rd: uint8(w >> 11 & 31)}, nil
+	case majorJ, majorJal:
+		op := OpJ
+		if major == majorJal {
+			op = OpJal
+		}
+		return Instr{Op: op, Imm: int32(w & (1<<26 - 1))}, nil
+	default:
+		op, ok := majorToOp[major]
+		if !ok {
+			return Instr{}, fmt.Errorf("vm: decode: unknown opcode %#x", major)
+		}
+		var imm int32
+		switch op {
+		case OpAndi, OpOri, OpXori, OpSll, OpSrl, OpSra:
+			imm = int32(w & 0xFFFF)
+		default:
+			imm = int32(int16(w & 0xFFFF))
+		}
+		return Instr{Op: op, Rs: rs, Rt: rt, Imm: imm}, nil
+	}
+}

@@ -1,0 +1,172 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpHalt.String() != "halt" || OpJal.String() != "jal" {
+		t.Error("mnemonic mismatch")
+	}
+	if Op(200).String() != "Op(200)" {
+		t.Error("unknown opcode mnemonic mismatch")
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !OpAdd.Valid() || !OpJal.Valid() {
+		t.Error("defined ops reported invalid")
+	}
+	if Op(opCount).Valid() {
+		t.Error("opCount reported valid")
+	}
+}
+
+func TestOpFormat(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Format
+	}{
+		{OpAdd, FormatR}, {OpHalt, FormatR}, {OpOut, FormatR},
+		{OpAddi, FormatI}, {OpBge, FormatI}, {OpLw, FormatI},
+		{OpJ, FormatJ}, {OpJal, FormatJ},
+	}
+	for _, c := range cases {
+		if got := OpFormat(c.op); got != c.want {
+			t.Errorf("OpFormat(%s) = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeGolden(t *testing.T) {
+	cases := []Instr{
+		{Op: OpAdd, Rd: 3, Rs: 1, Rt: 2},
+		{Op: OpSub, Rd: 31, Rs: 30, Rt: 29},
+		{Op: OpJr, Rs: 31},
+		{Op: OpJalr, Rd: 1, Rs: 2},
+		{Op: OpHalt},
+		{Op: OpOut, Rs: 4},
+		{Op: OpAddi, Rt: 5, Rs: 6, Imm: -1},
+		{Op: OpAddi, Rt: 5, Rs: 6, Imm: 32767},
+		{Op: OpAddi, Rt: 5, Rs: 6, Imm: -32768},
+		{Op: OpOri, Rt: 7, Rs: 0, Imm: 0xFFFF},
+		{Op: OpSll, Rt: 8, Rs: 9, Imm: 31},
+		{Op: OpLui, Rt: 10, Imm: 0x7FFF},
+		{Op: OpLw, Rt: 11, Rs: 12, Imm: 100},
+		{Op: OpSw, Rt: 13, Rs: 14, Imm: -4},
+		{Op: OpBeq, Rs: 15, Rt: 16, Imm: -10},
+		{Op: OpBge, Rs: 17, Rt: 18, Imm: 200},
+		{Op: OpJ, Imm: 0},
+		{Op: OpJ, Imm: 1<<26 - 1},
+		{Op: OpJal, Imm: 12345},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)): %v", in, err)
+			continue
+		}
+		if got != in {
+			t.Errorf("round trip: %v -> %#x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Instr{
+		{Op: Op(99)},
+		{Op: OpAdd, Rd: 32},
+		{Op: OpAdd, Rs: 40},
+		{Op: OpAddi, Rt: 1, Imm: 0x8000},
+		{Op: OpAddi, Rt: 1, Imm: -0x8001},
+		{Op: OpOri, Rt: 1, Imm: -1},
+		{Op: OpOri, Rt: 1, Imm: 0x10000},
+		{Op: OpSll, Rt: 1, Imm: 32},
+		{Op: OpSll, Rt: 1, Imm: -1},
+		{Op: OpJ, Imm: 1 << 26},
+		{Op: OpJ, Imm: -1},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Unknown funct in R-format.
+	if _, err := Decode(0x00000001); err == nil {
+		t.Error("unknown funct decoded")
+	}
+	// Unknown major opcode.
+	if _, err := Decode(uint32(0x3F) << 26); err == nil {
+		t.Error("unknown major opcode decoded")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: 3, Rs: 1, Rt: 2}, "add $3, $1, $2"},
+		{Instr{Op: OpJr, Rs: 31}, "jr $31"},
+		{Instr{Op: OpHalt}, "halt"},
+		{Instr{Op: OpOut, Rs: 2}, "out $2"},
+		{Instr{Op: OpLw, Rt: 4, Rs: 29, Imm: 8}, "lw $4, 8($29)"},
+		{Instr{Op: OpSw, Rt: 4, Rs: 29, Imm: -8}, "sw $4, -8($29)"},
+		{Instr{Op: OpBeq, Rs: 1, Rt: 2, Imm: -3}, "beq $1, $2, -3"},
+		{Instr{Op: OpLui, Rt: 9, Imm: 16}, "lui $9, 16"},
+		{Instr{Op: OpSll, Rt: 9, Rs: 8, Imm: 2}, "sll $9, $8, 2"},
+		{Instr{Op: OpJ, Imm: 7}, "j 7"},
+		{Instr{Op: OpAddi, Rt: 9, Rs: 8, Imm: 5}, "addi $9, $8, 5"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: any instruction with in-range fields round-trips.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw, rd, rs, rt uint8, immRaw int32) bool {
+		op := Op(opRaw % uint8(opCount))
+		in := Instr{Op: op, Rd: rd % 32, Rs: rs % 32, Rt: rt % 32}
+		switch OpFormat(op) {
+		case FormatR:
+			// no immediate
+		case FormatI:
+			in.Rd = 0 // I-format has no rd field
+			switch op {
+			case OpAndi, OpOri, OpXori:
+				in.Imm = immRaw & 0xFFFF
+			case OpSll, OpSrl, OpSra:
+				in.Imm = immRaw & 31
+			default:
+				in.Imm = int32(int16(immRaw))
+			}
+		default:
+			in.Imm = immRaw & (1<<26 - 1)
+			in.Rd, in.Rs, in.Rt = 0, 0, 0
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

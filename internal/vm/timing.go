@@ -1,0 +1,82 @@
+package vm
+
+// Instruction timing: a simple single-issue cycle model for the VM, so
+// benchmark executions report cycles as well as instruction counts. The
+// paper motivates cache tuning by processor performance ("the performance
+// of such embedded processors is becoming a vital design concern", §1);
+// combining these base cycles with cache miss counts and a miss penalty
+// yields the end-to-end execution-time estimate a designer actually
+// optimises (see experiments.PerformanceTable).
+
+// LatencyModel maps opcodes to issue latencies in cycles. Unlisted opcodes
+// take DefaultLatency.
+type LatencyModel struct {
+	// DefaultLatency is the single-cycle baseline.
+	DefaultLatency uint64
+	// PerOp overrides latency per opcode.
+	PerOp map[Op]uint64
+}
+
+// R3000Latencies returns a latency model loosely shaped on the MIPS R3000
+// era: single-cycle ALU, two-cycle loads (load-delay slot), multi-cycle
+// multiply and divide.
+func R3000Latencies() LatencyModel {
+	return LatencyModel{
+		DefaultLatency: 1,
+		PerOp: map[Op]uint64{
+			OpLw:  2,
+			OpMul: 12,
+			OpDiv: 35,
+			OpRem: 35,
+		},
+	}
+}
+
+// Latency returns the cycle cost of one instruction.
+func (m LatencyModel) Latency(op Op) uint64 {
+	if c, ok := m.PerOp[op]; ok {
+		return c
+	}
+	if m.DefaultLatency == 0 {
+		return 1
+	}
+	return m.DefaultLatency
+}
+
+// CycleCounter is a Tracer wrapper that accumulates base execution cycles
+// for a run under a latency model. Chain it in front of another tracer
+// (e.g. a Collector) to count cycles and capture references in one run.
+type CycleCounter struct {
+	Model LatencyModel
+	// Next, when non-nil, receives every event after counting.
+	Next Tracer
+	// Cycles is the accumulated base cycle count (no memory stalls; those
+	// are added from cache miss counts afterwards).
+	Cycles uint64
+
+	prog []Instr
+}
+
+// NewCycleCounter builds a counter for the given program.
+func NewCycleCounter(prog []Instr, model LatencyModel, next Tracer) *CycleCounter {
+	return &CycleCounter{Model: model, Next: next, prog: prog}
+}
+
+// Instr implements Tracer.
+func (c *CycleCounter) Instr(pc uint32) {
+	if int(pc) < len(c.prog) {
+		c.Cycles += c.Model.Latency(c.prog[pc].Op)
+	} else {
+		c.Cycles += c.Model.Latency(OpHalt)
+	}
+	if c.Next != nil {
+		c.Next.Instr(pc)
+	}
+}
+
+// Data implements Tracer.
+func (c *CycleCounter) Data(addr uint32, write bool) {
+	if c.Next != nil {
+		c.Next.Data(addr, write)
+	}
+}

@@ -1,0 +1,74 @@
+package vm
+
+import (
+	"testing"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+func TestLatencyModelDefaults(t *testing.T) {
+	m := R3000Latencies()
+	if m.Latency(OpAdd) != 1 {
+		t.Errorf("add latency = %d, want 1", m.Latency(OpAdd))
+	}
+	if m.Latency(OpLw) != 2 {
+		t.Errorf("lw latency = %d, want 2", m.Latency(OpLw))
+	}
+	if m.Latency(OpDiv) != 35 {
+		t.Errorf("div latency = %d, want 35", m.Latency(OpDiv))
+	}
+	// Zero-valued model falls back to 1 cycle.
+	var zero LatencyModel
+	if zero.Latency(OpAdd) != 1 {
+		t.Errorf("zero model latency = %d, want 1", zero.Latency(OpAdd))
+	}
+}
+
+func TestCycleCounterCountsProgram(t *testing.T) {
+	prog := []Instr{
+		{Op: OpAddi, Rt: 1, Rs: 0, Imm: 3}, // 1 cycle
+		{Op: OpLw, Rt: 2, Rs: 0, Imm: 0},   // 2 cycles
+		{Op: OpMul, Rd: 3, Rs: 1, Rt: 1},   // 12 cycles
+		{Op: OpHalt},                       // 1 cycle
+	}
+	cc := NewCycleCounter(prog, R3000Latencies(), nil)
+	cpu := NewCPU(prog, NewMemory(16))
+	cpu.Tracer = cc
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if cc.Cycles != 1+2+12+1 {
+		t.Fatalf("Cycles = %d, want 16", cc.Cycles)
+	}
+}
+
+func TestCycleCounterChainsToNext(t *testing.T) {
+	prog := []Instr{
+		{Op: OpLw, Rt: 1, Rs: 0, Imm: 0},
+		{Op: OpSw, Rt: 1, Rs: 0, Imm: 1},
+		{Op: OpHalt},
+	}
+	col := &Collector{Trace: trace.New(0), IBase: 0}
+	cc := NewCycleCounter(prog, R3000Latencies(), col)
+	cpu := NewCPU(prog, NewMemory(16))
+	cpu.Tracer = cc
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	instr, data := col.Trace.Split()
+	if instr.Len() != 3 || data.Len() != 2 {
+		t.Fatalf("chained collector saw I=%d D=%d", instr.Len(), data.Len())
+	}
+	if cc.Cycles != 2+1+1 {
+		t.Fatalf("Cycles = %d, want 4", cc.Cycles)
+	}
+}
+
+func TestCycleCounterOutOfRangePC(t *testing.T) {
+	// A counter asked about a PC beyond the program must not panic.
+	cc := NewCycleCounter(nil, R3000Latencies(), nil)
+	cc.Instr(99)
+	if cc.Cycles == 0 {
+		t.Fatal("out-of-range fetch counted no cycles")
+	}
+}
