@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -21,11 +20,11 @@ import (
 // exact trace reduction.
 
 func cmdLinesize(args []string) error {
-	fs := flag.NewFlagSet("linesize", flag.ExitOnError)
+	fs := newFlagSet("linesize", "linesize [-k N] [-cap W] [-lines L1,L2,...] TRACE")
 	k := fs.Int("k", 0, "miss budget K (non-cold misses)")
 	capWords := fs.Int("cap", 1<<20, "capacity limit in words")
 	lines := fs.String("lines", "1,2,4,8", "comma list of line sizes (words)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -74,11 +73,11 @@ func cmdLinesize(args []string) error {
 }
 
 func cmdPolicies(args []string) error {
-	fs := flag.NewFlagSet("policies", flag.ExitOnError)
+	fs := newFlagSet("policies", "policies [-depth D] [-assoc A] [-line W] TRACE")
 	depth := fs.Int("depth", 64, "cache depth")
 	assoc := fs.Int("assoc", 4, "associativity")
 	line := fs.Int("line", 1, "line size (words)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -106,12 +105,12 @@ func cmdPolicies(args []string) error {
 }
 
 func cmdEnergy(args []string) error {
-	fs := flag.NewFlagSet("energy", flag.ExitOnError)
+	fs := newFlagSet("energy", "energy [-k N] [-cap W] [-lines L1,L2,...] [-penalty PJ] TRACE")
 	k := fs.Int("k", 0, "miss budget K (non-cold misses)")
 	capWords := fs.Int("cap", 8192, "capacity limit in words")
 	lines := fs.String("lines", "1,2,4", "comma list of line sizes (words)")
 	penalty := fs.Float64("penalty", 2000, "off-chip miss penalty (pJ)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -140,8 +139,8 @@ func cmdEnergy(args []string) error {
 }
 
 func cmdBus(args []string) error {
-	fs := flag.NewFlagSet("bus", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
+	fs := newFlagSet("bus", "bus TRACE")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -159,13 +158,13 @@ func cmdBus(args []string) error {
 }
 
 func cmdHierarchy(args []string) error {
-	fs := flag.NewFlagSet("hierarchy", flag.ExitOnError)
+	fs := newFlagSet("hierarchy", "hierarchy [-l1depth D] [-l1assoc A] [-l2depth D] [-l2assoc A] [-lat l1,l2,mem] TRACE")
 	l1d := fs.Int("l1depth", 16, "L1 depth")
 	l1a := fs.Int("l1assoc", 1, "L1 associativity")
 	l2d := fs.Int("l2depth", 256, "L2 depth")
 	l2a := fs.Int("l2assoc", 4, "L2 associativity")
 	lat := fs.String("lat", "1,10,100", "latencies l1,l2,mem")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -196,9 +195,9 @@ func cmdHierarchy(args []string) error {
 }
 
 func cmdDedup(args []string) error {
-	fs := flag.NewFlagSet("dedup", flag.ExitOnError)
+	fs := newFlagSet("dedup", "dedup [-o OUT] TRACE")
 	out := fs.String("o", "", "output trace file (text format); empty prints stats only")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -229,10 +228,10 @@ func cmdDedup(args []string) error {
 }
 
 func cmdProfile(args []string) error {
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	fs := newFlagSet("profile", "profile [-windows W1,W2,...] [-hist N] TRACE")
 	windows := fs.String("windows", "16,64,256,1024", "working-set window lengths")
 	histMax := fs.Int("hist", 16, "print reuse-distance histogram up to this distance")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {

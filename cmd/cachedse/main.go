@@ -13,9 +13,12 @@
 //	                                   simulate one configuration
 //	cachedse verify   -k N TRACE D:A [D:A ...]
 //	                                   certify instances against budget K
+//	cachedse serve    [-addr HOST:PORT] [flags]
+//	                                   run the exploration HTTP service
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +28,6 @@ import (
 	"github.com/example/cachedse/internal/cache"
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/dse"
-	"github.com/example/cachedse/internal/report"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -46,6 +48,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "linesize":
 		err = cmdLinesize(os.Args[2:])
 	case "policies":
@@ -67,7 +71,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h on a subcommand already printed that subcommand's usage.
+	case errors.Is(err, errUsage):
+		// The FlagSet already reported the problem with the subcommand's
+		// own usage; exit with the conventional usage-error code.
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "cachedse:", err)
 		os.Exit(1)
 	}
@@ -77,7 +89,36 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cachedse <subcommand> [flags] TRACE
 
 core:        stats  strip  explore  simulate  verify
+service:     serve
 extensions:  linesize  policies  energy  bus  hierarchy  dedup  profile`)
+}
+
+// errUsage signals a flag-parse failure that the subcommand's FlagSet has
+// already reported (with its own usage, not the generic one).
+var errUsage = errors.New("usage error")
+
+// newFlagSet builds a subcommand FlagSet that prints the subcommand's own
+// synopsis and flag defaults on bad flags or -h.
+func newFlagSet(name, synopsis string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cachedse %s\n", synopsis)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+// parseFlags parses args, normalising flag errors: -h propagates
+// flag.ErrHelp (exit 0), anything else becomes errUsage (exit 2).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return flag.ErrHelp
+	default:
+		return errUsage
+	}
 }
 
 // loadTrace reads a trace file, auto-detecting binary by magic.
@@ -87,20 +128,12 @@ func loadTrace(path string) (*trace.Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var magic [4]byte
-	n, _ := f.Read(magic[:])
-	if _, err := f.Seek(0, 0); err != nil {
-		return nil, err
-	}
-	if n == 4 && string(magic[:]) == "CTR1" {
-		return trace.ReadBinary(f)
-	}
-	return trace.ReadText(f)
+	return trace.Decode(f, trace.Limits{})
 }
 
 func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
+	fs := newFlagSet("stats", "stats TRACE")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -119,9 +152,9 @@ func cmdStats(args []string) error {
 }
 
 func cmdStrip(args []string) error {
-	fs := flag.NewFlagSet("strip", flag.ExitOnError)
+	fs := newFlagSet("strip", "strip [-n N] TRACE")
 	limit := fs.Int("n", 0, "print at most n unique references (0 = all)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -144,13 +177,13 @@ func cmdStrip(args []string) error {
 }
 
 func cmdExplore(args []string) error {
-	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-pareto] [-verify] TRACE")
 	k := fs.Int("k", -1, "miss budget K (absolute)")
 	kpct := fs.Float64("kpct", -1, "miss budget as percent of max misses")
 	maxDepth := fs.Int("maxdepth", 0, "largest cache depth to explore (power of two)")
 	verify := fs.Bool("verify", false, "simulate each emitted instance")
 	pareto := fs.Bool("pareto", false, "print only the size-Pareto frontier")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -172,17 +205,7 @@ func cmdExplore(args []string) error {
 	if err != nil {
 		return err
 	}
-	instances := r.OptimalSet(budget)
-	if *pareto {
-		instances = r.ParetoSet(budget)
-	}
-	tab := &report.Table{
-		Title:   fmt.Sprintf("Optimal cache instances for K=%d (max misses %d)", budget, st.MaxMisses),
-		Headers: []string{"Depth D", "Assoc A", "Size (words)", "Misses"},
-	}
-	for _, ins := range instances {
-		tab.AddRow(ins.Depth, ins.Assoc, ins.SizeWords(), r.Level(ins.Depth).Misses(ins.Assoc))
-	}
+	instances, tab := dse.InstanceTable(r, budget, st.MaxMisses, *pareto)
 	fmt.Print(tab.Render())
 	if *verify {
 		if err := dse.Verify(tr, instances, budget); err != nil {
@@ -194,13 +217,13 @@ func cmdExplore(args []string) error {
 }
 
 func cmdSimulate(args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	fs := newFlagSet("simulate", "simulate [-depth D] [-assoc A] [-line W] [-repl P] [-wt] TRACE")
 	depth := fs.Int("depth", 256, "cache depth (sets)")
 	assoc := fs.Int("assoc", 1, "associativity")
 	line := fs.Int("line", 1, "line size in words")
 	replName := fs.String("repl", "lru", "replacement policy: lru, fifo, random, plru")
 	wt := fs.Bool("wt", false, "write-through instead of write-back")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -242,9 +265,9 @@ func cmdSimulate(args []string) error {
 }
 
 func cmdVerify(args []string) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs := newFlagSet("verify", "verify -k N TRACE D:A [D:A ...]")
 	k := fs.Int("k", 0, "miss budget K")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() < 2 {

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"errors"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/example/cachedse/internal/trace"
@@ -129,6 +133,88 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 	for _, c := range bad {
 		if err := c.run(); err == nil {
 			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// captureStderr runs fn with os.Stderr redirected and returns what it wrote.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// Flag errors are normalised so main can pick exit codes: -h maps to
+// flag.ErrHelp (exit 0), any other parse failure to errUsage (exit 2) —
+// after the subcommand's own usage has been printed.
+func TestParseFlagsErrorMapping(t *testing.T) {
+	mkFS := func() *flag.FlagSet {
+		fs := newFlagSet("demo", "demo [-x] TRACE")
+		fs.Bool("x", false, "an example flag")
+		return fs
+	}
+
+	var err error
+	out := captureStderr(t, func() { err = parseFlags(mkFS(), []string{"-h"}) })
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: err = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(out, "usage: cachedse demo [-x] TRACE") || !strings.Contains(out, "an example flag") {
+		t.Fatalf("-h printed:\n%s", out)
+	}
+
+	out = captureStderr(t, func() { err = parseFlags(mkFS(), []string{"-bogus"}) })
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("unknown flag: err = %v, want errUsage", err)
+	}
+	if !strings.Contains(out, "usage: cachedse demo [-x] TRACE") {
+		t.Fatalf("unknown flag printed the wrong usage:\n%s", out)
+	}
+
+	if err = parseFlags(mkFS(), []string{"-x", "t.din"}); err != nil {
+		t.Fatalf("valid flags: %v", err)
+	}
+}
+
+// Every subcommand must report unknown flags through its own usage text
+// (not the global one) and surface errUsage for the exit-2 path.
+func TestSubcommandsUnknownFlag(t *testing.T) {
+	cmds := map[string]func([]string) error{
+		"stats": cmdStats, "strip": cmdStrip, "explore": cmdExplore,
+		"simulate": cmdSimulate, "verify": cmdVerify, "serve": cmdServe,
+		"linesize": cmdLinesize, "policies": cmdPolicies, "energy": cmdEnergy,
+		"bus": cmdBus, "hierarchy": cmdHierarchy, "dedup": cmdDedup,
+		"profile": cmdProfile,
+	}
+	for name, cmd := range cmds {
+		var err error
+		out := captureStderr(t, func() { err = cmd([]string{"-definitely-not-a-flag"}) })
+		if !errors.Is(err, errUsage) {
+			t.Errorf("%s: err = %v, want errUsage", name, err)
+		}
+		if !strings.Contains(out, "usage: cachedse "+name) {
+			t.Errorf("%s: unknown flag printed:\n%s", name, out)
+		}
+	}
+}
+
+func TestUsageListsServe(t *testing.T) {
+	out := captureStderr(t, usage)
+	for _, want := range []string{"serve", "explore", "simulate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage() missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/example/cachedse/internal/server"
+)
+
+// cmdServe runs the exploration service: a long-lived HTTP daemon that
+// keeps uploaded traces (and their prelude structures) resident, answers
+// explore/simulate/verify queries through a bounded worker pool, and
+// memoizes exploration results. See the package server docs and the
+// README's "Running as a service" section for the API.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve", "serve [-addr HOST:PORT] [flags]")
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
+	workers := fs.Int("workers", 0, "exploration worker pool size (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue", 64, "job queue depth")
+	cacheEntries := fs.Int("cache", 256, "exploration result cache entries")
+	maxTraces := fs.Int("max-traces", 64, "uploaded traces retained (LRU eviction past this)")
+	maxUpload := fs.Int64("max-upload", 64<<20, "upload size cap in bytes")
+	maxRefs := fs.Int("max-refs", 16<<20, "per-trace reference cap")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job run time cap")
+	reqTimeout := fs.Duration("request-timeout", time.Minute, "synchronous request wait cap")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain cap before cancelling jobs")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments")
+	}
+
+	srv := server.New(server.Config{
+		MaxUploadBytes: *maxUpload,
+		MaxRefs:        *maxRefs,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		MaxTraces:      *maxTraces,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cachedse: serving on http://%s\n", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "cachedse: shutting down, draining jobs...")
+	sd, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sd); err != nil {
+		fmt.Fprintf(os.Stderr, "cachedse: http shutdown: %v\n", err)
+	}
+	if err := srv.Close(sd); err != nil {
+		return fmt.Errorf("job queue drain: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// bigTrace builds a trace large enough that a full exploration takes
+// meaningfully longer than the cancellation latency.
+func bigTrace(n int, addrSpace uint32) *trace.Trace {
+	rng := rand.New(rand.NewSource(7))
+	t := trace.New(n)
+	for i := 0; i < n; i++ {
+		t.Append(trace.Ref{Addr: rng.Uint32() % addrSpace, Kind: trace.DataRead})
+	}
+	return t
+}
+
+func TestExploreContextPreCanceled(t *testing.T) {
+	tr := trace.FromAddrs(trace.DataRead, []uint32{1, 2, 3, 1, 2, 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExploreContext(ctx, tr, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExploreContext on cancelled ctx: err = %v, want Canceled", err)
+	}
+	if _, err := ExploreParallelContext(ctx, tr, Options{}, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExploreParallelContext on cancelled ctx: err = %v, want Canceled", err)
+	}
+	s := trace.Strip(tr)
+	if _, err := BuildMRCTContext(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildMRCTContext on cancelled ctx: err = %v, want Canceled", err)
+	}
+}
+
+// Cancelling mid-run must abandon the exploration promptly with ctx.Err()
+// rather than completing it; this is the worker-stops guarantee the HTTP
+// service's job cancellation relies on.
+func TestExploreContextCancelMidRun(t *testing.T) {
+	tr := bigTrace(120_000, 1<<14)
+	for name, run := range map[string]func(ctx context.Context) (*Result, error){
+		"serial":   func(ctx context.Context) (*Result, error) { return ExploreContext(ctx, tr, Options{}) },
+		"parallel": func(ctx context.Context) (*Result, error) { return ExploreParallelContext(ctx, tr, Options{}, 4) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			type out struct {
+				r   *Result
+				err error
+			}
+			ch := make(chan out, 1)
+			go func() {
+				r, err := run(ctx)
+				ch <- out{r, err}
+			}()
+			cancel()
+			select {
+			case o := <-ch:
+				if !errors.Is(o.err, context.Canceled) {
+					t.Fatalf("err = %v, want Canceled", o.err)
+				}
+				if o.r != nil {
+					t.Fatalf("cancelled run returned a result")
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancelled exploration did not return")
+			}
+		})
+	}
+}
+
+// The engine must be safe for concurrent use over shared traces and
+// shared prelude structures: the serving layer runs many explorations at
+// once. Exercised under -race in CI.
+func TestExploreConcurrentUse(t *testing.T) {
+	tr := bigTrace(4_000, 1<<9)
+	want, err := Explore(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Strip(tr)
+	m := BuildMRCT(s)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var got *Result
+			var err error
+			switch g % 4 {
+			case 0:
+				got, err = Explore(tr, Options{})
+			case 1:
+				got, err = ExploreParallel(tr, Options{}, 4)
+			case 2:
+				got, err = ExploreStripped(s, m, Options{})
+			case 3:
+				got, err = ExploreParallelStrippedContext(context.Background(), s, m, Options{}, 3)
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(got.Levels, want.Levels) {
+				errs <- errors.New("concurrent exploration diverged from serial result")
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

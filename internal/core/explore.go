@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -143,15 +144,56 @@ func (r *Result) ParetoSet(k int) []Instance {
 // carries only the current root-to-leaf path of row sets, accumulating
 // every level's distance histogram on the way down.
 func Explore(t *trace.Trace, opts Options) (*Result, error) {
+	return ExploreContext(context.Background(), t, opts)
+}
+
+// ExploreContext is Explore with cancellation: the prelude and the DFS
+// postlude check ctx periodically and abandon the run with ctx.Err() once
+// it is done. Long-lived callers (servers, interactive tools) use this so
+// abandoned explorations stop burning CPU.
+func ExploreContext(ctx context.Context, t *trace.Trace, opts Options) (*Result, error) {
 	s := trace.Strip(t)
-	m := BuildMRCT(s)
-	return ExploreStripped(s, m, opts)
+	m, err := BuildMRCTContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return ExploreStrippedContext(ctx, s, m, opts)
 }
 
 // ExploreStripped is Explore for callers that already hold the stripped
 // trace and conflict table (e.g. to reuse them across budgets or to pair
 // with BuildMRCTNaive in tests).
 func ExploreStripped(s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+	return ExploreStrippedContext(context.Background(), s, m, opts)
+}
+
+// ctxCheck amortises cancellation checks over hot loops: ctx.Err is
+// consulted once every `every` calls to stop, and once tripped the error
+// sticks.
+type ctxCheck struct {
+	ctx   context.Context
+	every int
+	n     int
+	err   error
+}
+
+func (c *ctxCheck) stop() bool {
+	if c.err != nil {
+		return true
+	}
+	if c.n++; c.n >= c.every {
+		c.n = 0
+		c.err = c.ctx.Err()
+	}
+	return c.err != nil
+}
+
+// ExploreStrippedContext is ExploreStripped with cancellation; the DFS
+// checks ctx every few row sets.
+func ExploreStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	levels, err := levelCount(s, opts)
 	if err != nil {
 		return nil, err
@@ -171,8 +213,12 @@ func ExploreStripped(s *trace.Stripped, m *MRCT, opts Options) (*Result, error) 
 	for id := 0; id < s.NUnique(); id++ {
 		root.Add(id)
 	}
+	chk := &ctxCheck{ctx: ctx, every: 64}
 	var visit func(set *bitset.Set, level int)
 	visit = func(set *bitset.Set, level int) {
+		if chk.stop() {
+			return
+		}
 		accumulate(r.Levels[level], set, m)
 		if level >= levels || set.Count() < 2 {
 			// A row with fewer than two references can never conflict at
@@ -187,6 +233,9 @@ func ExploreStripped(s *trace.Stripped, m *MRCT, opts Options) (*Result, error) 
 		visit(right, level+1)
 	}
 	visit(root, 0)
+	if chk.err != nil {
+		return nil, chk.err
+	}
 	finalize(r)
 	return r, nil
 }

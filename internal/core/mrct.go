@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"github.com/example/cachedse/internal/bitset"
@@ -69,6 +70,17 @@ func (m *MRCT) ConflictSets(id int) [][]int32 {
 // the identifiers above it (positions 0..p-1) are exactly the distinct
 // references touched since u's previous occurrence — the conflict set.
 func BuildMRCT(s *trace.Stripped) *MRCT {
+	m, _ := BuildMRCTContext(context.Background(), s)
+	return m
+}
+
+// BuildMRCTContext is BuildMRCT with cancellation: the single pass over
+// the trace checks ctx every few thousand references and returns ctx.Err()
+// once it is done.
+func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := &MRCT{
 		nunique: s.NUnique(),
 		occ:     make([][]occurrence, s.NUnique()),
@@ -80,7 +92,12 @@ func BuildMRCT(s *trace.Stripped) *MRCT {
 	stack := make([]int, 0, 1024) // identifiers, most recent first
 	scratch := make([]int32, 0, 1024)
 	keyBuf := make([]byte, 0, 4096)
-	for _, id := range s.IDs {
+	for i, id := range s.IDs {
+		if i&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pos := -1
 		for i, v := range stack {
 			if v == id {
@@ -139,7 +156,7 @@ func BuildMRCT(s *trace.Stripped) *MRCT {
 		}
 		m.occ[id] = occs
 	}
-	return m
+	return m, nil
 }
 
 // BuildMRCTNaive is the literal double loop of Algorithm 2, with the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -21,14 +22,33 @@ import (
 // own references, and the per-worker histograms merge associatively.
 // Results are bit-identical to Explore. workers <= 0 uses GOMAXPROCS.
 func ExploreParallel(t *trace.Trace, opts Options, workers int) (*Result, error) {
+	return ExploreParallelContext(context.Background(), t, opts, workers)
+}
+
+// ExploreParallelContext is ExploreParallel with cancellation: every
+// worker checks ctx periodically and the run returns ctx.Err() once it is
+// done.
+func ExploreParallelContext(ctx context.Context, t *trace.Trace, opts Options, workers int) (*Result, error) {
 	s := trace.Strip(t)
-	m := BuildMRCT(s)
-	return ExploreParallelStripped(s, m, opts, workers)
+	m, err := BuildMRCTContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return ExploreParallelStrippedContext(ctx, s, m, opts, workers)
 }
 
 // ExploreParallelStripped is ExploreParallel over pre-built prelude
 // structures.
 func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
+	return ExploreParallelStrippedContext(context.Background(), s, m, opts, workers)
+}
+
+// ExploreParallelStrippedContext is ExploreParallelStripped with
+// cancellation.
+func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -37,7 +57,7 @@ func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers i
 		return nil, err
 	}
 	if workers == 1 || s.NUnique() < 2*workers || levels == 0 {
-		return ExploreStripped(s, m, opts)
+		return ExploreStrippedContext(ctx, s, m, opts)
 	}
 	r := &Result{NUnique: s.NUnique(), N: s.N()}
 	r.Levels = make([]*LevelResult, levels+1)
@@ -62,8 +82,12 @@ func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers i
 			for id := 0; id < s.NUnique(); id++ {
 				root.Add(id)
 			}
+			chk := &ctxCheck{ctx: ctx, every: 64}
 			var visit func(set *bitset.Set, level int)
 			visit = func(set *bitset.Set, level int) {
+				if chk.stop() {
+					return
+				}
 				accumulateShard(private[level], set, m, w, workers)
 				if level >= levels || set.Count() < 2 {
 					return
@@ -84,6 +108,9 @@ func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers i
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	finalize(r)
 	return r, nil
 }

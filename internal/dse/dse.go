@@ -12,11 +12,13 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/example/cachedse/internal/cache"
 	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/report"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -35,8 +37,14 @@ type Outcome struct {
 // Analytical runs the paper's approach (Figure 1b): prelude + postlude,
 // no simulation.
 func Analytical(t *trace.Trace, k int, opts core.Options) (Outcome, error) {
+	return AnalyticalContext(context.Background(), t, k, opts)
+}
+
+// AnalyticalContext is Analytical with cancellation threaded into the
+// prelude and postlude.
+func AnalyticalContext(ctx context.Context, t *trace.Trace, k int, opts core.Options) (Outcome, error) {
 	start := time.Now()
-	r, err := core.Explore(t, opts)
+	r, err := core.ExploreContext(ctx, t, opts)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -53,6 +61,12 @@ func Analytical(t *trace.Trace, k int, opts core.Options) (Outcome, error) {
 // depth, the returned instance carries the smallest associativity whose
 // miss count is minimal (i.e. maxAssoc, by LRU monotonicity).
 func Exhaustive(t *trace.Trace, k, maxDepth, maxAssoc int) (Outcome, error) {
+	return ExhaustiveContext(context.Background(), t, k, maxDepth, maxAssoc)
+}
+
+// ExhaustiveContext is Exhaustive with cancellation checked between
+// simulations, the unit of work of the traditional loop.
+func ExhaustiveContext(ctx context.Context, t *trace.Trace, k, maxDepth, maxAssoc int) (Outcome, error) {
 	if err := checkGrid(maxDepth, maxAssoc); err != nil {
 		return Outcome{}, err
 	}
@@ -61,6 +75,9 @@ func Exhaustive(t *trace.Trace, k, maxDepth, maxAssoc int) (Outcome, error) {
 	for d := 1; d <= maxDepth; d *= 2 {
 		best := maxAssoc
 		for a := 1; a <= maxAssoc; a++ {
+			if err := ctx.Err(); err != nil {
+				return Outcome{}, err
+			}
 			res, err := cache.Simulate(cache.Config{Depth: d, Assoc: a}, t)
 			if err != nil {
 				return Outcome{}, err
@@ -83,12 +100,21 @@ func Exhaustive(t *trace.Trace, k, maxDepth, maxAssoc int) (Outcome, error) {
 // faster than brute force, but still simulation-bound, which is the gap the
 // analytical approach removes.
 func Iterative(t *trace.Trace, k, maxDepth, maxAssoc int) (Outcome, error) {
+	return IterativeContext(context.Background(), t, k, maxDepth, maxAssoc)
+}
+
+// IterativeContext is Iterative with cancellation checked between
+// simulations.
+func IterativeContext(ctx context.Context, t *trace.Trace, k, maxDepth, maxAssoc int) (Outcome, error) {
 	if err := checkGrid(maxDepth, maxAssoc); err != nil {
 		return Outcome{}, err
 	}
 	start := time.Now()
 	var out Outcome
 	for d := 1; d <= maxDepth; d *= 2 {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, err
+		}
 		lo, hi := 1, maxAssoc
 		// Invariant: every a >= hi meets the budget OR hi == maxAssoc;
 		// establish by simulating the bounds first, as a designer would.
@@ -103,6 +129,9 @@ func Iterative(t *trace.Trace, k, maxDepth, maxAssoc int) (Outcome, error) {
 			continue
 		}
 		for lo < hi {
+			if err := ctx.Err(); err != nil {
+				return Outcome{}, err
+			}
 			mid := (lo + hi) / 2
 			res, err := cache.Simulate(cache.Config{Depth: d, Assoc: mid}, t)
 			if err != nil {
@@ -136,7 +165,16 @@ func checkGrid(maxDepth, maxAssoc int) error {
 // Figure 1 loop for the analytical strategy: designers can certify the
 // emitted set with one simulation per instance.
 func Verify(t *trace.Trace, instances []core.Instance, k int) error {
+	return VerifyContext(context.Background(), t, instances, k)
+}
+
+// VerifyContext is Verify with cancellation checked between the per-
+// instance simulations.
+func VerifyContext(ctx context.Context, t *trace.Trace, instances []core.Instance, k int) error {
 	for _, ins := range instances {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := cache.Simulate(cache.Config{Depth: ins.Depth, Assoc: ins.Assoc}, t)
 		if err != nil {
 			return err
@@ -146,4 +184,23 @@ func Verify(t *trace.Trace, instances []core.Instance, k int) error {
 		}
 	}
 	return nil
+}
+
+// InstanceTable renders the exploration's answer for miss budget k as the
+// canonical instance table: one row per emitted (D, A) with size and
+// analytical miss count. It is shared by the CLI and the HTTP service so
+// both produce byte-identical output for the same trace and budget.
+func InstanceTable(r *core.Result, k, maxMisses int, pareto bool) ([]core.Instance, *report.Table) {
+	instances := r.OptimalSet(k)
+	if pareto {
+		instances = r.ParetoSet(k)
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Optimal cache instances for K=%d (max misses %d)", k, maxMisses),
+		Headers: []string{"Depth D", "Assoc A", "Size (words)", "Misses"},
+	}
+	for _, ins := range instances {
+		tab.AddRow(ins.Depth, ins.Assoc, ins.SizeWords(), r.Level(ins.Depth).Misses(ins.Assoc))
+	}
+	return instances, tab
 }

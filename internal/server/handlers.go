@@ -1,0 +1,442 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/dse"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// traceInfo is the JSON view of a stored trace.
+type traceInfo struct {
+	Digest    string    `json:"digest"`
+	N         int       `json:"n"`
+	NUnique   int       `json:"n_unique"`
+	MaxMisses int       `json:"max_misses"`
+	AddrBits  int       `json:"addr_bits"`
+	Uploaded  time.Time `json:"uploaded"`
+}
+
+func infoOf(e *TraceEntry) traceInfo {
+	return traceInfo{
+		Digest:    e.Digest,
+		N:         e.Stats.N,
+		NUnique:   e.Stats.NUnique,
+		MaxMisses: e.Stats.MaxMisses,
+		AddrBits:  e.Trace.AddrBits(),
+		Uploaded:  e.Uploaded,
+	}
+}
+
+// handleUpload streams a .din or .ctr body through the size-limited
+// decoder and registers the trace under its content digest. Uploads are
+// idempotent: re-posting the same trace returns 200 with the existing
+// digest instead of 201.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	tr, err := trace.Decode(body, trace.Limits{
+		MaxRefs:  s.cfg.MaxRefs,
+		MaxBytes: s.cfg.MaxUploadBytes,
+	})
+	if err != nil {
+		var limErr *trace.LimitError
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &limErr) || errors.As(err, &maxErr) {
+			httpError(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if tr.Len() == 0 {
+		httpError(w, http.StatusBadRequest, "empty trace")
+		return
+	}
+	entry, existed := s.store.Add(tr)
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, infoOf(entry))
+}
+
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	entries := s.store.List()
+	out := make([]traceInfo, len(entries))
+	for i, e := range entries {
+		out[i] = infoOf(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.store.Get(r.PathValue("digest"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown trace %q", r.PathValue("digest"))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(entry))
+}
+
+func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Remove(r.PathValue("digest")) {
+		httpError(w, http.StatusNotFound, "unknown trace %q", r.PathValue("digest"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("digest")})
+}
+
+// instanceJSON is one emitted (D, A) pair with its derived columns.
+type instanceJSON struct {
+	Depth     int `json:"depth"`
+	Assoc     int `json:"assoc"`
+	SizeWords int `json:"size_words"`
+	Misses    int `json:"misses"`
+}
+
+type exploreRequest struct {
+	Trace    string   `json:"trace"`
+	K        *int     `json:"k,omitempty"`
+	KPct     *float64 `json:"kpct,omitempty"`
+	MaxDepth int      `json:"max_depth,omitempty"`
+	Pareto   bool     `json:"pareto,omitempty"`
+	Parallel bool     `json:"parallel,omitempty"`
+	Verify   bool     `json:"verify,omitempty"`
+	Async    bool     `json:"async,omitempty"`
+}
+
+type exploreResponse struct {
+	Trace     string         `json:"trace"`
+	K         int            `json:"k"`
+	MaxMisses int            `json:"max_misses"`
+	Instances []instanceJSON `json:"instances"`
+	Table     string         `json:"table"`
+	Cached    bool           `json:"cached"`
+	Verified  bool           `json:"verified,omitempty"`
+}
+
+// budgetFor resolves the CLI's -k / -kpct convention: an absolute budget
+// wins; otherwise kpct percent of the trace's max misses.
+func budgetFor(e *TraceEntry, k *int, kpct *float64) (int, error) {
+	if k != nil && *k >= 0 {
+		return *k, nil
+	}
+	if kpct != nil && *kpct >= 0 {
+		return int(float64(e.Stats.MaxMisses) * *kpct / 100), nil
+	}
+	return 0, errors.New(`explore needs "k" or "kpct"`)
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req exploreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := s.store.Get(req.Trace)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		return
+	}
+	budget, err := budgetFor(entry, req.K, req.KPct)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.MaxDepth != 0 && (req.MaxDepth < 1 || req.MaxDepth&(req.MaxDepth-1) != 0) {
+		httpError(w, http.StatusBadRequest, "max_depth %d is not a power of two >= 1", req.MaxDepth)
+		return
+	}
+	s.dispatch(w, r, "explore", req.Async, func(ctx context.Context) (any, error) {
+		return s.runExplore(ctx, entry, budget, req)
+	})
+}
+
+// runExplore answers one exploration, serving the depth profile from the
+// result cache when the same trace has been explored with the same
+// MaxDepth before — the budget K only selects rows from the profile, so
+// exploring at a different K is a pure cache hit.
+func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, req exploreRequest) (*exploreResponse, error) {
+	key := fmt.Sprintf("explore|%s|d=%d", entry.Digest, req.MaxDepth)
+	var res *core.Result
+	cached := false
+	if v, ok := s.results.Get(key); ok {
+		res = v.(*core.Result)
+		cached = true
+	} else {
+		stripped, mrct, err := entry.Prelude(ctx)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{MaxDepth: req.MaxDepth}
+		if req.Parallel {
+			res, err = core.ExploreParallelStrippedContext(ctx, stripped, mrct, opts, 0)
+		} else {
+			res, err = core.ExploreStrippedContext(ctx, stripped, mrct, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.results.Put(key, res)
+	}
+	instances, tab := dse.InstanceTable(res, budget, entry.Stats.MaxMisses, req.Pareto)
+	resp := &exploreResponse{
+		Trace:     entry.Digest,
+		K:         budget,
+		MaxMisses: entry.Stats.MaxMisses,
+		Instances: make([]instanceJSON, len(instances)),
+		Table:     tab.Render(),
+		Cached:    cached,
+	}
+	for i, ins := range instances {
+		resp.Instances[i] = instanceJSON{
+			Depth:     ins.Depth,
+			Assoc:     ins.Assoc,
+			SizeWords: ins.SizeWords(),
+			Misses:    res.Level(ins.Depth).Misses(ins.Assoc),
+		}
+	}
+	if req.Verify {
+		if err := dse.VerifyContext(ctx, entry.Trace, instances, budget); err != nil {
+			return nil, err
+		}
+		resp.Verified = true
+	}
+	return resp, nil
+}
+
+type simulateRequest struct {
+	Trace        string `json:"trace"`
+	Depth        int    `json:"depth"`
+	Assoc        int    `json:"assoc,omitempty"`
+	LineWords    int    `json:"line_words,omitempty"`
+	Repl         string `json:"repl,omitempty"`
+	WriteThrough bool   `json:"write_through,omitempty"`
+	Async        bool   `json:"async,omitempty"`
+}
+
+type simulateResponse struct {
+	Trace      string  `json:"trace"`
+	Config     string  `json:"config"`
+	Accesses   int     `json:"accesses"`
+	Hits       int     `json:"hits"`
+	ColdMisses int     `json:"cold_misses"`
+	Misses     int     `json:"misses"`
+	Writebacks int     `json:"writebacks"`
+	MissRate   float64 `json:"miss_rate"`
+	Cached     bool    `json:"cached"`
+}
+
+func replFromName(name string) (cache.Replacement, error) {
+	switch strings.ToLower(name) {
+	case "", "lru":
+		return cache.LRU, nil
+	case "fifo":
+		return cache.FIFO, nil
+	case "random":
+		return cache.Random, nil
+	case "plru":
+		return cache.PLRU, nil
+	}
+	return 0, fmt.Errorf("unknown replacement policy %q", name)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := s.store.Get(req.Trace)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		return
+	}
+	repl, err := replFromName(req.Repl)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Depth < 1 || req.Depth&(req.Depth-1) != 0 {
+		httpError(w, http.StatusBadRequest, "depth %d is not a power of two >= 1", req.Depth)
+		return
+	}
+	if req.Assoc == 0 {
+		req.Assoc = 1
+	}
+	if req.LineWords == 0 {
+		req.LineWords = 1
+	}
+	cfg := cache.Config{
+		Depth: req.Depth, Assoc: req.Assoc, LineWords: req.LineWords,
+		Repl: repl, Allocate: true,
+	}
+	if req.WriteThrough {
+		cfg.Write = cache.WriteThrough
+	}
+	s.dispatch(w, r, "simulate", req.Async, func(ctx context.Context) (any, error) {
+		key := fmt.Sprintf("simulate|%s|%v|wt=%v", entry.Digest, cfg, req.WriteThrough)
+		if v, ok := s.results.Get(key); ok {
+			resp := *v.(*simulateResponse)
+			resp.Cached = true
+			return &resp, nil
+		}
+		res, err := cache.Simulate(cfg, entry.Trace)
+		if err != nil {
+			return nil, err
+		}
+		resp := &simulateResponse{
+			Trace:      entry.Digest,
+			Config:     fmt.Sprint(cfg),
+			Accesses:   res.Accesses,
+			Hits:       res.Hits,
+			ColdMisses: res.ColdMisses,
+			Misses:     res.Misses,
+			Writebacks: res.Writebacks,
+			MissRate:   res.MissRate(),
+		}
+		s.results.Put(key, resp)
+		return resp, nil
+	})
+}
+
+type verifyRequest struct {
+	Trace     string `json:"trace"`
+	K         int    `json:"k"`
+	Instances []struct {
+		Depth int `json:"depth"`
+		Assoc int `json:"assoc"`
+	} `json:"instances"`
+	Async bool `json:"async,omitempty"`
+}
+
+type verifyResponse struct {
+	Trace  string `json:"trace"`
+	K      int    `json:"k"`
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := s.store.Get(req.Trace)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		return
+	}
+	if len(req.Instances) == 0 {
+		httpError(w, http.StatusBadRequest, "verify needs at least one instance")
+		return
+	}
+	instances := make([]core.Instance, len(req.Instances))
+	for i, ins := range req.Instances {
+		if ins.Depth < 1 || ins.Depth&(ins.Depth-1) != 0 || ins.Assoc < 1 {
+			httpError(w, http.StatusBadRequest,
+				"instance %d: depth must be a power of two >= 1 and assoc >= 1", i)
+			return
+		}
+		instances[i] = core.Instance{Depth: ins.Depth, Assoc: ins.Assoc}
+	}
+	s.dispatch(w, r, "verify", req.Async, func(ctx context.Context) (any, error) {
+		err := dse.VerifyContext(ctx, entry.Trace, instances, req.K)
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return nil, err
+		}
+		resp := &verifyResponse{Trace: entry.Digest, K: req.K, OK: err == nil}
+		if err != nil {
+			resp.Reason = err.Error()
+		}
+		return resp, nil
+	})
+}
+
+// dispatch runs fn through the worker pool. Async requests get 202 with
+// the job's status for later polling; synchronous requests wait for the
+// job (bounded by RequestTimeout and the client connection) and return
+// its result inline. Either way the work itself runs on the pool, so
+// compute concurrency stays bounded by the configured worker count.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, async bool, fn func(context.Context) (any, error)) {
+	job, err := s.queue.Submit(kind, fn)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if async {
+		writeJSON(w, http.StatusAccepted, job.Snapshot())
+		return
+	}
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// Client went away: stop the worker and report the abandonment
+		// (the write usually goes nowhere, but tests can observe it).
+		s.queue.Cancel(job.ID())
+		<-job.Done()
+	case <-timer.C:
+		s.queue.Cancel(job.ID())
+		<-job.Done()
+	}
+	st := job.Snapshot()
+	switch st.State {
+	case JobDone:
+		writeJSON(w, http.StatusOK, st.Result)
+	case JobCanceled:
+		httpError(w, httpStatusClientClosedRequest, "exploration cancelled: %s", st.Error)
+	default:
+		if strings.Contains(st.Error, context.DeadlineExceeded.Error()) {
+			httpError(w, http.StatusGatewayTimeout, "%s", st.Error)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%s", st.Error)
+	}
+}
+
+// httpStatusClientClosedRequest is nginx's conventional 499 for requests
+// abandoned by the client; stdlib has no constant for it.
+const httpStatusClientClosedRequest = 499
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.queue.Cancel(job.ID())
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.queue.Depth(),
+		"traces":      s.store.Len(),
+	})
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitTerminal(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not reach a terminal state", j.ID())
+	}
+	return j.Snapshot()
+}
+
+func TestQueueRunsJobs(t *testing.T) {
+	q := NewQueue(2, 4, 0, 8)
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit("test", func(ctx context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != JobDone || st.Result.(int) != 42 {
+		t.Fatalf("job finished as %+v", st)
+	}
+	if st.Started == nil || st.Finished == nil {
+		t.Fatalf("timestamps missing: %+v", st)
+	}
+	if got, ok := q.Get(j.ID()); !ok || got != j {
+		t.Fatal("finished job no longer queryable")
+	}
+	if q.Finished(JobDone) != 1 {
+		t.Fatalf("Finished(done) = %d", q.Finished(JobDone))
+	}
+}
+
+func TestQueueJobError(t *testing.T) {
+	q := NewQueue(1, 4, 0, 8)
+	defer q.Shutdown(context.Background())
+	boom := errors.New("boom")
+	j, err := q.Submit("test", func(ctx context.Context) (any, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != JobFailed || st.Error != "boom" {
+		t.Fatalf("job finished as %+v", st)
+	}
+}
+
+// blockingJob submits a job that holds its worker until release is closed,
+// reporting via started that the worker picked it up.
+func blockingJob(t *testing.T, q *Queue, started chan<- struct{}, release <-chan struct{}) *Job {
+	t.Helper()
+	j, err := q.Submit("block", func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-release:
+			return "released", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestQueueFull(t *testing.T) {
+	q := NewQueue(1, 1, 0, 8)
+	defer q.Shutdown(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	blockingJob(t, q, started, release)
+	<-started // the single worker is now occupied
+
+	if _, err := q.Submit("fill", func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatalf("filling the backlog failed: %v", err)
+	}
+	if _, err := q.Submit("over", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit past capacity: err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueueCancelQueued(t *testing.T) {
+	q := NewQueue(1, 2, 0, 8)
+	defer q.Shutdown(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blockingJob(t, q, started, release)
+	<-started
+
+	queued, err := q.Submit("victim", func(ctx context.Context) (any, error) { return "ran", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Cancel(queued.ID()) {
+		t.Fatal("Cancel of queued job returned false")
+	}
+	st := waitTerminal(t, queued)
+	if st.State != JobCanceled {
+		t.Fatalf("cancelled queued job finished as %+v", st)
+	}
+	// Releasing the worker must not resurrect the cancelled job.
+	close(release)
+	time.Sleep(10 * time.Millisecond)
+	if st := queued.Snapshot(); st.State != JobCanceled || st.Result != nil {
+		t.Fatalf("cancelled job ran anyway: %+v", st)
+	}
+	if q.Cancel(queued.ID()) {
+		t.Fatal("Cancel of terminal job returned true")
+	}
+}
+
+func TestQueueCancelRunning(t *testing.T) {
+	q := NewQueue(1, 2, 0, 8)
+	defer q.Shutdown(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{}) // never closed: only ctx can free the job
+	j := blockingJob(t, q, started, release)
+	<-started
+	if !q.Cancel(j.ID()) {
+		t.Fatal("Cancel of running job returned false")
+	}
+	st := waitTerminal(t, j)
+	if st.State != JobCanceled {
+		t.Fatalf("cancelled running job finished as %+v", st)
+	}
+	if q.Finished(JobCanceled) != 1 {
+		t.Fatalf("Finished(canceled) = %d", q.Finished(JobCanceled))
+	}
+}
+
+func TestQueueJobTimeout(t *testing.T) {
+	q := NewQueue(1, 2, 5*time.Millisecond, 8)
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit("slow", func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != JobFailed || st.Error != context.DeadlineExceeded.Error() {
+		t.Fatalf("timed-out job finished as %+v", st)
+	}
+}
+
+func TestQueueShutdownDrains(t *testing.T) {
+	q := NewQueue(2, 8, 0, 16)
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, err := q.Submit("drain", func(ctx context.Context) (any, error) {
+			time.Sleep(time.Millisecond)
+			return "ok", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, j := range jobs {
+		if st := j.Snapshot(); st.State != JobDone {
+			t.Fatalf("job %s not drained: %+v", j.ID(), st)
+		}
+	}
+	if _, err := q.Submit("late", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit after shutdown: err = %v, want ErrQueueClosed", err)
+	}
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestQueueShutdownDeadlineCancelsJobs(t *testing.T) {
+	q := NewQueue(1, 2, 0, 8)
+	started := make(chan struct{})
+	release := make(chan struct{}) // never closed
+	j := blockingJob(t, q, started, release)
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := q.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown past deadline: err = %v", err)
+	}
+	if st := j.Snapshot(); st.State != JobCanceled {
+		t.Fatalf("in-flight job after forced shutdown: %+v", st)
+	}
+}
+
+func TestQueuePrunesFinishedJobs(t *testing.T) {
+	q := NewQueue(1, 4, 0, 2)
+	defer q.Shutdown(context.Background())
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := q.Submit("prune", func(ctx context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+		ids = append(ids, j.ID())
+	}
+	if _, ok := q.Get(ids[0]); ok {
+		t.Fatal("oldest finished job not pruned")
+	}
+	if _, ok := q.Get(ids[3]); !ok {
+		t.Fatal("newest finished job pruned")
+	}
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedLRU is a bounded key/value cache split into independently locked
+// shards, each evicting least-recently-used entries past its capacity.
+// Sharding keeps the hot Get path contention-free across concurrent
+// requests (the design cue the service takes from striped caches like
+// GigaCache); the per-shard bound keeps total memory proportional to the
+// configured capacity no matter the workload.
+type ShardedLRU struct {
+	shards    []lruShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+const lruShardCount = 16 // power of two; shard = fnv32a(key) & (count-1)
+
+type lruShard struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// NewShardedLRU returns a cache holding at most capacity entries spread
+// over the shards. A capacity below the shard count is raised to one
+// entry per shard.
+func NewShardedLRU(capacity int) *ShardedLRU {
+	per := (capacity + lruShardCount - 1) / lruShardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &ShardedLRU{shards: make([]lruShard, lruShardCount)}
+	for i := range c.shards {
+		c.shards[i] = lruShard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *ShardedLRU) shard(key string) *lruShard {
+	return &c.shards[fnv32a(key)&(lruShardCount-1)]
+}
+
+// fnv32a is the 32-bit FNV-1a hash, inlined to keep the key on the stack.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Get returns the value for key, marking it most recently used.
+func (c *ShardedLRU) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the shard's least recently used
+// entry if it is over capacity.
+func (c *ShardedLRU) Put(key string, val any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+	if s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *ShardedLRU) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns cumulative hit, miss and eviction counts.
+func (c *ShardedLRU) Stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

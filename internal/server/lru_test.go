@@ -1,0 +1,109 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedLRUPutGet(t *testing.T) {
+	c := NewShardedLRU(64)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get on empty cache succeeded")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 3) // refresh in place
+	if v, _ := c.Get("a"); v.(int) != 3 {
+		t.Fatalf("refreshed Get(a) = %v", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 2 || misses != 1 || evictions != 0 {
+		t.Fatalf("Stats = %d, %d, %d, want 2, 1, 0", hits, misses, evictions)
+	}
+}
+
+// sameShardKeys returns n distinct keys that hash to the same shard, so
+// eviction behaviour can be exercised deterministically.
+func sameShardKeys(n int) []string {
+	want := fnv32a("seed") & (lruShardCount - 1)
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if fnv32a(k)&(lruShardCount-1) == want {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestShardedLRUEviction(t *testing.T) {
+	// Capacity lruShardCount gives each shard exactly one slot.
+	c := NewShardedLRU(lruShardCount)
+	keys := sameShardKeys(3)
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1) // evicts keys[0]
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if v, ok := c.Get(keys[1]); !ok || v.(int) != 1 {
+		t.Fatalf("newest entry missing: %v, %v", v, ok)
+	}
+	// Refreshing keys[1] then inserting keys[2] must evict nothing else:
+	// the shard holds one entry, so keys[1] goes.
+	c.Get(keys[1])
+	c.Put(keys[2], 2)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, _, evictions := c.Stats(); evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", evictions)
+	}
+}
+
+func TestShardedLRULeastRecentlyUsedOrder(t *testing.T) {
+	// Two slots in one shard: touching the older entry must flip which one
+	// gets evicted.
+	c := NewShardedLRU(2 * lruShardCount)
+	keys := sameShardKeys(3)
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	c.Get(keys[0]) // keys[1] is now least recently used
+	c.Put(keys[2], 2)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("least recently used entry survived")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently touched entry was evicted")
+	}
+}
+
+func TestShardedLRUConcurrent(t *testing.T) {
+	c := NewShardedLRU(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k-%d", (g*500+i)%200)
+				c.Put(key, i)
+				if v, ok := c.Get(key); ok {
+					_ = v.(int)
+				}
+				c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, _ := c.Stats()
+	if hits+misses != 8*500 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*500)
+	}
+}

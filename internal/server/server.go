@@ -1,0 +1,220 @@
+// Package server turns the analytical explorer into a long-lived HTTP
+// service: clients upload traces once, then issue stats / explore /
+// simulate / verify queries against them. Explorations run through a
+// bounded worker pool fed by an async job queue (submit → poll → fetch),
+// per-trace prelude work (strip + MRCT) is memoized, and exploration
+// results are memoized in a sharded LRU keyed by trace digest + options,
+// so answering the same trace at a different budget K is a cache hit.
+// Cancellation flows from the HTTP request down into the exploration
+// loops, and /metrics exposes request, latency, queue and cache counters
+// in the Prometheus text format — all stdlib only.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the service. The zero value gets sensible defaults from
+// withDefaults.
+type Config struct {
+	// MaxUploadBytes caps a trace upload's size; oversized uploads get 413.
+	MaxUploadBytes int64
+	// MaxRefs caps the number of references in one uploaded trace.
+	MaxRefs int
+	// Workers is the exploration worker pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the job backlog; a full queue returns 503.
+	QueueDepth int
+	// CacheEntries bounds the exploration result cache.
+	CacheEntries int
+	// MaxTraces bounds the uploaded-trace store (LRU eviction).
+	MaxTraces int
+	// JobTimeout bounds one job's run time; 0 means no timeout.
+	JobTimeout time.Duration
+	// RequestTimeout bounds a synchronous request's wait for its job.
+	RequestTimeout time.Duration
+	// Log receives request-independent server events; nil uses the
+	// standard logger.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxRefs <= 0 {
+		c.MaxRefs = 16 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxTraces <= 0 {
+		c.MaxTraces = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = time.Minute
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the cache-DSE exploration service.
+type Server struct {
+	cfg     Config
+	store   *TraceStore
+	results *ShardedLRU
+	queue   *Queue
+	reg     *Registry
+	mux     *http.ServeMux
+
+	reqTotal *CounterVec
+	latency  *HistogramVec
+}
+
+// New builds a Server ready to serve via Handler.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   NewTraceStore(cfg.MaxTraces),
+		results: NewShardedLRU(cfg.CacheEntries),
+		queue:   NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, 4*cfg.QueueDepth),
+		reg:     NewRegistry(),
+		mux:     http.NewServeMux(),
+	}
+	s.registerMetrics()
+	s.routes()
+	return s
+}
+
+func (s *Server) registerMetrics() {
+	s.reqTotal = s.reg.CounterVec("cachedse_requests_total",
+		"HTTP requests served, by endpoint and status code.", "endpoint", "code")
+	s.latency = s.reg.HistogramVec("cachedse_request_duration_seconds",
+		"HTTP request latency in seconds, by endpoint.", nil, "endpoint")
+	s.reg.CounterFunc("cachedse_result_cache_hits_total",
+		"Exploration result cache hits.", func() float64 {
+			h, _, _ := s.results.Stats()
+			return float64(h)
+		})
+	s.reg.CounterFunc("cachedse_result_cache_misses_total",
+		"Exploration result cache misses.", func() float64 {
+			_, m, _ := s.results.Stats()
+			return float64(m)
+		})
+	s.reg.CounterFunc("cachedse_result_cache_evictions_total",
+		"Exploration result cache evictions.", func() float64 {
+			_, _, e := s.results.Stats()
+			return float64(e)
+		})
+	s.reg.GaugeFunc("cachedse_job_queue_depth",
+		"Jobs waiting in the backlog.", func() float64 { return float64(s.queue.Depth()) })
+	s.reg.GaugeFunc("cachedse_jobs_running",
+		"Jobs currently executing.", func() float64 { return float64(s.queue.Running()) })
+	s.reg.CounterFunc("cachedse_jobs_done_total",
+		"Jobs finished successfully.", func() float64 { return float64(s.queue.Finished(JobDone)) })
+	s.reg.CounterFunc("cachedse_jobs_failed_total",
+		"Jobs finished in error.", func() float64 { return float64(s.queue.Finished(JobFailed)) })
+	s.reg.CounterFunc("cachedse_jobs_canceled_total",
+		"Jobs cancelled before completing.", func() float64 { return float64(s.queue.Finished(JobCanceled)) })
+	s.reg.GaugeFunc("cachedse_traces_stored",
+		"Uploaded traces currently retained.", func() float64 { return float64(s.store.Len()) })
+	s.reg.GaugeFunc("cachedse_result_cache_entries",
+		"Exploration results currently cached.", func() float64 { return float64(s.results.Len()) })
+}
+
+func (s *Server) routes() {
+	s.mux.Handle("POST /v1/traces", s.instrument("traces_upload", s.handleUpload))
+	s.mux.Handle("GET /v1/traces", s.instrument("traces_list", s.handleListTraces))
+	s.mux.Handle("GET /v1/traces/{digest}", s.instrument("traces_get", s.handleGetTrace))
+	s.mux.Handle("DELETE /v1/traces/{digest}", s.instrument("traces_delete", s.handleDeleteTrace))
+	s.mux.Handle("POST /v1/explore", s.instrument("explore", s.handleExplore))
+	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.Handle("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleGetJob))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleCancelJob))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metric registry (for embedding callers).
+func (s *Server) Metrics() *Registry { return s.reg }
+
+// Close drains the job queue and flushes in-flight jobs; past ctx's
+// deadline running jobs are cancelled instead.
+func (s *Server) Close(ctx context.Context) error {
+	return s.queue.Shutdown(ctx)
+}
+
+// statusWriter records the status code written to a response.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with panic recovery, a request counter and a
+// latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.Log.Printf("server: panic in %s: %v", endpoint, p)
+				httpError(sw, http.StatusInternalServerError, "internal error")
+			}
+			s.reqTotal.With(endpoint, fmt.Sprintf("%d", sw.code)).Inc()
+			s.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		}()
+		h(sw, r)
+	})
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly parses a small JSON request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// TraceEntry is one uploaded trace: its content digest, the decoded
+// references, the Table 5/6 statistics, and the lazily built, memoized
+// prelude structures (stripped trace + MRCT) every exploration of the
+// trace shares. The prelude is the expensive half of the paper's
+// algorithm; memoizing it is what makes repeated (D, A) queries at
+// different budgets cheap.
+type TraceEntry struct {
+	Digest   string
+	Trace    *trace.Trace
+	Stats    trace.Stats
+	Uploaded time.Time
+
+	mu       sync.Mutex
+	stripped *trace.Stripped
+	mrct     *core.MRCT
+}
+
+// Prelude returns the stripped trace and conflict table, building them on
+// first use. Concurrent callers for the same trace serialize so the work
+// happens once; only successful builds are memoized, so a cancelled
+// builder fails just its own request.
+func (e *TraceEntry) Prelude(ctx context.Context) (*trace.Stripped, *core.MRCT, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mrct == nil {
+		s := trace.Strip(e.Trace)
+		m, err := core.BuildMRCTContext(ctx, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.stripped, e.mrct = s, m
+	}
+	return e.stripped, e.mrct, nil
+}
+
+// TraceDigest returns the content digest of a trace: SHA-256 over the
+// canonical (kind, little-endian address) byte stream of its references,
+// truncated to 128 bits and hex encoded. The digest depends only on the
+// reference sequence, so the same trace uploaded as .din text or .ctr
+// binary keys identically.
+func TraceDigest(t *trace.Trace) string {
+	h := sha256.New()
+	buf := make([]byte, 0, 5*4096)
+	for i, r := range t.Refs {
+		buf = append(buf, byte(r.Kind), 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(buf[len(buf)-4:], r.Addr)
+		if len(buf) == cap(buf) || i == len(t.Refs)-1 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// TraceStore holds uploaded traces by digest with LRU eviction past a
+// configured bound, so a long-lived daemon cannot accumulate traces
+// without limit.
+type TraceStore struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // of *TraceEntry, front = most recently used
+	byDigest map[string]*list.Element
+}
+
+// NewTraceStore returns a store retaining at most max traces (minimum 1).
+func NewTraceStore(max int) *TraceStore {
+	if max < 1 {
+		max = 1
+	}
+	return &TraceStore{
+		max:      max,
+		ll:       list.New(),
+		byDigest: make(map[string]*list.Element),
+	}
+}
+
+// Add registers a trace, returning its entry and whether it was already
+// present (uploads are idempotent by content).
+func (s *TraceStore) Add(t *trace.Trace) (entry *TraceEntry, existed bool) {
+	digest := TraceDigest(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byDigest[digest]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*TraceEntry), true
+	}
+	entry = &TraceEntry{
+		Digest:   digest,
+		Trace:    t,
+		Stats:    trace.ComputeStats(t),
+		Uploaded: time.Now(),
+	}
+	s.byDigest[digest] = s.ll.PushFront(entry)
+	if s.ll.Len() > s.max {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.byDigest, oldest.Value.(*TraceEntry).Digest)
+	}
+	return entry, false
+}
+
+// Get returns the entry for digest, marking it most recently used.
+func (s *TraceStore) Get(digest string) (*TraceEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byDigest[digest]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*TraceEntry), true
+}
+
+// Remove deletes the entry for digest, reporting whether it existed.
+func (s *TraceStore) Remove(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byDigest[digest]
+	if !ok {
+		return false
+	}
+	s.ll.Remove(el)
+	delete(s.byDigest, digest)
+	return true
+}
+
+// List returns every entry, most recently used first.
+func (s *TraceStore) List() []*TraceEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*TraceEntry, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*TraceEntry))
+	}
+	return out
+}
+
+// Len returns the number of stored traces.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -65,6 +66,39 @@ func FuzzReadBinary(f *testing.F) {
 		again, err := ReadBinary(&out)
 		if err != nil || again.Len() != tr.Len() {
 			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeLimits drives the limit-enforcing entry point the HTTP service
+// uses: for arbitrary input and arbitrary small limits, Decode must never
+// panic, never decode past the bounds, and classify genuinely oversized
+// inputs as *LimitError (so servers answer 413, not 400).
+func FuzzDecodeLimits(f *testing.F) {
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, FromAddrs(DataRead, []uint32{1, 5, 5, 1000, 0})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("0 10\n1 20\n2 30\n"), 2, int64(4))
+	f.Add([]byte("0 10\n1 20\n2 30\n"), 100, int64(1000))
+	f.Add(bin.Bytes(), 3, int64(6))
+	f.Add(bin.Bytes(), 0, int64(0))
+	f.Add([]byte("CTR1\xff\xff\xff\x7f"), 10, int64(1<<20))
+	f.Fuzz(func(t *testing.T, in []byte, maxRefs int, maxBytes int64) {
+		if maxRefs < 0 || maxBytes < 0 {
+			return
+		}
+		lim := Limits{MaxRefs: maxRefs, MaxBytes: maxBytes}
+		tr, err := Decode(bytes.NewReader(in), lim)
+		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) && le.What == "bytes" && maxBytes > 0 && int64(len(in)) <= maxBytes {
+				t.Fatalf("byte LimitError on %d-byte input with MaxBytes=%d", len(in), maxBytes)
+			}
+			return
+		}
+		if maxRefs > 0 && tr.Len() > maxRefs {
+			t.Fatalf("decoded %d refs past MaxRefs=%d", tr.Len(), maxRefs)
 		}
 	})
 }

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadTextLimitsMaxRefs(t *testing.T) {
+	in := strings.Repeat("0 1f\n", 10)
+	if _, err := ReadTextLimits(strings.NewReader(in), Limits{MaxRefs: 10}); err != nil {
+		t.Fatalf("at-limit input rejected: %v", err)
+	}
+	_, err := ReadTextLimits(strings.NewReader(in), Limits{MaxRefs: 9})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("over-limit input: err = %v, want *LimitError", err)
+	}
+	if le.What != "references" || le.Limit != 9 {
+		t.Fatalf("LimitError = %+v", le)
+	}
+}
+
+func TestReadTextLimitsMaxBytes(t *testing.T) {
+	in := strings.Repeat("0 1f\n", 100)
+	if _, err := ReadTextLimits(strings.NewReader(in), Limits{MaxBytes: int64(len(in))}); err != nil {
+		t.Fatalf("at-limit input rejected: %v", err)
+	}
+	_, err := ReadTextLimits(strings.NewReader(in), Limits{MaxBytes: 64})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("over-limit input: err = %v, want *LimitError", err)
+	}
+	if le.What != "bytes" || le.Limit != 64 {
+		t.Fatalf("LimitError = %+v", le)
+	}
+}
+
+// truncatingReader serves the first n bytes of data, then fails with err —
+// the shape of http.MaxBytesReader and any other capped upstream reader.
+type truncatingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *truncatingReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// A reader failing mid-line must surface its own error, not a syntax
+// error on the truncated fragment it happened to cut (the HTTP layer
+// matches on the error type to answer 413 instead of 400).
+func TestReadTextTruncatedByReaderError(t *testing.T) {
+	capErr := errors.New("body too large")
+	in := strings.Repeat("0 1f\n", 100)
+	r := &truncatingReader{data: []byte(in[:42]), err: capErr} // cut mid-line
+	if _, err := ReadText(r); !errors.Is(err, capErr) {
+		t.Fatalf("err = %v, want the reader's own error", err)
+	}
+}
+
+func TestReadBinaryLimits(t *testing.T) {
+	tr := FromAddrs(DataRead, []uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinaryLimits(bytes.NewReader(buf.Bytes()), Limits{MaxRefs: 8}); err != nil {
+		t.Fatalf("at-limit input rejected: %v", err)
+	}
+	var le *LimitError
+	if _, err := ReadBinaryLimits(bytes.NewReader(buf.Bytes()), Limits{MaxRefs: 7}); !errors.As(err, &le) {
+		t.Fatalf("over-limit refs: err = %v, want *LimitError", err)
+	}
+	if _, err := ReadBinaryLimits(bytes.NewReader(buf.Bytes()), Limits{MaxBytes: 8}); !errors.As(err, &le) {
+		t.Fatalf("over-limit bytes: err = %v, want *LimitError", err)
+	}
+}
+
+// A binary header may declare a huge count without carrying the data; the
+// decoder must fail on the truncated input without allocating for the
+// declared count.
+func TestReadBinaryLyingHeader(t *testing.T) {
+	in := []byte("CTR1\xff\xff\xff\x7f") // count ~= 2^28, no payload
+	_, err := ReadBinary(bytes.NewReader(in))
+	if err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	var le *LimitError
+	if _, err := ReadBinaryLimits(bytes.NewReader(in), Limits{MaxRefs: 1000}); !errors.As(err, &le) {
+		t.Fatalf("declared count over MaxRefs: err = %v, want *LimitError", err)
+	}
+}
+
+func TestDecodeAutodetect(t *testing.T) {
+	tr := FromAddrs(DataWrite, []uint32{9, 4, 9, 1})
+
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"binary": bin.Bytes(), "text": txt.Bytes()} {
+		got, err := Decode(bytes.NewReader(data), Limits{MaxRefs: 10, MaxBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("Decode %s: %v", name, err)
+		}
+		if got.Len() != tr.Len() {
+			t.Fatalf("Decode %s: len %d, want %d", name, got.Len(), tr.Len())
+		}
+		for i := range tr.Refs {
+			if got.Refs[i] != tr.Refs[i] {
+				t.Fatalf("Decode %s: ref %d = %v, want %v", name, i, got.Refs[i], tr.Refs[i])
+			}
+		}
+	}
+
+	// Limits propagate through Decode for both formats.
+	var le *LimitError
+	if _, err := Decode(bytes.NewReader(bin.Bytes()), Limits{MaxRefs: 3}); !errors.As(err, &le) {
+		t.Fatalf("Decode binary over MaxRefs: err = %v, want *LimitError", err)
+	}
+	if _, err := Decode(bytes.NewReader(txt.Bytes()), Limits{MaxRefs: 3}); !errors.As(err, &le) {
+		t.Fatalf("Decode text over MaxRefs: err = %v, want *LimitError", err)
+	}
+	if _, err := Decode(bytes.NewReader(txt.Bytes()), Limits{MaxBytes: 5}); !errors.As(err, &le) {
+		t.Fatalf("Decode text over MaxBytes: err = %v, want *LimitError", err)
+	}
+
+	// Inputs shorter than the binary magic parse as (possibly empty) text.
+	if got, err := Decode(strings.NewReader(""), Limits{}); err != nil || got.Len() != 0 {
+		t.Fatalf("Decode empty = %v, %v", got, err)
+	}
+}
