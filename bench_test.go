@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/example/cachedse/internal/bitset"
 	"github.com/example/cachedse/internal/bus"
 	"github.com/example/cachedse/internal/cache"
 	"github.com/example/cachedse/internal/cacti"
@@ -304,6 +305,73 @@ func BenchmarkAblationParallelExplore(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkMicroIntersect isolates the three |S ∩ C| kernels the postlude
+// chooses between: the per-element Contains loop the engine used before the
+// hybrid representation, the sparse word-probe kernel
+// (IntersectCountSparse), and the packed word-wise AND+popcount
+// (IntersectCount). Sub-benchmarks sweep the conflict-set cardinality that
+// drives the hybrid representation's pack/no-pack decision.
+func BenchmarkMicroIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	const n = 2048
+	row := bitset.New(n)
+	for i := 0; i < n/3; i++ {
+		row.Add(rng.Intn(n))
+	}
+	for _, card := range []int{8, 64, 512} {
+		elems := make([]int32, 0, card)
+		seen := map[int32]bool{}
+		for len(elems) < card {
+			v := int32(rng.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				elems = append(elems, v)
+			}
+		}
+		packed := bitset.New(n)
+		for _, v := range elems {
+			packed.Add(int(v))
+		}
+		b.Run(fmt.Sprintf("contains-loop/card=%d", card), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := 0
+				for _, c := range elems {
+					if row.Contains(int(c)) {
+						d++
+					}
+				}
+				_ = d
+			}
+		})
+		b.Run(fmt.Sprintf("sparse-kernel/card=%d", card), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = row.IntersectCountSparse(elems)
+			}
+		})
+		b.Run(fmt.Sprintf("packed-popcount/card=%d", card), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = row.IntersectCount(packed)
+			}
+		})
+	}
+}
+
+// BenchmarkMicroMRCTDedup isolates the prelude's dedup lookup cost on a
+// repeat-dominated trace where nearly every occurrence hits an
+// already-known conflict window — the case the commutative-hash dedup is
+// designed for (no sort, no byte-key materialisation on the hit path).
+func BenchmarkMicroMRCTDedup(b *testing.B) {
+	tr := tracegen.Loop(0, 256, 200)
+	s := trace.Strip(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.BuildMRCT(s)
+		if m.DistinctSets() == 0 {
+			b.Fatal("no sets")
+		}
 	}
 }
 

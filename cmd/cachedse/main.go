@@ -7,7 +7,8 @@
 //
 //	cachedse stats    TRACE            trace statistics (N, N', max misses)
 //	cachedse strip    TRACE            stripped trace (unique refs + ids)
-//	cachedse explore  [-k N | -kpct P] [-maxdepth D] [-verify] TRACE
+//	cachedse explore  [-k N | -kpct P] [-maxdepth D] [-workers W] [-verify]
+//	                  [-cpuprofile F] [-memprofile F] TRACE
 //	                                   optimal (D, A) instances for budget K
 //	cachedse simulate -depth D -assoc A [-line W] [-repl P] TRACE
 //	                                   simulate one configuration
@@ -22,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -177,12 +180,15 @@ func cmdStrip(args []string) error {
 }
 
 func cmdExplore(args []string) error {
-	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-pareto] [-verify] TRACE")
+	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-cpuprofile F] [-memprofile F] TRACE")
 	k := fs.Int("k", -1, "miss budget K (absolute)")
 	kpct := fs.Float64("kpct", -1, "miss budget as percent of max misses")
 	maxDepth := fs.Int("maxdepth", 0, "largest cache depth to explore (power of two)")
+	workers := fs.Int("workers", 1, "postlude worker count (0 = GOMAXPROCS, 1 = sequential)")
 	verify := fs.Bool("verify", false, "simulate each emitted instance")
 	pareto := fs.Bool("pareto", false, "print only the size-Pareto frontier")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the exploration to this file")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -201,9 +207,37 @@ func cmdExplore(args []string) error {
 	if budget < 0 {
 		return fmt.Errorf("explore needs -k or -kpct")
 	}
-	r, err := core.Explore(tr, core.Options{MaxDepth: *maxDepth})
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	opts := core.Options{MaxDepth: *maxDepth}
+	var r *core.Result
+	if *workers == 1 {
+		r, err = core.Explore(tr, opts)
+	} else {
+		r, err = core.ExploreParallel(tr, opts, *workers)
+	}
 	if err != nil {
 		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	instances, tab := dse.InstanceTable(r, budget, st.MaxMisses, *pareto)
 	fmt.Print(tab.Render())

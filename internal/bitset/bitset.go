@@ -174,6 +174,22 @@ func (s *Set) IntersectCountAtLeast(o *Set, k int) bool {
 	return false
 }
 
+// IntersectCountSparse returns the number of elements of elems contained
+// in s. It is the sparse counterpart of IntersectCount: when the other set
+// is a short sorted identifier list, iterating its elements beats scanning
+// every word of the universe. Elements must be distinct and in range
+// [0, Cap()); elements outside that range panic or (within the trailing
+// partial word) count as absent. This is the single audited intersection
+// kernel for hybrid (sparse-or-packed) conflict sets.
+func (s *Set) IntersectCountSparse(elems []int32) int {
+	c := 0
+	w := s.words
+	for _, e := range elems {
+		c += int(w[e>>6] >> (uint32(e) & 63) & 1)
+	}
+	return c
+}
+
 // Intersects reports whether s and o share at least one element.
 func (s *Set) Intersects(o *Set) bool {
 	s.mustMatch(o, "Intersects")
@@ -214,6 +230,39 @@ func (s *Set) SubsetOf(o *Set) bool {
 // fn returns false.
 func (s *Set) ForEach(fn func(i int) bool) {
 	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachRange calls fn for every element e with lo <= e < hi in ascending
+// order. Iteration stops if fn returns false. Bounds outside [0, Cap()] are
+// clamped. The parallel postlude uses it to carve one large row set into
+// independently accumulable chunks without copying the set.
+func (s *Set) ForEachRange(lo, hi int, fn func(i int) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	loWord, hiWord := lo/wordBits, (hi-1)/wordBits
+	for wi := loWord; wi <= hiWord; wi++ {
+		w := s.words[wi]
+		if wi == loWord {
+			w &= ^uint64(0) << uint(lo%wordBits)
+		}
+		if wi == hiWord && hi%wordBits != 0 {
+			w &= ^uint64(0) >> uint(wordBits-hi%wordBits)
+		}
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			if !fn(wi*wordBits + b) {

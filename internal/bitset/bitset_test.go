@@ -339,6 +339,126 @@ func TestQuickIntersectCountAtLeast(t *testing.T) {
 	}
 }
 
+func TestIntersectCountSparse(t *testing.T) {
+	s := FromSlice(200, []int{0, 10, 64, 128, 199})
+	cases := []struct {
+		elems []int32
+		want  int
+	}{
+		{nil, 0},
+		{[]int32{10}, 1},
+		{[]int32{1, 2, 3}, 0},
+		{[]int32{0, 10, 64, 128, 199}, 5},
+		{[]int32{5, 64, 199}, 2},
+	}
+	for _, c := range cases {
+		if got := s.IntersectCountSparse(c.elems); got != c.want {
+			t.Errorf("IntersectCountSparse(%v) = %d, want %d", c.elems, got, c.want)
+		}
+	}
+}
+
+func TestIntersectCountSparseOutOfRangePanics(t *testing.T) {
+	s := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntersectCountSparse with out-of-range element did not panic")
+		}
+	}()
+	s.IntersectCountSparse([]int32{64})
+}
+
+// Property: the sparse kernel agrees with IntersectCount when the element
+// list is the other set's Elems — the hybrid conflict-set invariant.
+func TestQuickIntersectCountSparseMatchesDense(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		elems := make([]int32, 0, b.Count())
+		b.ForEach(func(i int) bool { elems = append(elems, int32(i)); return true })
+		return a.IntersectCountSparse(elems) == a.IntersectCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachRange(t *testing.T) {
+	s := FromSlice(200, []int{0, 5, 63, 64, 70, 140, 190, 199})
+	collect := func(lo, hi int) []int {
+		var out []int
+		s.ForEachRange(lo, hi, func(i int) bool { out = append(out, i); return true })
+		return out
+	}
+	cases := []struct {
+		lo, hi int
+		want   []int
+	}{
+		{0, 200, []int{0, 5, 63, 64, 70, 140, 190, 199}},
+		{0, 0, nil},
+		{5, 64, []int{5, 63}},
+		{5, 65, []int{5, 63, 64}},
+		{64, 128, []int{64, 70}},
+		{64, 64, nil},
+		{141, 199, []int{190}},
+		{-10, 6, []int{0, 5}},
+		{190, 1000, []int{190, 199}},
+		{199, 200, []int{199}},
+	}
+	for _, c := range cases {
+		got := collect(c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Errorf("ForEachRange(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("ForEachRange(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+				break
+			}
+		}
+	}
+	// Early stop.
+	count := 0
+	s.ForEachRange(0, 200, func(i int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("ForEachRange early stop visited %d, want 3", count)
+	}
+}
+
+// Property: splitting the element range at any boundary partitions ForEach.
+func TestQuickForEachRangePartitions(t *testing.T) {
+	f := func(xs []uint8, cut uint8) bool {
+		const n = 256
+		s := New(n)
+		for _, x := range xs {
+			s.Add(int(x))
+		}
+		var split []int
+		s.ForEachRange(0, int(cut), func(i int) bool { split = append(split, i); return true })
+		s.ForEachRange(int(cut), n, func(i int) bool { split = append(split, i); return true })
+		elems := s.Elems()
+		if len(split) != len(elems) {
+			return false
+		}
+		for i := range elems {
+			if split[i] != elems[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: De Morgan within universe — |a ∪ b| = |a| + |b| - |a ∩ b|.
 func TestQuickInclusionExclusion(t *testing.T) {
 	f := func(xs, ys []uint8) bool {

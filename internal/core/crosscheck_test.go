@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 	"github.com/example/cachedse/internal/cache"
 	"github.com/example/cachedse/internal/onepass"
 	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/tracegen"
 )
 
 // traceFromBytes builds a bounded-address trace from random bytes.
@@ -186,6 +188,80 @@ func TestQuickDFSMatchesBCAT(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// diffResults demands the strongest equality the engines promise:
+// bit-identical Results — same level structure, same AZero, and
+// element-for-element equal histograms (not just equal miss counts). It
+// returns "" when identical, else a description of the first divergence.
+func diffResults(a, b *Result) string {
+	if a.N != b.N || a.NUnique != b.NUnique {
+		return fmt.Sprintf("stats differ: (N=%d,N'=%d) vs (N=%d,N'=%d)", a.N, a.NUnique, b.N, b.NUnique)
+	}
+	if len(a.Levels) != len(b.Levels) {
+		return fmt.Sprintf("level counts differ: %d vs %d", len(a.Levels), len(b.Levels))
+	}
+	for i := range a.Levels {
+		la, lb := a.Levels[i], b.Levels[i]
+		if la.Depth != lb.Depth {
+			return fmt.Sprintf("level %d: depth %d vs %d", i, la.Depth, lb.Depth)
+		}
+		if la.AZero != lb.AZero {
+			return fmt.Sprintf("depth %d: AZero %d vs %d", la.Depth, la.AZero, lb.AZero)
+		}
+		if len(la.Hist) != len(lb.Hist) {
+			return fmt.Sprintf("depth %d: Hist lengths %d vs %d", la.Depth, len(la.Hist), len(lb.Hist))
+		}
+		for d := range la.Hist {
+			if la.Hist[d] != lb.Hist[d] {
+				return fmt.Sprintf("depth %d: Hist[%d] = %d vs %d", la.Depth, d, la.Hist[d], lb.Hist[d])
+			}
+		}
+	}
+	return ""
+}
+
+// The optimized engines must stay bit-identical across every execution
+// strategy: sequential DFS, materialised BCAT, and the work-stealing
+// parallel postlude at several worker counts, over loop-, zipf-, and
+// uniform-shaped synthetic workloads with fixed seeds. This is the
+// regression gate for the hybrid conflict-set representation, the
+// hash-deduped MRCT, and the parallel split/steal rework.
+func TestCrossCheckEnginesBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 4242} {
+		rng := rand.New(rand.NewSource(seed))
+		workloads := map[string]*trace.Trace{
+			"loop":    tracegen.Loop(uint32(rng.Intn(512)), 32+rng.Intn(64), 20+rng.Intn(40)),
+			"zipf":    tracegen.Zipf(rng, 0, 128+rng.Intn(256), 3000+rng.Intn(3000), 1.1+rng.Float64()),
+			"uniform": tracegen.Uniform(rng, 0, 64+rng.Intn(192), 2000+rng.Intn(2000)),
+		}
+		for name, tr := range workloads {
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				s := trace.Strip(tr)
+				m := BuildMRCT(s)
+				seq, err := ExploreStripped(s, m, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mat, err := ExploreBCAT(s, BuildBCAT(s, 0), m, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := diffResults(seq, mat); d != "" {
+					t.Fatalf("BCAT vs DFS: %s", d)
+				}
+				for _, workers := range []int{2, 3, 4, 8} {
+					par, err := ExploreParallelStripped(s, m, Options{}, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := diffResults(seq, par); d != "" {
+						t.Fatalf("parallel(workers=%d) vs DFS: %s", workers, d)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -198,11 +198,7 @@ func ExploreStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opt
 	if err != nil {
 		return nil, err
 	}
-	r := &Result{NUnique: s.NUnique(), N: s.N()}
-	r.Levels = make([]*LevelResult, levels+1)
-	for i := range r.Levels {
-		r.Levels[i] = &LevelResult{Depth: 1 << uint(i)}
-	}
+	r := newResult(s, m, levels)
 	if s.NUnique() == 0 {
 		finalize(r)
 		return r, nil
@@ -251,11 +247,7 @@ func ExploreBCAT(s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, er
 	if levels > t.Levels {
 		levels = t.Levels
 	}
-	r := &Result{NUnique: s.NUnique(), N: s.N()}
-	r.Levels = make([]*LevelResult, levels+1)
-	for i := range r.Levels {
-		r.Levels[i] = &LevelResult{Depth: 1 << uint(i)}
-	}
+	r := newResult(s, m, levels)
 	if s.NUnique() > 0 {
 		// Depth 1: the single row holding every unique reference.
 		root := bitset.New(s.NUnique())
@@ -273,32 +265,65 @@ func ExploreBCAT(s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, er
 	return r, nil
 }
 
+// newResult allocates a Result with one LevelResult per depth, every
+// histogram pre-sized to the MRCT's maximum conflict-set cardinality:
+// |S ∩ C| <= |C|, so no accumulate call can index past it and the
+// grow-copy that used to sit in the inner loop is gone. finalize trims the
+// unused tail so the emitted Result is bit-identical to the grown form.
+func newResult(s *trace.Stripped, m *MRCT, levels int) *Result {
+	r := &Result{NUnique: s.NUnique(), N: s.N()}
+	r.Levels = make([]*LevelResult, levels+1)
+	for i := range r.Levels {
+		r.Levels[i] = newLevelResult(i, m)
+	}
+	return r
+}
+
+func newLevelResult(level int, m *MRCT) *LevelResult {
+	return &LevelResult{Depth: 1 << uint(level), Hist: make([]int, m.maxCard+1)}
+}
+
 // accumulate folds one row set S into a level's histogram: for every
 // non-cold occurrence of every reference in S, bump Hist[|S ∩ C|] by the
 // occurrence's multiplicity.
 func accumulate(lr *LevelResult, set *bitset.Set, m *MRCT) {
-	set.ForEach(func(e int) bool {
+	accumulateRange(lr, set, m, 0, set.Cap())
+}
+
+// accumulateRange is accumulate restricted to the references in [lo, hi);
+// the conflict sets still intersect with the whole row set, so summing
+// disjoint ranges reproduces accumulate exactly. The intersection runs
+// through the hybrid kernel: packed word-wise AND+popcount for dense
+// conflict sets, the sparse element-probe kernel otherwise.
+func accumulateRange(lr *LevelResult, set *bitset.Set, m *MRCT, lo, hi int) {
+	hist := lr.Hist
+	set.ForEachRange(lo, hi, func(e int) bool {
 		for _, o := range m.occ[e] {
-			d := 0
-			for _, c := range m.sets[o.set] {
-				if set.Contains(int(c)) {
-					d++
-				}
+			var d int
+			if p := m.packed[o.set]; p != nil {
+				d = set.IntersectCount(p)
+			} else {
+				d = set.IntersectCountSparse(m.sets[o.set])
 			}
-			if d >= len(lr.Hist) {
-				grown := make([]int, d+1)
-				copy(grown, lr.Hist)
-				lr.Hist = grown
-			}
-			lr.Hist[d] += int(o.count)
+			hist[d] += int(o.count)
 		}
 		return true
 	})
 }
 
-// finalize derives AZero for every level.
+// finalize trims the pre-sized histograms back to their last non-zero
+// bucket (matching what incremental growth used to produce) and derives
+// AZero for every level.
 func finalize(r *Result) {
 	for _, l := range r.Levels {
+		h := l.Hist
+		for len(h) > 0 && h[len(h)-1] == 0 {
+			h = h[:len(h)-1]
+		}
+		if len(h) == 0 {
+			h = nil
+		}
+		l.Hist = h
 		l.AZero = 1
 		for d := len(l.Hist) - 1; d >= 1; d-- {
 			if l.Hist[d] != 0 {

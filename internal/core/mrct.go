@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"github.com/example/cachedse/internal/bitset"
 	"github.com/example/cachedse/internal/trace"
@@ -13,16 +13,26 @@ import (
 // the identifiers of the distinct references touched since the previous
 // occurrence.
 //
-// Conflict sets are stored sparsely (sorted identifier slices) and
-// deduplicated globally with multiplicities: loop-dominated embedded traces
-// repeat a handful of conflict windows millions of times, and the postlude
-// phase only needs |S ∩ C| per *distinct* C weighted by its count. This
-// keeps the structure within the paper's stated O(trace) space in practice.
+// Conflict sets are deduplicated globally with multiplicities —
+// loop-dominated embedded traces repeat a handful of conflict windows
+// millions of times, and the postlude phase only needs |S ∩ C| per
+// *distinct* C weighted by its count — and stored in a hybrid
+// representation: small sets as sorted identifier slices (carved out of a
+// shared arena), sets dense relative to the identifier universe
+// additionally as packed bit vectors so the postlude can intersect them
+// word-wise with AND+popcount. This keeps the structure within the paper's
+// stated O(trace) space in practice.
 type MRCT struct {
 	nunique int
 	// sets is the global table of distinct conflict sets, each sorted
-	// ascending by identifier.
+	// ascending by identifier. The slices alias shared arena blocks.
 	sets [][]int32
+	// packed[i] is the bit-vector form of sets[i] when it is dense enough
+	// for the word-wise kernel to win, nil otherwise.
+	packed []*bitset.Set
+	// maxCard is the largest conflict-set cardinality, bounding every
+	// |S ∩ C| the postlude can produce.
+	maxCard int
 	// occ[id] lists, per distinct conflict set of id, the pair (index into
 	// sets, number of occurrences with exactly that window).
 	occ [][]occurrence
@@ -38,6 +48,24 @@ func (m *MRCT) NUnique() int { return m.nunique }
 
 // DistinctSets returns the size of the global deduplicated set table.
 func (m *MRCT) DistinctSets() int { return len(m.sets) }
+
+// MaxConflictCard returns the largest conflict-set cardinality in the
+// table. Every postlude histogram index |S ∩ C| is at most this, so
+// callers can size histograms once instead of growing them in the inner
+// loop.
+func (m *MRCT) MaxConflictCard() int { return m.maxCard }
+
+// PackedSets returns how many distinct sets also carry a packed bit-vector
+// form, for space accounting and tests.
+func (m *MRCT) PackedSets() int {
+	n := 0
+	for _, p := range m.packed {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Occurrences returns the total number of non-cold occurrences recorded,
 // which equals N − N'.
@@ -64,6 +92,35 @@ func (m *MRCT) ConflictSets(id int) [][]int32 {
 	return out
 }
 
+// hashID mixes one identifier into a well-distributed 64-bit value
+// (splitmix64 finalizer). Conflict-set hashes combine these commutatively
+// so the dedup key never needs the set sorted.
+func hashID(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// packThreshold converts the universe size into the sparse-set length
+// above which the packed word-wise kernel wins: a packed intersection
+// touches every word of the universe once, a sparse intersection touches
+// one word per element, and BenchmarkMicroIntersect measures the two
+// per-step costs as near-equal — so the break-even sits at one element
+// per word.
+func packThreshold(nunique int) int {
+	words := (nunique + 63) / 64
+	if words < 8 {
+		return 8
+	}
+	return words
+}
+
+// arenaBlock is the allocation granularity for deduped conflict-set
+// storage: one backing slice serves many sets, so the per-set allocation
+// in the old build disappears and the sets pack contiguously.
+const arenaBlock = 1 << 15
+
 // BuildMRCT builds the conflict table in a single pass using a global LRU
 // stack, the hash-table formulation §2.4 recommends over the literal double
 // loop of Algorithm 2. When reference u is re-accessed at stack position p,
@@ -77,64 +134,131 @@ func BuildMRCT(s *trace.Stripped) *MRCT {
 // BuildMRCTContext is BuildMRCT with cancellation: the single pass over
 // the trace checks ctx every few thousand references and returns ctx.Err()
 // once it is done.
+//
+// Deduplication is by commutative 64-bit hash of the (unsorted) stack
+// prefix, verified against the stored candidates with an epoch-stamp
+// membership check; the full sort of a conflict set happens only when it
+// turns out to be a set never seen before. Repeat-dominated traces
+// therefore sort each distinct window once instead of once per occurrence.
 func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	nu := s.NUnique()
 	m := &MRCT{
-		nunique: s.NUnique(),
-		occ:     make([][]occurrence, s.NUnique()),
+		nunique: nu,
+		occ:     make([][]occurrence, nu),
 	}
-	dedup := make(map[string]int32)
+	thresh := packThreshold(nu)
+	// dedup maps the commutative hash to the candidate set indices sharing
+	// it; genuine collisions are resolved by the stamp check below.
+	dedup := make(map[uint64][]int32)
 	// perID collects set indices per id before run-length encoding.
-	perID := make([][]int32, s.NUnique())
+	perID := make([][]int32, nu)
+	// idHash[v] caches hashID(v); stamp/epoch implement O(|C|) set
+	// equality against an unsorted candidate window.
+	idHash := make([]uint64, nu)
+	for v := range idHash {
+		idHash[v] = hashID(uint64(v))
+	}
+	stamp := make([]uint64, nu)
+	epoch := uint64(0)
+	// pos[id] is id's position in the LRU stack (-1 when cold), so the
+	// linear stack search of the old build is gone; move-to-front already
+	// shifts the prefix, and the positions update in the same loop.
+	pos := make([]int32, nu)
+	for i := range pos {
+		pos[i] = -1
+	}
+	var arena []int32
 
 	stack := make([]int, 0, 1024) // identifiers, most recent first
-	scratch := make([]int32, 0, 1024)
-	keyBuf := make([]byte, 0, 4096)
 	for i, id := range s.IDs {
 		if i&4095 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		pos := -1
-		for i, v := range stack {
-			if v == id {
-				pos = i
-				break
-			}
-		}
-		if pos < 0 {
+		p := pos[id]
+		if p < 0 {
 			// Cold occurrence: no conflict set recorded (Table 4 ignores
 			// the first occurrence).
 			stack = append(stack, 0)
 			copy(stack[1:], stack)
+			for _, v := range stack[1:] {
+				pos[v]++
+			}
 			stack[0] = id
+			pos[id] = 0
 			continue
 		}
-		// Conflict set = stack prefix above id, sorted.
-		scratch = scratch[:0]
-		for _, v := range stack[:pos] {
-			scratch = append(scratch, int32(v))
+		// Conflict set = stack prefix above id. Hash it commutatively and
+		// stamp its members in one pass; no sort needed for lookup.
+		epoch++
+		var hsum, hxor uint64
+		for _, v := range stack[:p] {
+			h := idHash[v]
+			hsum += h
+			hxor ^= h
+			stamp[v] = epoch
 		}
-		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-		keyBuf = keyBuf[:0]
-		for _, v := range scratch {
-			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		key := hashID(hsum ^ (hxor << 1) ^ uint64(p))
+		idx := int32(-1)
+		for _, cand := range dedup[key] {
+			cs := m.sets[cand]
+			if len(cs) != int(p) {
+				continue
+			}
+			match := true
+			for _, v := range cs {
+				if stamp[v] != epoch {
+					match = false
+					break
+				}
+			}
+			if match {
+				idx = cand
+				break
+			}
 		}
-		idx, ok := dedup[string(keyBuf)]
-		if !ok {
+		if idx < 0 {
+			// First sighting: sort once, copy into the arena, maybe pack.
+			if cap(arena)-len(arena) < int(p) {
+				size := arenaBlock
+				if int(p) > size {
+					size = int(p)
+				}
+				arena = make([]int32, 0, size)
+			}
+			cp := arena[len(arena) : len(arena)+int(p)]
+			arena = arena[:len(arena)+int(p)]
+			for k, v := range stack[:p] {
+				cp[k] = int32(v)
+			}
+			slices.Sort(cp)
 			idx = int32(len(m.sets))
-			cp := make([]int32, len(scratch))
-			copy(cp, scratch)
 			m.sets = append(m.sets, cp)
-			dedup[string(keyBuf)] = idx
+			var pk *bitset.Set
+			if len(cp) >= thresh {
+				pk = bitset.New(nu)
+				for _, v := range cp {
+					pk.Add(int(v))
+				}
+			}
+			m.packed = append(m.packed, pk)
+			if int(p) > m.maxCard {
+				m.maxCard = int(p)
+			}
+			dedup[key] = append(dedup[key], idx)
 		}
 		perID[id] = append(perID[id], idx)
 		// Move to front.
-		copy(stack[1:pos+1], stack[:pos])
+		copy(stack[1:p+1], stack[:p])
+		for _, v := range stack[1 : p+1] {
+			pos[v]++
+		}
 		stack[0] = id
+		pos[id] = 0
 	}
 
 	// Run-length encode per id, preserving nothing about order (the
@@ -144,7 +268,7 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 			m.occ[id] = nil
 			continue
 		}
-		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		slices.Sort(idxs)
 		var occs []occurrence
 		for i := 0; i < len(idxs); {
 			j := i

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/tracegen"
+)
+
+// The hybrid conflict-set table must keep its internal invariants: sets
+// sorted ascending, packed forms exactly mirroring their sparse forms and
+// only appearing at or above the density threshold, and MaxConflictCard
+// bounding every cardinality (the postlude pre-sizes histograms from it).
+func TestMRCTHybridInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	workloads := map[string]*trace.Trace{
+		"loop":    tracegen.Loop(0, 96, 40),
+		"uniform": tracegen.Uniform(rng, 0, 300, 6000),
+	}
+	for name, tr := range workloads {
+		t.Run(name, func(t *testing.T) {
+			s := trace.Strip(tr)
+			m := BuildMRCT(s)
+			thresh := packThreshold(s.NUnique())
+			maxCard := 0
+			for i, set := range m.sets {
+				for j := 1; j < len(set); j++ {
+					if set[j-1] >= set[j] {
+						t.Fatalf("set %d not strictly ascending at %d: %v", i, j, set)
+					}
+				}
+				if len(set) > maxCard {
+					maxCard = len(set)
+				}
+				p := m.packed[i]
+				if (p != nil) != (len(set) >= thresh) {
+					t.Fatalf("set %d (card %d, threshold %d): packed presence wrong", i, len(set), thresh)
+				}
+				if p == nil {
+					continue
+				}
+				if p.Count() != len(set) {
+					t.Fatalf("set %d: packed count %d != sparse %d", i, p.Count(), len(set))
+				}
+				for _, v := range set {
+					if !p.Contains(int(v)) {
+						t.Fatalf("set %d: packed form missing %d", i, v)
+					}
+				}
+			}
+			if m.MaxConflictCard() != maxCard {
+				t.Fatalf("MaxConflictCard = %d, want %d", m.MaxConflictCard(), maxCard)
+			}
+			if m.Occurrences() != s.N()-s.NUnique() {
+				t.Fatalf("Occurrences = %d, want N-N' = %d", m.Occurrences(), s.N()-s.NUnique())
+			}
+		})
+	}
+	// The uniform workload is dense enough that packing must trigger.
+	s := trace.Strip(tracegen.Uniform(rng, 0, 300, 6000))
+	if m := BuildMRCT(s); m.PackedSets() == 0 {
+		t.Fatal("expected packed sets on a dense uniform workload")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/example/cachedse/internal/bitset"
 	"github.com/example/cachedse/internal/trace"
@@ -16,11 +17,14 @@ import (
 //
 // The dominant cost is scanning conflict sets: every non-cold occurrence
 // of every unique reference is intersected with its row set at every
-// level, and occurrences of different references are independent. Workers
-// therefore partition the unique-reference space: each worker repeats the
-// (cheap) BCAT set splitting but accumulates only the occurrences of its
-// own references, and the per-worker histograms merge associatively.
-// Results are bit-identical to Explore. workers <= 0 uses GOMAXPROCS.
+// level, and occurrences of different references are independent. A single
+// split pass walks the BCAT once and enqueues (level, row set) work items
+// — large row sets carved into identifier-range chunks — onto per-worker
+// queues; workers drain their own queue and steal from the others when it
+// runs dry, so nobody repeats the tree walk and load imbalance between
+// conflict-heavy and conflict-free rows evens out dynamically. Per-worker
+// histograms merge associatively, so results are bit-identical to Explore.
+// workers <= 0 uses GOMAXPROCS.
 func ExploreParallel(t *trace.Trace, opts Options, workers int) (*Result, error) {
 	return ExploreParallelContext(context.Background(), t, opts, workers)
 }
@@ -43,6 +47,85 @@ func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers i
 	return ExploreParallelStrippedContext(context.Background(), s, m, opts, workers)
 }
 
+// workItem is one unit of postlude work: accumulate the references of set
+// whose identifiers fall in [lo, hi) into the level's histogram. The set
+// pointer is shared between the chunks of one row; items never mutate it.
+type workItem struct {
+	set    *bitset.Set
+	level  int32
+	lo, hi int32
+}
+
+// chunkIDs is the identifier-range granularity work items are carved at.
+// Word-aligned so ForEachRange never splits a word between two items; small
+// enough that the root set of a 40k/1000 trace yields an order of
+// magnitude more items than workers, which is what lets stealing balance
+// skewed occurrence counts.
+const chunkIDs = 256
+
+// splitWork performs the BCAT split once, appending a work item (or
+// several chunks for large rows) for every node the sequential DFS would
+// visit. Returns the items, or ctx's error if cancelled mid-walk.
+func splitWork(s *trace.Stripped, levels int, chk *ctxCheck) ([]workItem, error) {
+	zo := s.ZeroOneSets(levels)
+	items := make([]workItem, 0, 4*s.NUnique()/chunkIDs+levels+1)
+	enqueue := func(set *bitset.Set, level int) {
+		n := int32(set.Cap())
+		if set.Count() <= chunkIDs {
+			items = append(items, workItem{set: set, level: int32(level), lo: 0, hi: n})
+			return
+		}
+		for lo := int32(0); lo < n; lo += chunkIDs {
+			hi := lo + chunkIDs
+			if hi > n {
+				hi = n
+			}
+			items = append(items, workItem{set: set, level: int32(level), lo: lo, hi: hi})
+		}
+	}
+	var visit func(set *bitset.Set, level int)
+	visit = func(set *bitset.Set, level int) {
+		if chk.stop() {
+			return
+		}
+		enqueue(set, level)
+		if level >= levels || set.Count() < 2 {
+			return
+		}
+		left := bitset.New(set.Cap())
+		right := bitset.New(set.Cap())
+		left.And(set, zo[level].Zero)
+		right.And(set, zo[level].One)
+		visit(left, level+1)
+		visit(right, level+1)
+	}
+	root := bitset.New(s.NUnique())
+	for id := 0; id < s.NUnique(); id++ {
+		root.Add(id)
+	}
+	visit(root, 0)
+	if chk.err != nil {
+		return nil, chk.err
+	}
+	return items, nil
+}
+
+// stealQueue is one worker's share of the item list. Items are only ever
+// pushed before the workers start, so a single atomic cursor per queue is
+// a race-free pop for both the owner and thieves.
+type stealQueue struct {
+	items []workItem
+	next  atomic.Int64
+}
+
+func (q *stealQueue) pop() (workItem, bool) {
+	n := q.next.Add(1) - 1
+	if int(n) >= len(q.items) {
+		return workItem{}, false
+	}
+	return q.items[n], true
+}
+
 // ExploreParallelStrippedContext is ExploreParallelStripped with
 // cancellation.
 func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
@@ -59,12 +142,22 @@ func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *M
 	if workers == 1 || s.NUnique() < 2*workers || levels == 0 {
 		return ExploreStrippedContext(ctx, s, m, opts)
 	}
-	r := &Result{NUnique: s.NUnique(), N: s.N()}
-	r.Levels = make([]*LevelResult, levels+1)
-	for i := range r.Levels {
-		r.Levels[i] = &LevelResult{Depth: 1 << uint(i)}
+	r := newResult(s, m, levels)
+
+	items, err := splitWork(s, levels, &ctxCheck{ctx: ctx, every: 64})
+	if err != nil {
+		return nil, err
 	}
-	zo := s.ZeroOneSets(levels)
+	// Deal items round-robin so each queue sees a slice of every level —
+	// neighbouring chunks of the same hot row land on different workers.
+	queues := make([]*stealQueue, workers)
+	for w := range queues {
+		queues[w] = &stealQueue{items: make([]workItem, 0, len(items)/workers+1)}
+	}
+	for i, it := range items {
+		q := queues[i%workers]
+		q.items = append(q.items, it)
+	}
 
 	var (
 		wg sync.WaitGroup
@@ -76,30 +169,24 @@ func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *M
 			defer wg.Done()
 			private := make([]*LevelResult, levels+1)
 			for i := range private {
-				private[i] = &LevelResult{Depth: 1 << uint(i)}
+				private[i] = newLevelResult(i, m)
 			}
-			root := bitset.New(s.NUnique())
-			for id := 0; id < s.NUnique(); id++ {
-				root.Add(id)
-			}
-			chk := &ctxCheck{ctx: ctx, every: 64}
-			var visit func(set *bitset.Set, level int)
-			visit = func(set *bitset.Set, level int) {
-				if chk.stop() {
-					return
+			chk := &ctxCheck{ctx: ctx, every: 16}
+			// Drain the own queue, then steal: visit every queue starting
+			// from our own until all are empty.
+			for off := 0; off < workers; off++ {
+				q := queues[(w+off)%workers]
+				for {
+					it, ok := q.pop()
+					if !ok {
+						break
+					}
+					if chk.stop() {
+						return
+					}
+					accumulateRange(private[it.level], it.set, m, int(it.lo), int(it.hi))
 				}
-				accumulateShard(private[level], set, m, w, workers)
-				if level >= levels || set.Count() < 2 {
-					return
-				}
-				left := bitset.New(set.Cap())
-				right := bitset.New(set.Cap())
-				left.And(set, zo[level].Zero)
-				right.And(set, zo[level].One)
-				visit(left, level+1)
-				visit(right, level+1)
 			}
-			visit(root, 0)
 			mu.Lock()
 			for i, p := range private {
 				mergeHist(r.Levels[i], p.Hist)
@@ -113,31 +200,6 @@ func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *M
 	}
 	finalize(r)
 	return r, nil
-}
-
-// accumulateShard is accumulate restricted to references owned by worker w
-// under a round-robin partition of identifiers.
-func accumulateShard(lr *LevelResult, set *bitset.Set, m *MRCT, w, workers int) {
-	set.ForEach(func(e int) bool {
-		if e%workers != w {
-			return true
-		}
-		for _, o := range m.occ[e] {
-			d := 0
-			for _, c := range m.sets[o.set] {
-				if set.Contains(int(c)) {
-					d++
-				}
-			}
-			if d >= len(lr.Hist) {
-				grown := make([]int, d+1)
-				copy(grown, lr.Hist)
-				lr.Hist = grown
-			}
-			lr.Hist[d] += int(o.count)
-		}
-		return true
-	})
 }
 
 // mergeHist adds src into dst.Hist, growing as needed.

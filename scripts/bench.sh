@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench.sh — run the core benchmark set and emit a machine-readable
+# BENCH_core.json snapshot of the engine's performance.
+#
+# Usage:
+#   scripts/bench.sh [-o OUTPUT.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 3x)
+#   COUNT      go test -count value     (default 3)
+#   PATTERN    benchmark regexp         (default: the core perf set below)
+#
+# The JSON maps each benchmark to all its ns/op samples plus their minimum
+# (the most reproducible point statistic on a noisy machine). For proper
+# statistics across two snapshots, keep the raw `go test` output and use
+# benchstat:
+#
+#   scripts/bench.sh -o /tmp/new.json        # raw output in /tmp/new.json.txt
+#   benchstat /tmp/old.json.txt /tmp/new.json.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_core.json
+while getopts "o:" opt; do
+  case "$opt" in
+    o) out="$OPTARG" ;;
+    *) echo "usage: scripts/bench.sh [-o OUTPUT.json]" >&2; exit 2 ;;
+  esac
+done
+
+benchtime=${BENCHTIME:-3x}
+count=${COUNT:-3}
+pattern=${PATTERN:-'^(BenchmarkTable31|BenchmarkTable32|BenchmarkFigure4|BenchmarkAblationMRCTBuild|BenchmarkAblationParallelExplore|BenchmarkMicroIntersect|BenchmarkMicroMRCTDedup)$'}
+
+raw="$out.txt"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+awk -v benchtime="$benchtime" -v count="$count" -v pattern="$pattern" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+  name = $1
+  sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+  if (!(name in samples)) { order[++n] = name; min[name] = $3 }
+  samples[name] = samples[name] (samples[name] ? "," : "") $3
+  if ($3 + 0 < min[name] + 0) min[name] = $3
+}
+END {
+  printf "{\n"
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"count\": %d,\n", count
+  printf "  \"pattern\": \"%s\",\n", pattern
+  printf "  \"goos\": \"%s\",\n", goos
+  printf "  \"goarch\": \"%s\",\n", goarch
+  printf "  \"cpu\": \"%s\",\n", cpu
+  printf "  \"results\": {\n"
+  for (i = 1; i <= n; i++) {
+    name = order[i]
+    printf "    \"%s\": {\"ns_per_op_min\": %s, \"ns_per_op\": [%s]}%s\n", \
+      name, min[name], samples[name], (i < n ? "," : "")
+  }
+  printf "  }\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out (raw output in $raw)" >&2
