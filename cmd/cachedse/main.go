@@ -1,20 +1,24 @@
 // Command cachedse is the analytical cache design-space explorer: the
 // user-facing tool of the repository. It operates on trace files in the
-// Dinero-style text format (.din) or the compact binary format (.ctr,
-// auto-detected by magic).
+// Dinero-style text format (.din), the compact binary format (.ctr) or
+// the checksummed block format (.ctz), all auto-detected by magic.
 //
 // Subcommands:
 //
 //	cachedse stats    TRACE            trace statistics (N, N', max misses)
 //	cachedse strip    TRACE            stripped trace (unique refs + ids)
 //	cachedse explore  [-k N | -kpct P] [-maxdepth D] [-workers W] [-verify]
-//	                  [-cpuprofile F] [-memprofile F] TRACE
+//	                  [-cpuprofile F] [-memprofile F] [-store DIR] TRACE
 //	                                   optimal (D, A) instances for budget K
-//	cachedse simulate -depth D -assoc A [-line W] [-repl P] TRACE
+//	cachedse simulate -depth D -assoc A [-line W] [-repl P] [-store DIR] TRACE
 //	                                   simulate one configuration
 //	cachedse verify   -k N TRACE D:A [D:A ...]
 //	                                   certify instances against budget K
-//	cachedse serve    [-addr HOST:PORT] [flags]
+//	cachedse pack     [-o OUT] [-block N] [-store DIR] TRACE
+//	                                   convert a trace to the ctz1 format
+//	cachedse unpack   [-o OUT] [-binary] TRACE
+//	                                   convert a trace back to text/binary
+//	cachedse serve    [-addr HOST:PORT] [-store DIR] [flags]
 //	                                   run the exploration HTTP service
 package main
 
@@ -63,6 +67,10 @@ func main() {
 		err = cmdBus(os.Args[2:])
 	case "hierarchy":
 		err = cmdHierarchy(os.Args[2:])
+	case "pack":
+		err = cmdPack(os.Args[2:])
+	case "unpack":
+		err = cmdUnpack(os.Args[2:])
 	case "dedup":
 		err = cmdDedup(os.Args[2:])
 	case "profile":
@@ -92,6 +100,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cachedse <subcommand> [flags] TRACE
 
 core:        stats  strip  explore  simulate  verify
+formats:     pack  unpack
 service:     serve
 extensions:  linesize  policies  energy  bus  hierarchy  dedup  profile`)
 }
@@ -180,7 +189,7 @@ func cmdStrip(args []string) error {
 }
 
 func cmdExplore(args []string) error {
-	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-cpuprofile F] [-memprofile F] TRACE")
+	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-cpuprofile F] [-memprofile F] [-store DIR] TRACE")
 	k := fs.Int("k", -1, "miss budget K (absolute)")
 	kpct := fs.Float64("kpct", -1, "miss budget as percent of max misses")
 	maxDepth := fs.Int("maxdepth", 0, "largest cache depth to explore (power of two)")
@@ -189,13 +198,14 @@ func cmdExplore(args []string) error {
 	pareto := fs.Bool("pareto", false, "print only the size-Pareto frontier")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the exploration to this file")
+	storeDir := fs.String("store", "", "read TRACE from this tracestore directory instead of the filesystem")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("explore needs exactly one trace file")
 	}
-	tr, err := loadTrace(fs.Arg(0))
+	tr, err := resolveTrace(*storeDir, fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -251,19 +261,20 @@ func cmdExplore(args []string) error {
 }
 
 func cmdSimulate(args []string) error {
-	fs := newFlagSet("simulate", "simulate [-depth D] [-assoc A] [-line W] [-repl P] [-wt] TRACE")
+	fs := newFlagSet("simulate", "simulate [-depth D] [-assoc A] [-line W] [-repl P] [-wt] [-store DIR] TRACE")
 	depth := fs.Int("depth", 256, "cache depth (sets)")
 	assoc := fs.Int("assoc", 1, "associativity")
 	line := fs.Int("line", 1, "line size in words")
 	replName := fs.String("repl", "lru", "replacement policy: lru, fifo, random, plru")
 	wt := fs.Bool("wt", false, "write-through instead of write-back")
+	storeDir := fs.String("store", "", "read TRACE from this tracestore directory instead of the filesystem")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("simulate needs exactly one trace file")
 	}
-	tr, err := loadTrace(fs.Arg(0))
+	tr, err := resolveTrace(*storeDir, fs.Arg(0))
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/tracestore"
 )
 
 func TestParseInts(t *testing.T) {
@@ -111,11 +112,56 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 		{"hierarchy", func() error { return cmdHierarchy([]string{path}) }},
 		{"dedup", func() error { return cmdDedup([]string{"-o", filepath.Join(dir, "out.din"), path}) }},
 		{"profile", func() error { return cmdProfile([]string{"-windows", "8,32", path}) }},
+		{"pack", func() error { return cmdPack([]string{"-o", filepath.Join(dir, "w.ctz"), path}) }},
+		{"unpack packed", func() error {
+			return cmdUnpack([]string{"-o", filepath.Join(dir, "w2.din"), filepath.Join(dir, "w.ctz")})
+		}},
+		{"stats packed", func() error { return cmdStats([]string{filepath.Join(dir, "w.ctz")}) }},
+		{"pack to store", func() error {
+			return cmdPack([]string{"-o", os.DevNull, "-store", filepath.Join(dir, "store"), path})
+		}},
 	}
 	for _, c := range cases {
 		if err := c.run(); err != nil {
 			t.Errorf("%s: %v", c.name, err)
 		}
+	}
+
+	// unpack(pack(t)) reproduced the original din text byte for byte.
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "w2.din"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(again) {
+		t.Errorf("unpack(pack(w.din)) differs from w.din (%d vs %d bytes)", len(orig), len(again))
+	}
+
+	// explore/simulate -store resolve the packed trace straight from the
+	// store, by full key, bare digest, or unique digest prefix.
+	storeDir := filepath.Join(dir, "store")
+	st, err := tracestore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := st.List("trace/")
+	if len(stored) != 1 {
+		t.Fatalf("store holds %d traces, want 1", len(stored))
+	}
+	digest := strings.TrimPrefix(stored[0].Key, "trace/")
+	for _, arg := range []string{stored[0].Key, digest, digest[:10]} {
+		if err := cmdExplore([]string{"-k", "3", "-store", storeDir, arg}); err != nil {
+			t.Errorf("explore -store with arg %q: %v", arg, err)
+		}
+	}
+	if err := cmdSimulate([]string{"-depth", "8", "-store", storeDir, digest}); err != nil {
+		t.Errorf("simulate -store: %v", err)
+	}
+	if err := cmdExplore([]string{"-k", "3", "-store", storeDir, "ffff"}); err == nil {
+		t.Error("explore -store with an unknown digest succeeded")
 	}
 
 	// Error paths.
@@ -196,7 +242,7 @@ func TestSubcommandsUnknownFlag(t *testing.T) {
 		"simulate": cmdSimulate, "verify": cmdVerify, "serve": cmdServe,
 		"linesize": cmdLinesize, "policies": cmdPolicies, "energy": cmdEnergy,
 		"bus": cmdBus, "hierarchy": cmdHierarchy, "dedup": cmdDedup,
-		"profile": cmdProfile,
+		"profile": cmdProfile, "pack": cmdPack, "unpack": cmdUnpack,
 	}
 	for name, cmd := range cmds {
 		var err error

@@ -29,6 +29,7 @@ func cmdServe(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job run time cap")
 	reqTimeout := fs.Duration("request-timeout", time.Minute, "synchronous request wait cap")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain cap before cancelling jobs")
+	storeDir := fs.String("store", "", "persist traces and results to this directory (survives restarts)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -36,7 +37,7 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve takes no positional arguments")
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxUploadBytes: *maxUpload,
 		MaxRefs:        *maxRefs,
 		Workers:        *workers,
@@ -45,7 +46,11 @@ func cmdServe(args []string) error {
 		MaxTraces:      *maxTraces,
 		JobTimeout:     *jobTimeout,
 		RequestTimeout: *reqTimeout,
+		StoreDir:       *storeDir,
 	})
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -259,6 +260,38 @@ func TestCrossCheckEnginesBitIdentical(t *testing.T) {
 					if d := diffResults(seq, par); d != "" {
 						t.Fatalf("parallel(workers=%d) vs DFS: %s", workers, d)
 					}
+				}
+
+				// The ctz1 pack/unpack cycle must be invisible to the
+				// engine: exploring the round-tripped trace, and
+				// streaming the packed bytes straight into the engine
+				// without materializing a *Trace, both reproduce the
+				// text path's Result bit for bit.
+				var packed bytes.Buffer
+				if err := trace.WriteCTZ1(&packed, tr); err != nil {
+					t.Fatal(err)
+				}
+				unpacked, err := trace.ReadCTZ1(bytes.NewReader(packed.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaPacked, err := Explore(unpacked, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := diffResults(seq, viaPacked); d != "" {
+					t.Fatalf("explore over unpack(pack(t)) vs direct: %s", d)
+				}
+				dec, err := trace.NewCTZ1Decoder(bytes.NewReader(packed.Bytes()), trace.Limits{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				streamed, err := ExploreReader(dec, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := diffResults(seq, streamed); d != "" {
+					t.Fatalf("streaming explore over ctz1 vs direct: %s", d)
 				}
 			})
 		}

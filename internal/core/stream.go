@@ -1,0 +1,32 @@
+package core
+
+import (
+	"context"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// ExploreReader runs the exploration over a stream of references instead
+// of a materialized *trace.Trace. The prelude (strip + MRCT) is built
+// directly from the stream, so a ctz1 file can flow from disk into the
+// engine holding only the stripped form and one decoder block in memory —
+// never the full reference slice. The stream is consumed to completion.
+func ExploreReader(rr trace.RefReader, opts Options) (*Result, error) {
+	return ExploreReaderContext(context.Background(), rr, opts)
+}
+
+// ExploreReaderContext is ExploreReader with cancellation.
+func ExploreReaderContext(ctx context.Context, rr trace.RefReader, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := trace.StripReader(rr)
+	if err != nil {
+		return nil, err
+	}
+	m, err := BuildMRCTContext(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return ExploreStrippedContext(ctx, s, m, opts)
+}

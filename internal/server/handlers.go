@@ -60,6 +60,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry, existed := s.store.Add(tr)
+	if !existed {
+		s.persistTrace(entry)
+	}
 	code := http.StatusCreated
 	if existed {
 		code = http.StatusOK
@@ -85,12 +88,27 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infoOf(entry))
 }
 
+// handleDeleteTrace removes a trace from memory and disk. A trace a
+// queued or running job still references is not deletable: pulling it out
+// from under live work would make the job's eventual answer describe a
+// trace the server no longer admits to having, so the request gets 409
+// and the client retries once the job drains.
 func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
-	if !s.store.Remove(r.PathValue("digest")) {
-		httpError(w, http.StatusNotFound, "unknown trace %q", r.PathValue("digest"))
+	digest := r.PathValue("digest")
+	if s.active.busy(digest) {
+		httpError(w, http.StatusConflict,
+			"trace %q is referenced by a queued or running job; retry when it finishes", digest)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("digest")})
+	removed := s.store.Remove(digest)
+	if s.forgetTrace(digest) {
+		removed = true
+	}
+	if !removed {
+		httpError(w, http.StatusNotFound, "unknown trace %q", digest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": digest})
 }
 
 // instanceJSON is one emitted (D, A) pair with its derived columns.
@@ -154,7 +172,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "max_depth %d is not a power of two >= 1", req.MaxDepth)
 		return
 	}
-	s.dispatch(w, r, "explore", req.Async, func(ctx context.Context) (any, error) {
+	s.dispatch(w, r, "explore", entry.Digest, req.Async, func(ctx context.Context) (any, error) {
 		return s.runExplore(ctx, entry, budget, req)
 	})
 }
@@ -168,6 +186,10 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 	var res *core.Result
 	cached := false
 	if v, ok := s.results.Get(key); ok {
+		res = v.(*core.Result)
+		cached = true
+	} else if v, ok := s.loadResult(key); ok {
+		// LRU-evicted but still on disk: promote instead of recomputing.
 		res = v.(*core.Result)
 		cached = true
 	} else {
@@ -185,6 +207,7 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 			return nil, err
 		}
 		s.results.Put(key, res)
+		s.persistResult(key, persistedResult{Kind: "explore", Explore: res})
 	}
 	instances, tab := dse.InstanceTable(res, budget, entry.Stats.MaxMisses, req.Pareto)
 	resp := &exploreResponse{
@@ -281,9 +304,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.WriteThrough {
 		cfg.Write = cache.WriteThrough
 	}
-	s.dispatch(w, r, "simulate", req.Async, func(ctx context.Context) (any, error) {
+	s.dispatch(w, r, "simulate", entry.Digest, req.Async, func(ctx context.Context) (any, error) {
 		key := fmt.Sprintf("simulate|%s|%v|wt=%v", entry.Digest, cfg, req.WriteThrough)
 		if v, ok := s.results.Get(key); ok {
+			resp := *v.(*simulateResponse)
+			resp.Cached = true
+			return &resp, nil
+		}
+		if v, ok := s.loadResult(key); ok {
 			resp := *v.(*simulateResponse)
 			resp.Cached = true
 			return &resp, nil
@@ -303,6 +331,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			MissRate:   res.MissRate(),
 		}
 		s.results.Put(key, resp)
+		s.persistResult(key, persistedResult{Kind: "simulate", Simulate: resp})
 		return resp, nil
 	})
 }
@@ -348,7 +377,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 		instances[i] = core.Instance{Depth: ins.Depth, Assoc: ins.Assoc}
 	}
-	s.dispatch(w, r, "verify", req.Async, func(ctx context.Context) (any, error) {
+	s.dispatch(w, r, "verify", entry.Digest, req.Async, func(ctx context.Context) (any, error) {
 		err := dse.VerifyContext(ctx, entry.Trace, instances, req.K)
 		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return nil, err
@@ -365,14 +394,22 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // the job's status for later polling; synchronous requests wait for the
 // job (bounded by RequestTimeout and the client connection) and return
 // its result inline. Either way the work itself runs on the pool, so
-// compute concurrency stays bounded by the configured worker count.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, async bool, fn func(context.Context) (any, error)) {
+// compute concurrency stays bounded by the configured worker count. The
+// job's trace stays retained (DELETE returns 409) from submission until
+// the job reaches a terminal state, including cancelled-while-queued.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest string, async bool, fn func(context.Context) (any, error)) {
+	s.active.retain(digest)
 	job, err := s.queue.Submit(kind, fn)
 	if err != nil {
+		s.active.release(digest)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	go func() {
+		<-job.Done()
+		s.active.release(digest)
+	}()
 	if async {
 		writeJSON(w, http.StatusAccepted, job.Snapshot())
 		return

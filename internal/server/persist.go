@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Persistence: when Config.StoreDir is set, the server writes every upload
+// and every computed exploration/simulation result through to a
+// content-addressed tracestore, and warm-starts its in-memory LRUs from it
+// on boot — so a restart (crash or deploy) serves the same traces and
+// answers repeat queries from cache instead of recomputing. Traces are
+// stored in the compact ctz1 binary format under "trace/<digest>"; results
+// are JSON envelopes under "result/<cache key>", keyed exactly like the
+// in-memory result cache so the two tiers never disagree about identity.
+const (
+	traceKeyPrefix  = "trace/"
+	resultKeyPrefix = "result/"
+)
+
+// persistedResult is the on-disk envelope for one memoized answer. Exactly
+// one of the payload fields is set, selected by Kind.
+type persistedResult struct {
+	Kind     string            `json:"kind"` // "explore" | "simulate"
+	Explore  *core.Result      `json:"explore,omitempty"`
+	Simulate *simulateResponse `json:"simulate,omitempty"`
+}
+
+// warmStart reloads persisted traces and results into the in-memory
+// stores. Entries list oldest-first, so the newest end up most recently
+// used and LRU bounds evict the stalest state first. Damaged objects are
+// deleted and skipped — a corrupt entry costs a recompute, not a refusal
+// to boot.
+func (s *Server) warmStart() {
+	if s.persist == nil {
+		return
+	}
+	for _, e := range s.persist.List(traceKeyPrefix) {
+		data, err := s.persist.Get(e.Key)
+		if err != nil {
+			s.cfg.Log.Printf("server: dropping persisted %s: %v", e.Key, err)
+			_, _ = s.persist.Delete(e.Key)
+			continue
+		}
+		tr, err := trace.Decode(bytes.NewReader(data), trace.Limits{
+			MaxRefs:  s.cfg.MaxRefs,
+			MaxBytes: s.cfg.MaxUploadBytes,
+		})
+		if err != nil {
+			s.cfg.Log.Printf("server: dropping undecodable %s: %v", e.Key, err)
+			_, _ = s.persist.Delete(e.Key)
+			continue
+		}
+		s.store.Add(tr)
+	}
+	for _, e := range s.persist.List(resultKeyPrefix) {
+		data, err := s.persist.Get(e.Key)
+		if err != nil {
+			s.cfg.Log.Printf("server: dropping persisted %s: %v", e.Key, err)
+			_, _ = s.persist.Delete(e.Key)
+			continue
+		}
+		key := strings.TrimPrefix(e.Key, resultKeyPrefix)
+		var env persistedResult
+		if err := json.Unmarshal(data, &env); err != nil {
+			s.cfg.Log.Printf("server: dropping unparsable %s: %v", e.Key, err)
+			_, _ = s.persist.Delete(e.Key)
+			continue
+		}
+		switch {
+		case env.Kind == "explore" && env.Explore != nil:
+			s.results.Put(key, env.Explore)
+		case env.Kind == "simulate" && env.Simulate != nil:
+			s.results.Put(key, env.Simulate)
+		}
+	}
+	if n := s.store.Len(); n > 0 || s.results.Len() > 0 {
+		s.cfg.Log.Printf("server: warm start restored %d traces, %d cached results",
+			n, s.results.Len())
+	}
+}
+
+// persistTrace writes an uploaded trace through to disk as ctz1. Failures
+// degrade durability, not availability: the upload already succeeded in
+// memory, so errors are logged and the request proceeds.
+func (s *Server) persistTrace(entry *TraceEntry) {
+	if s.persist == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCTZ1(&buf, entry.Trace); err != nil {
+		s.cfg.Log.Printf("server: encoding trace %s for persistence: %v", entry.Digest, err)
+		return
+	}
+	if _, err := s.persist.Put(traceKeyPrefix+entry.Digest, &buf); err != nil {
+		s.cfg.Log.Printf("server: persisting trace %s: %v", entry.Digest, err)
+	}
+}
+
+// persistResult writes one memoized answer through to disk under the
+// in-memory cache key.
+func (s *Server) persistResult(key string, env persistedResult) {
+	if s.persist == nil {
+		return
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		s.cfg.Log.Printf("server: encoding result %s for persistence: %v", key, err)
+		return
+	}
+	if _, err := s.persist.Put(resultKeyPrefix+key, bytes.NewReader(data)); err != nil {
+		s.cfg.Log.Printf("server: persisting result %s: %v", key, err)
+	}
+}
+
+// loadResult read-throughs a result the LRU evicted but disk still holds.
+// The loaded value is re-promoted into the LRU.
+func (s *Server) loadResult(key string) (any, bool) {
+	if s.persist == nil {
+		return nil, false
+	}
+	data, err := s.persist.Get(resultKeyPrefix + key)
+	if err != nil {
+		return nil, false
+	}
+	var env persistedResult
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false
+	}
+	var v any
+	switch {
+	case env.Kind == "explore" && env.Explore != nil:
+		v = env.Explore
+	case env.Kind == "simulate" && env.Simulate != nil:
+		v = env.Simulate
+	default:
+		return nil, false
+	}
+	s.results.Put(key, v)
+	return v, true
+}
+
+// forgetTrace removes a trace and every result derived from it from disk,
+// reporting whether the trace object itself was persisted. Result cache
+// keys embed the digest between pipes ("explore|<digest>|...",
+// "simulate|<digest>|..."), which is what ties a result to its trace.
+func (s *Server) forgetTrace(digest string) bool {
+	if s.persist == nil {
+		return false
+	}
+	had, err := s.persist.Delete(traceKeyPrefix + digest)
+	if err != nil {
+		s.cfg.Log.Printf("server: deleting persisted trace %s: %v", digest, err)
+	}
+	for _, e := range s.persist.List(resultKeyPrefix) {
+		if strings.Contains(e.Key, "|"+digest+"|") {
+			if _, err := s.persist.Delete(e.Key); err != nil {
+				s.cfg.Log.Printf("server: deleting persisted result %s: %v", e.Key, err)
+			}
+		}
+	}
+	return had
+}
+
+// activeTraces refcounts traces bound to queued or running jobs, so DELETE
+// /v1/traces/{digest} can refuse (409) to pull a trace out from under live
+// work instead of letting the job finish against freed state.
+type activeTraces struct {
+	mu   sync.Mutex
+	refs map[string]int
+}
+
+func newActiveTraces() *activeTraces {
+	return &activeTraces{refs: make(map[string]int)}
+}
+
+func (a *activeTraces) retain(digest string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.refs[digest]++
+}
+
+func (a *activeTraces) release(digest string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.refs[digest]--; a.refs[digest] <= 0 {
+		delete(a.refs, digest)
+	}
+}
+
+func (a *activeTraces) busy(digest string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.refs[digest] > 0
+}

@@ -18,6 +18,8 @@ import (
 	"net/http"
 	"runtime"
 	"time"
+
+	"github.com/example/cachedse/internal/tracestore"
 )
 
 // Config tunes the service. The zero value gets sensible defaults from
@@ -39,6 +41,10 @@ type Config struct {
 	JobTimeout time.Duration
 	// RequestTimeout bounds a synchronous request's wait for its job.
 	RequestTimeout time.Duration
+	// StoreDir, when non-empty, persists uploaded traces and memoized
+	// results to a content-addressed store rooted there, surviving
+	// restarts. Empty keeps the server purely in-memory.
+	StoreDir string
 	// Log receives request-independent server events; nil uses the
 	// standard logger.
 	Log *log.Logger
@@ -83,13 +89,18 @@ type Server struct {
 	queue   *Queue
 	reg     *Registry
 	mux     *http.ServeMux
+	persist *tracestore.Store // nil when StoreDir is unset
+	active  *activeTraces
 
 	reqTotal *CounterVec
 	latency  *HistogramVec
 }
 
-// New builds a Server ready to serve via Handler.
-func New(cfg Config) *Server {
+// New builds a Server ready to serve via Handler. With Config.StoreDir set
+// it opens (repairing if needed) the persistent store there and reloads
+// surviving traces and results before taking traffic; the only error New
+// can return is a store that cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -98,10 +109,19 @@ func New(cfg Config) *Server {
 		queue:   NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, 4*cfg.QueueDepth),
 		reg:     NewRegistry(),
 		mux:     http.NewServeMux(),
+		active:  newActiveTraces(),
 	}
+	if cfg.StoreDir != "" {
+		st, err := tracestore.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = st
+	}
+	s.warmStart()
 	s.registerMetrics()
 	s.routes()
-	return s
+	return s, nil
 }
 
 func (s *Server) registerMetrics() {
@@ -138,6 +158,13 @@ func (s *Server) registerMetrics() {
 		"Uploaded traces currently retained.", func() float64 { return float64(s.store.Len()) })
 	s.reg.GaugeFunc("cachedse_result_cache_entries",
 		"Exploration results currently cached.", func() float64 { return float64(s.results.Len()) })
+	s.reg.GaugeFunc("cachedse_persisted_entries",
+		"Keys held by the persistent store (0 when persistence is off).", func() float64 {
+			if s.persist == nil {
+				return 0
+			}
+			return float64(s.persist.Len())
+		})
 }
 
 func (s *Server) routes() {

@@ -269,16 +269,26 @@ func readBinary(br *bufio.Reader, lim Limits) (*Trace, error) {
 	return t, nil
 }
 
-// Decode parses a trace from r in either supported format, auto-detecting
-// the binary codec by its magic, under the given limits. Unlike the
-// file-path loaders it never seeks, so it works on streams (HTTP request
-// bodies, pipes) and never buffers the input twice.
+// Decode parses a trace from r in any supported format — din text, the
+// .ctr varint codec, or the checksummed ctz1 block format — auto-detecting
+// the binary codecs by magic, under the given limits. Unlike the file-path
+// loaders it never seeks, so it works on streams (HTTP request bodies,
+// pipes) and never buffers the input twice.
 func Decode(r io.Reader, lim Limits) (*Trace, error) {
 	rd := lim.limit(r)
 	br := bufio.NewReader(rd)
 	magic, err := br.Peek(len(binMagic))
-	if err == nil && [4]byte(magic) == binMagic {
-		return readBinary(br, lim)
+	if err == nil {
+		switch [4]byte(magic) {
+		case binMagic:
+			return readBinary(br, lim)
+		case ctz1Magic:
+			d, err := NewCTZ1Decoder(br, lim)
+			if err != nil {
+				return nil, err
+			}
+			return readAll(d)
+		}
 	}
 	// Anything else — including inputs shorter than the magic — is text.
 	return readText(br, lim.MaxRefs)

@@ -1,0 +1,65 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/example/cachedse/internal/powerstone"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// TestCTZ1PowerStone is the codec's acceptance gate on the paper's own
+// workload: for every one of the 12 PowerStone benchmarks, packing the
+// captured instruction and data traces must (a) round-trip losslessly —
+// unpack(pack(t)) re-encodes to the byte-identical din text — and (b)
+// compress the benchmark's traces to at most 25% of their text size.
+func TestCTZ1PowerStone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all 12 benchmark kernels")
+	}
+	for _, name := range powerstone.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b := powerstone.Get(name)
+			res, err := b.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			textBytes, packedBytes := 0, 0
+			for _, stream := range []struct {
+				tag string
+				tr  *trace.Trace
+			}{{"instr", res.Instr}, {"data", res.Data}} {
+				var text, packed bytes.Buffer
+				if err := trace.WriteText(&text, stream.tr); err != nil {
+					t.Fatal(err)
+				}
+				if err := trace.WriteCTZ1(&packed, stream.tr); err != nil {
+					t.Fatal(err)
+				}
+				textBytes += text.Len()
+				packedBytes += packed.Len()
+
+				unpacked, err := trace.ReadCTZ1(bytes.NewReader(packed.Bytes()))
+				if err != nil {
+					t.Fatalf("%s: unpack: %v", stream.tag, err)
+				}
+				var again bytes.Buffer
+				if err := trace.WriteText(&again, unpacked); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(text.Bytes(), again.Bytes()) {
+					t.Fatalf("%s: unpack(pack(t)) is not byte-identical to t (%d vs %d text bytes)",
+						stream.tag, text.Len(), again.Len())
+				}
+			}
+			if ratio := float64(packedBytes) / float64(textBytes); ratio > 0.25 {
+				t.Errorf("packed %d of %d text bytes = %.1f%%, want <= 25%%",
+					packedBytes, textBytes, 100*ratio)
+			} else {
+				t.Logf("packed %d of %d text bytes = %.1f%%", packedBytes, textBytes,
+					100*float64(packedBytes)/float64(textBytes))
+			}
+		})
+	}
+}

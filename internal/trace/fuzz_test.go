@@ -70,6 +70,62 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzCTZ1RoundTrip guards the checksummed block codec: arbitrary input
+// must decode cleanly or fail with a typed error (*CorruptError /
+// *LimitError — never a panic or an untyped surprise), and any accepted
+// input must re-encode and re-parse to the same references.
+func FuzzCTZ1RoundTrip(f *testing.F) {
+	var small, blocky bytes.Buffer
+	if err := WriteCTZ1(&small, FromAddrs(DataRead, []uint32{1, 5, 5, 1000, 0})); err != nil {
+		f.Fatal(err)
+	}
+	enc, err := NewCTZ1Encoder(&blocky, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := uint32(0); i < 10; i++ {
+		if err := enc.Append(Ref{Addr: i * 7, Kind: Kind(i % 3)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(small.Bytes())
+	f.Add(blocky.Bytes())
+	f.Add([]byte("CTZ1"))
+	f.Add([]byte{})
+	f.Add([]byte("CTZ1\x01\xff\xff\xff\xff\x0f"))
+	f.Add(append(small.Bytes()[:len(small.Bytes())-1], 0xff))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := ReadCTZ1Limits(bytes.NewReader(in), Limits{MaxRefs: 1 << 16, MaxBytes: 1 << 20})
+		if err != nil {
+			var ce *CorruptError
+			var le *LimitError
+			if !errors.As(err, &ce) && !errors.As(err, &le) {
+				t.Fatalf("untyped ctz1 decode error: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCTZ1(&out, tr); err != nil {
+			t.Fatalf("WriteCTZ1 of accepted trace failed: %v", err)
+		}
+		again, err := ReadCTZ1(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed length %d -> %d", tr.Len(), again.Len())
+		}
+		for i := range tr.Refs {
+			if tr.Refs[i] != again.Refs[i] {
+				t.Fatalf("ref %d changed: %v -> %v", i, tr.Refs[i], again.Refs[i])
+			}
+		}
+	})
+}
+
 // FuzzDecodeLimits drives the limit-enforcing entry point the HTTP service
 // uses: for arbitrary input and arbitrary small limits, Decode must never
 // panic, never decode past the bounds, and classify genuinely oversized

@@ -1,0 +1,85 @@
+package trace
+
+import "io"
+
+// RefReader is the streaming source of references: Next returns one
+// reference at a time and io.EOF after the last. CTZ1Decoder implements it,
+// and the prelude consumers below accept it, so a packed trace can flow
+// from disk into the analytical engine without a materialized *Trace in
+// between — the paper's prelude is linear in N, and for stored traces N no
+// longer has to fit in memory twice.
+type RefReader interface {
+	Next() (Ref, error)
+}
+
+// Reader adapts an in-memory trace to the RefReader interface.
+type Reader struct {
+	t   *Trace
+	pos int
+}
+
+// NewReader returns a RefReader over t.
+func NewReader(t *Trace) *Reader { return &Reader{t: t} }
+
+// Next implements RefReader.
+func (r *Reader) Next() (Ref, error) {
+	if r.pos >= len(r.t.Refs) {
+		return Ref{}, io.EOF
+	}
+	ref := r.t.Refs[r.pos]
+	r.pos++
+	return ref, nil
+}
+
+// StripReader builds the stripped form (Table 2) directly from a reference
+// stream: the streaming twin of Strip. Only the Stripped structures
+// themselves are allocated — the O(N) identifier sequence and the O(N')
+// unique-address table — never the raw trace.
+func StripReader(rr RefReader) (*Stripped, error) {
+	s := &Stripped{index: make(map[uint32]int)}
+	for {
+		r, err := rr.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		id, ok := s.index[r.Addr]
+		if !ok {
+			id = len(s.Unique)
+			s.index[r.Addr] = id
+			s.Unique = append(s.Unique, r.Addr)
+		}
+		s.IDs = append(s.IDs, id)
+	}
+}
+
+// ComputeStatsReader derives the Table 5/6 statistics from a reference
+// stream, mirroring ComputeStats without needing the trace in memory.
+func ComputeStatsReader(rr RefReader) (Stats, error) {
+	var s Stats
+	seen := make(map[uint32]bool, 1024)
+	haveLast := false
+	var last uint32
+	for {
+		r, err := rr.Next()
+		if err == io.EOF {
+			s.NUnique = len(seen)
+			return s, nil
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		s.N++
+		if haveLast && r.Addr == last {
+			// hit
+		} else if !seen[r.Addr] {
+			// cold miss: excluded from MaxMisses
+		} else {
+			s.MaxMisses++
+		}
+		seen[r.Addr] = true
+		last, haveLast = r.Addr, true
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import "math/bits"
+
+// xxh64 is the 64-bit xxHash function (XXH64, seed 0), implemented from the
+// public specification. The ctz1 codec stamps every block with it: the hash
+// is fast enough to disappear behind the varint work and strong enough that
+// a flipped bit, a truncated block or a stray write is detected on read
+// rather than silently corrupting an exploration. Only the one-shot form is
+// needed — blocks are hashed as complete byte slices.
+const (
+	xxhPrime1 = 0x9E3779B185EBCA87
+	xxhPrime2 = 0xC2B2AE3D27D4EB4F
+	xxhPrime3 = 0x165667B19E3779F9
+	xxhPrime4 = 0x85EBCA77C2B2AE63
+	xxhPrime5 = 0x27D4EB2F165667C5
+)
+
+func xxhRound(acc, input uint64) uint64 {
+	acc += input * xxhPrime2
+	return bits.RotateLeft64(acc, 31) * xxhPrime1
+}
+
+func xxhMergeRound(acc, val uint64) uint64 {
+	acc ^= xxhRound(0, val)
+	return acc*xxhPrime1 + xxhPrime4
+}
+
+func xxhLoad64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func xxhLoad32(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+}
+
+// xxh64 returns XXH64(b) with seed 0.
+func xxh64(b []byte) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		var v1, v2, v3, v4 uint64 = xxhPrime1, xxhPrime2, 0, 0
+		v1 += xxhPrime2
+		v4 -= xxhPrime1
+		for len(b) >= 32 {
+			v1 = xxhRound(v1, xxhLoad64(b[0:8]))
+			v2 = xxhRound(v2, xxhLoad64(b[8:16]))
+			v3 = xxhRound(v3, xxhLoad64(b[16:24]))
+			v4 = xxhRound(v4, xxhLoad64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxhMergeRound(h, v1)
+		h = xxhMergeRound(h, v2)
+		h = xxhMergeRound(h, v3)
+		h = xxhMergeRound(h, v4)
+	} else {
+		h = xxhPrime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= xxhRound(0, xxhLoad64(b))
+		h = bits.RotateLeft64(h, 27)*xxhPrime1 + xxhPrime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= xxhLoad32(b) * xxhPrime1
+		h = bits.RotateLeft64(h, 23)*xxhPrime2 + xxhPrime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * xxhPrime5
+		h = bits.RotateLeft64(h, 11) * xxhPrime1
+	}
+	h ^= h >> 33
+	h *= xxhPrime2
+	h ^= h >> 29
+	h *= xxhPrime3
+	h ^= h >> 32
+	return h
+}

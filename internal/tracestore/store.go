@@ -1,0 +1,324 @@
+// Package tracestore is a crash-safe, content-addressed on-disk store for
+// traces and exploration results. Objects live under objects/<digest>,
+// where the digest is computed over the object's bytes while they stream
+// through Put — the same bytes are never stored twice, no matter how many
+// logical keys point at them. A small manifest maps logical keys (a trace
+// digest, a result-cache key) to objects and carries per-object reference
+// counts; keys are deleted individually, and an object is unlinked only
+// when its last key goes. Writes spool into tmp/ and reach their final
+// name by atomic rename, manifest updates are write-then-rename, and Open
+// repairs whatever a crash left behind (orphaned temp files, objects no
+// key references, keys whose object vanished) — so a kill -9 at any point
+// loses at most the entry being written, never the store.
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry describes one logical key in the store.
+type Entry struct {
+	// Key is the caller's logical name for the object.
+	Key string `json:"key"`
+	// Object is the content digest the key resolves to.
+	Object string `json:"object"`
+	// Size is the object's byte length.
+	Size int64 `json:"size"`
+	// Created is when the key was first written.
+	Created time.Time `json:"created"`
+}
+
+// ErrNotFound reports a key the store does not hold.
+var ErrNotFound = errors.New("tracestore: key not found")
+
+// CorruptObjectError reports an object whose bytes no longer match their
+// digest (bit rot, truncation, a stray write). Get returns it instead of
+// the damaged bytes; the caller decides whether to delete and recompute.
+type CorruptObjectError struct {
+	Key    string
+	Object string
+	Reason string
+}
+
+func (e *CorruptObjectError) Error() string {
+	return fmt.Sprintf("tracestore: object %s (key %q) corrupt: %s", e.Object, e.Key, e.Reason)
+}
+
+// Store is the on-disk store. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]Entry // key -> entry
+	refs    map[string]int   // object digest -> number of keys
+	tmpSeq  int
+}
+
+const (
+	objectsDir   = "objects"
+	tmpDir       = "tmp"
+	manifestName = "manifest.json"
+)
+
+// manifest is the serialized index. Refcounts are not stored — they are
+// recomputed from the entries on load, which makes the manifest impossible
+// to corrupt into an inconsistent refcount state.
+type manifest struct {
+	Version int              `json:"version"`
+	Entries map[string]Entry `json:"entries"`
+}
+
+// Open loads (or initialises) the store rooted at dir and repairs any
+// leftovers from an interrupted run: temp files are removed, manifest
+// entries whose object is missing are dropped, and objects no entry
+// references are unlinked.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, objectsDir), filepath.Join(dir, tmpDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("tracestore: %w", err)
+		}
+	}
+	s := &Store{
+		dir:     dir,
+		entries: make(map[string]Entry),
+		refs:    make(map[string]int),
+	}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh store.
+	case err != nil:
+		return nil, fmt.Errorf("tracestore: reading manifest: %w", err)
+	default:
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("tracestore: parsing manifest: %w", err)
+		}
+		for key, e := range m.Entries {
+			e.Key = key
+			s.entries[key] = e
+			s.refs[e.Object]++
+		}
+	}
+	if err := s.repair(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// repair reconciles the directory tree with the manifest after a crash.
+func (s *Store) repair() error {
+	// 1. Temp spool files are by definition incomplete: remove them.
+	tmps, err := os.ReadDir(filepath.Join(s.dir, tmpDir))
+	if err != nil {
+		return fmt.Errorf("tracestore: scanning tmp: %w", err)
+	}
+	for _, de := range tmps {
+		_ = os.Remove(filepath.Join(s.dir, tmpDir, de.Name()))
+	}
+	// 2. Entries whose object vanished cannot be served: drop them.
+	dropped := false
+	for key, e := range s.entries {
+		if _, err := os.Stat(s.objectPath(e.Object)); err != nil {
+			delete(s.entries, key)
+			if s.refs[e.Object]--; s.refs[e.Object] <= 0 {
+				delete(s.refs, e.Object)
+			}
+			dropped = true
+		}
+	}
+	// 3. Objects no entry references (a crash between the object rename
+	// and the manifest rename) are garbage: unlink them.
+	objs, err := os.ReadDir(filepath.Join(s.dir, objectsDir))
+	if err != nil {
+		return fmt.Errorf("tracestore: scanning objects: %w", err)
+	}
+	for _, de := range objs {
+		if s.refs[de.Name()] == 0 {
+			_ = os.Remove(filepath.Join(s.dir, objectsDir, de.Name()))
+		}
+	}
+	if dropped {
+		return s.saveManifestLocked()
+	}
+	return nil
+}
+
+func (s *Store) objectPath(digest string) string {
+	return filepath.Join(s.dir, objectsDir, digest)
+}
+
+// digestOf is the store's content address: SHA-256 truncated to 128 bits,
+// hex — the same shape the service uses for trace digests.
+func digestOf(h []byte) string { return hex.EncodeToString(h[:16]) }
+
+// Put streams r into the store under key, returning the entry. The bytes
+// are hashed as they spool; if an identical object already exists the
+// spool is discarded and the key simply references the existing object.
+// Re-putting an existing key atomically repoints it.
+func (s *Store) Put(key string, r io.Reader) (Entry, error) {
+	if key == "" {
+		return Entry{}, errors.New("tracestore: empty key")
+	}
+	s.mu.Lock()
+	s.tmpSeq++
+	spool := filepath.Join(s.dir, tmpDir, fmt.Sprintf("put-%d-%d", os.Getpid(), s.tmpSeq))
+	s.mu.Unlock()
+
+	f, err := os.Create(spool)
+	if err != nil {
+		return Entry{}, fmt.Errorf("tracestore: %w", err)
+	}
+	h := sha256.New()
+	size, err := io.Copy(io.MultiWriter(f, h), r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(spool)
+		return Entry{}, fmt.Errorf("tracestore: spooling %q: %w", key, err)
+	}
+	digest := digestOf(h.Sum(nil))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(s.objectPath(digest)); err == nil {
+		// Deduplicated: the bytes are already durable.
+		_ = os.Remove(spool)
+	} else if err := os.Rename(spool, s.objectPath(digest)); err != nil {
+		_ = os.Remove(spool)
+		return Entry{}, fmt.Errorf("tracestore: publishing object: %w", err)
+	}
+	e := Entry{Key: key, Object: digest, Size: size, Created: time.Now().UTC()}
+	old, existed := s.entries[key]
+	s.entries[key] = e
+	s.refs[digest]++
+	if existed {
+		s.releaseLocked(old.Object)
+	}
+	if err := s.saveManifestLocked(); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// releaseLocked drops one reference to an object, unlinking it at zero.
+func (s *Store) releaseLocked(digest string) {
+	if s.refs[digest]--; s.refs[digest] <= 0 {
+		delete(s.refs, digest)
+		_ = os.Remove(s.objectPath(digest))
+	}
+}
+
+// Get returns the object bytes for key, verifying the content digest
+// before handing anything back: a damaged object yields a
+// *CorruptObjectError, never silently wrong bytes.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	data, err := os.ReadFile(s.objectPath(e.Object))
+	if err != nil {
+		return nil, &CorruptObjectError{Key: key, Object: e.Object, Reason: err.Error()}
+	}
+	sum := sha256.Sum256(data)
+	if got := digestOf(sum[:]); got != e.Object {
+		return nil, &CorruptObjectError{
+			Key: key, Object: e.Object,
+			Reason: fmt.Sprintf("content hashes to %s", got),
+		}
+	}
+	return data, nil
+}
+
+// Stat returns the entry for key without touching the object bytes.
+func (s *Store) Stat(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Delete removes key, unlinking its object if this was the last reference.
+// Deleting an absent key reports false without error.
+func (s *Store) Delete(key string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return false, nil
+	}
+	delete(s.entries, key)
+	s.releaseLocked(e.Object)
+	return true, s.saveManifestLocked()
+}
+
+// List returns the entries whose key starts with prefix (the empty prefix
+// lists everything), oldest first — the order a warm-start wants, so the
+// newest entries land last (and therefore most-recently-used) in an LRU.
+func (s *Store) List(prefix string) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for key, e := range s.entries {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Objects returns the number of distinct stored objects (<= Len when keys
+// share content).
+func (s *Store) Objects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.refs)
+}
+
+// saveManifestLocked writes the manifest atomically (temp + rename).
+// Callers hold s.mu.
+func (s *Store) saveManifestLocked() error {
+	m := manifest{Version: 1, Entries: s.entries}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("tracestore: encoding manifest: %w", err)
+	}
+	s.tmpSeq++
+	tmp := filepath.Join(s.dir, tmpDir, fmt.Sprintf("manifest-%d-%d", os.Getpid(), s.tmpSeq))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("tracestore: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tracestore: publishing manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustPut(t *testing.T, s *Store, key, data string) Entry {
+	t.Helper()
+	e, err := s.Put(key, strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+	return e
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustPut(t, s, "trace/abc", "hello trace")
+	if e.Size != int64(len("hello trace")) {
+		t.Fatalf("Size = %d, want %d", e.Size, len("hello trace"))
+	}
+	got, err := s.Get("trace/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello trace" {
+		t.Fatalf("Get = %q", got)
+	}
+	if _, err := s.Get("trace/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Put("", strings.NewReader("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestDedupAndRefcounts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustPut(t, s, "k1", "shared bytes")
+	b := mustPut(t, s, "k2", "shared bytes")
+	if a.Object != b.Object {
+		t.Fatalf("identical content got distinct objects %s / %s", a.Object, b.Object)
+	}
+	if s.Len() != 2 || s.Objects() != 1 {
+		t.Fatalf("Len=%d Objects=%d, want 2/1", s.Len(), s.Objects())
+	}
+	// Deleting one key keeps the object alive for the other.
+	if ok, err := s.Delete("k1"); !ok || err != nil {
+		t.Fatalf("Delete k1: %v %v", ok, err)
+	}
+	if got, err := s.Get("k2"); err != nil || string(got) != "shared bytes" {
+		t.Fatalf("k2 after deleting k1: %q, %v", got, err)
+	}
+	// Last reference unlinks the object file.
+	if ok, err := s.Delete("k2"); !ok || err != nil {
+		t.Fatalf("Delete k2: %v %v", ok, err)
+	}
+	if s.Objects() != 0 {
+		t.Fatalf("Objects = %d after deleting both keys", s.Objects())
+	}
+	if _, err := os.Stat(s.objectPath(a.Object)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("object file survived last delete: %v", err)
+	}
+	if ok, _ := s.Delete("k2"); ok {
+		t.Fatal("deleting an absent key reported true")
+	}
+}
+
+func TestRepointKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := mustPut(t, s, "k", "version one")
+	neu := mustPut(t, s, "k", "version two")
+	if old.Object == neu.Object {
+		t.Fatal("distinct content shares an object")
+	}
+	if got, _ := s.Get("k"); string(got) != "version two" {
+		t.Fatalf("Get = %q", got)
+	}
+	// The orphaned old object is gone.
+	if _, err := os.Stat(s.objectPath(old.Object)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old object survived repoint: %v", err)
+	}
+	if s.Len() != 1 || s.Objects() != 1 {
+		t.Fatalf("Len=%d Objects=%d, want 1/1", s.Len(), s.Objects())
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "trace/one", "first")
+	mustPut(t, s, "result/one", "second")
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", s2.Len())
+	}
+	if got, err := s2.Get("trace/one"); err != nil || string(got) != "first" {
+		t.Fatalf("reopened Get trace/one = %q, %v", got, err)
+	}
+	if got, err := s2.Get("result/one"); err != nil || string(got) != "second" {
+		t.Fatalf("reopened Get result/one = %q, %v", got, err)
+	}
+}
+
+func TestListPrefixAndOrder(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "trace/a", "1")
+	mustPut(t, s, "trace/b", "2")
+	mustPut(t, s, "result/a", "3")
+
+	traces := s.List("trace/")
+	if len(traces) != 2 || traces[0].Key != "trace/a" || traces[1].Key != "trace/b" {
+		t.Fatalf("List(trace/) = %+v", traces)
+	}
+	if all := s.List(""); len(all) != 3 {
+		t.Fatalf("List(\"\") = %d entries", len(all))
+	}
+	if none := s.List("nope/"); len(none) != 0 {
+		t.Fatalf("List(nope/) = %+v", none)
+	}
+	if e, ok := s.Stat("trace/a"); !ok || e.Size != 1 {
+		t.Fatalf("Stat(trace/a) = %+v, %v", e, ok)
+	}
+}
+
+func TestCorruptionDetectedOnGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustPut(t, s, "k", "precious payload")
+
+	// Bit-flip the object on disk behind the store's back.
+	path := s.objectPath(e.Object)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var ce *CorruptObjectError
+	if _, err := s.Get("k"); !errors.As(err, &ce) {
+		t.Fatalf("Get on flipped object: err = %v, want *CorruptObjectError", err)
+	}
+	if ce.Key != "k" || ce.Object != e.Object {
+		t.Fatalf("corrupt error fields: %+v", ce)
+	}
+
+	// Truncation is also caught.
+	if err := os.WriteFile(path, raw[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); !errors.As(err, &ce) {
+		t.Fatalf("Get on truncated object: err = %v, want *CorruptObjectError", err)
+	}
+}
+
+func TestOpenRepairsCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := mustPut(t, s, "keep", "survivor")
+	lost := mustPut(t, s, "lost", "victim")
+
+	// Simulate the three crash shapes:
+	// (a) an interrupted spool in tmp/,
+	if err := os.WriteFile(filepath.Join(dir, tmpDir, "put-999-1"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// (b) an object that landed without its manifest entry,
+	orphan := filepath.Join(dir, objectsDir, "feedfacefeedfacefeedfacefeedface")
+	if err := os.WriteFile(orphan, []byte("unreferenced"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// (c) a manifest entry whose object vanished.
+	if err := os.Remove(s.objectPath(lost.Object)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get("keep"); err != nil || string(got) != "survivor" {
+		t.Fatalf("keep after repair: %q, %v", got, err)
+	}
+	if _, err := s2.Get("lost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lost after repair: err = %v, want ErrNotFound", err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphaned object survived repair")
+	}
+	tmps, err := os.ReadDir(filepath.Join(dir, tmpDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("tmp/ not emptied: %d files", len(tmps))
+	}
+	if s2.Len() != 1 || s2.Objects() != 1 {
+		t.Fatalf("after repair Len=%d Objects=%d, want 1/1", s2.Len(), s2.Objects())
+	}
+	_ = keep
+
+	// The repair is durable: a third Open sees the cleaned state.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 1 {
+		t.Fatalf("third open Len = %d, want 1", s3.Len())
+	}
+}
+
+func TestConcurrentPutGetDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("k%d-%d", w, i%5)
+				payload := bytes.Repeat([]byte{byte(w)}, 10+i)
+				if _, err := s.Put(key, bytes.NewReader(payload)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if data, err := s.Get(key); err == nil && len(data) == 0 {
+					t.Errorf("Get returned empty payload")
+					return
+				}
+				if i%7 == 0 {
+					if _, err := s.Delete(key); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The survivors are all still readable and verify.
+	for _, e := range s.List("") {
+		if _, err := s.Get(e.Key); err != nil {
+			t.Fatalf("post-stress Get(%q): %v", e.Key, err)
+		}
+	}
+}

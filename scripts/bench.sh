@@ -3,12 +3,16 @@
 # BENCH_core.json snapshot of the engine's performance.
 #
 # Usage:
-#   scripts/bench.sh [-o OUTPUT.json]
+#   scripts/bench.sh [-o OUTPUT.json] [-count N]
+#
+# -count N forwards to `go test -count N`. The default is a single
+# iteration, which keeps the CI smoke run fast; pass -count 3 (or more)
+# when collecting numbers worth comparing.
 #
 # Environment:
-#   BENCHTIME  go test -benchtime value (default 3x)
-#   COUNT      go test -count value     (default 3)
-#   PATTERN    benchmark regexp         (default: the core perf set below)
+#   BENCHTIME  go test -benchtime value     (default 3x)
+#   COUNT      fallback for -count          (default 1)
+#   PATTERN    benchmark regexp             (default: the core perf set below)
 #
 # The JSON maps each benchmark to all its ns/op samples plus their minimum
 # (the most reproducible point statistic on a noisy machine). For proper
@@ -21,15 +25,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_core.json
-while getopts "o:" opt; do
-  case "$opt" in
-    o) out="$OPTARG" ;;
-    *) echo "usage: scripts/bench.sh [-o OUTPUT.json]" >&2; exit 2 ;;
+count=${COUNT:-1}
+# getopts is single-character-only, so parse -count (and -o) by hand.
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -o)
+      [ $# -ge 2 ] || { echo "bench.sh: -o needs a file argument" >&2; exit 2; }
+      out=$2; shift 2 ;;
+    -count)
+      [ $# -ge 2 ] || { echo "bench.sh: -count needs a number" >&2; exit 2; }
+      case "$2" in
+        ''|*[!0-9]*) echo "bench.sh: -count wants a positive integer, got '$2'" >&2; exit 2 ;;
+      esac
+      count=$2; shift 2 ;;
+    *)
+      echo "usage: scripts/bench.sh [-o OUTPUT.json] [-count N]" >&2; exit 2 ;;
   esac
 done
 
 benchtime=${BENCHTIME:-3x}
-count=${COUNT:-3}
 pattern=${PATTERN:-'^(BenchmarkTable31|BenchmarkTable32|BenchmarkFigure4|BenchmarkAblationMRCTBuild|BenchmarkAblationParallelExplore|BenchmarkMicroIntersect|BenchmarkMicroMRCTDedup)$'}
 
 raw="$out.txt"
