@@ -62,6 +62,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	entry, existed := s.store.Add(tr)
 	if !existed {
 		s.persistTrace(entry)
+	} else if s.persist != nil {
+		// A deduplicated upload may still need persisting: an earlier
+		// persistTrace can have failed (errors only degrade durability),
+		// or the trace may predate -store. The re-upload is the client's
+		// bytes in hand, so make the trace durable now.
+		if _, ok := s.persist.Stat(traceKeyPrefix + entry.Digest); !ok {
+			s.persistTrace(entry)
+		}
 	}
 	code := http.StatusCreated
 	if existed {
@@ -80,7 +88,7 @@ func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.store.Get(r.PathValue("digest"))
+	entry, ok := s.lookupTrace(r.PathValue("digest"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown trace %q", r.PathValue("digest"))
 		return
@@ -95,14 +103,21 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 // and the client retries once the job drains.
 func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
-	if s.active.busy(digest) {
+	// The busy check and the removal run atomically against dispatch's
+	// retain: without the shared lock a dispatch could pass its lookup,
+	// lose the race to this removal, and run its job against a trace the
+	// store had already forgotten.
+	removed, idle := s.active.deleteIfIdle(digest, func() bool {
+		removed := s.store.Remove(digest)
+		if s.forgetTrace(digest) {
+			removed = true
+		}
+		return removed
+	})
+	if !idle {
 		httpError(w, http.StatusConflict,
 			"trace %q is referenced by a queued or running job; retry when it finishes", digest)
 		return
-	}
-	removed := s.store.Remove(digest)
-	if s.forgetTrace(digest) {
-		removed = true
 	}
 	if !removed {
 		httpError(w, http.StatusNotFound, "unknown trace %q", digest)
@@ -158,7 +173,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	entry, ok := s.store.Get(req.Trace)
+	entry, ok := s.lookupTrace(req.Trace)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
 		return
@@ -277,7 +292,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	entry, ok := s.store.Get(req.Trace)
+	entry, ok := s.lookupTrace(req.Trace)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
 		return
@@ -359,7 +374,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	entry, ok := s.store.Get(req.Trace)
+	entry, ok := s.lookupTrace(req.Trace)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
 		return
@@ -396,9 +411,29 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // its result inline. Either way the work itself runs on the pool, so
 // compute concurrency stays bounded by the configured worker count. The
 // job's trace stays retained (DELETE returns 409) from submission until
-// the job reaches a terminal state, including cancelled-while-queued.
+// the job reaches a terminal state, including cancelled-while-queued. The
+// retain re-checks that the trace still exists under the same lock DELETE
+// removes it under, closing the window where a DELETE lands between the
+// handler's lookup and the retain and the job would run against (and
+// re-persist results for) a trace the server already purged.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest string, async bool, fn func(context.Context) (any, error)) {
-	s.active.retain(digest)
+	retained := s.active.retainIf(digest, func() bool {
+		if _, ok := s.store.Get(digest); ok {
+			return true
+		}
+		if s.persist != nil {
+			// LRU-evicted but durable counts as present: lookupTrace
+			// serves it, so a job may run against it too.
+			if _, ok := s.persist.Stat(traceKeyPrefix + digest); ok {
+				return true
+			}
+		}
+		return false
+	})
+	if !retained {
+		httpError(w, http.StatusNotFound, "unknown trace %q", digest)
+		return
+	}
 	job, err := s.queue.Submit(kind, fn)
 	if err != nil {
 		s.active.release(digest)

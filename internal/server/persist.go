@@ -118,6 +118,35 @@ func (s *Server) persistResult(key string, env persistedResult) {
 	}
 }
 
+// lookupTrace finds a trace in memory, falling back to the persistent
+// store for entries the MaxTraces LRU evicted: the ctz1 bytes are
+// re-decoded and re-promoted into the LRU, so anything durable stays
+// servable — disk is the trace cache's backing tier, exactly as it is for
+// results via loadResult.
+func (s *Server) lookupTrace(digest string) (*TraceEntry, bool) {
+	if e, ok := s.store.Get(digest); ok {
+		return e, true
+	}
+	if s.persist == nil {
+		return nil, false
+	}
+	data, err := s.persist.Get(traceKeyPrefix + digest)
+	if err != nil {
+		return nil, false
+	}
+	tr, err := trace.Decode(bytes.NewReader(data), trace.Limits{
+		MaxRefs:  s.cfg.MaxRefs,
+		MaxBytes: s.cfg.MaxUploadBytes,
+	})
+	if err != nil {
+		s.cfg.Log.Printf("server: dropping undecodable %s: %v", traceKeyPrefix+digest, err)
+		_, _ = s.persist.Delete(traceKeyPrefix + digest)
+		return nil, false
+	}
+	e, _ := s.store.Add(tr)
+	return e, true
+}
+
 // loadResult read-throughs a result the LRU evicted but disk still holds.
 // The loaded value is re-promoted into the LRU.
 func (s *Server) loadResult(key string) (any, bool) {
@@ -179,10 +208,30 @@ func newActiveTraces() *activeTraces {
 	return &activeTraces{refs: make(map[string]int)}
 }
 
-func (a *activeTraces) retain(digest string) {
+// retainIf takes a reference only if present reports the trace still
+// exists, with both under the table lock — so a concurrent deleteIfIdle
+// cannot remove the trace between the existence check and the retain.
+func (a *activeTraces) retainIf(digest string, present func() bool) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if !present() {
+		return false
+	}
 	a.refs[digest]++
+	return true
+}
+
+// deleteIfIdle runs del only while no job references digest, holding the
+// table lock across both so a concurrent retainIf cannot slip between the
+// busy check and the removal. idle is false when a job held a reference
+// (del did not run); removed is del's result otherwise.
+func (a *activeTraces) deleteIfIdle(digest string, del func() bool) (removed, idle bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.refs[digest] > 0 {
+		return false, false
+	}
+	return del(), true
 }
 
 func (a *activeTraces) release(digest string) {

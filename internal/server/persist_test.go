@@ -189,6 +189,69 @@ func TestServerWarmStartSkipsCorruptObjects(t *testing.T) {
 	_ = srv2
 }
 
+// A trace the MaxTraces LRU evicted from memory is still durable, so GET
+// and explore must serve it from the store (read-through + re-promote)
+// rather than 404ing on bytes the disk still holds.
+func TestServerEvictedTraceServedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	trA, trB := testTrace(300, 1<<8), testTrace(500, 1<<9)
+	var dinA, dinB bytes.Buffer
+	if err := trace.WriteText(&dinA, trA); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(&dinB, trB); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts, stop := startPersistent(t, dir, Config{MaxTraces: 1})
+	defer stop()
+	infoA, _ := uploadTrace(t, ts, dinA.Bytes())
+	infoB, _ := uploadTrace(t, ts, dinB.Bytes())
+	if n := srv.store.Len(); n != 1 {
+		t.Fatalf("LRU holds %d traces, want 1", n)
+	}
+
+	// A was evicted by B's upload; the read-through re-promotes it.
+	var got traceInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/traces/"+infoA.Digest, nil, &got); code != http.StatusOK {
+		t.Fatalf("GET evicted trace: code %d, want 200", code)
+	}
+	if got.N != infoA.N || got.NUnique != infoA.NUnique {
+		t.Fatalf("re-promoted trace info %+v, want %+v", got, infoA)
+	}
+	// And B — now the evicted one — is explorable end to end.
+	body, _ := json.Marshal(map[string]any{"trace": infoB.Digest, "k": 10})
+	if code := doJSON(t, "POST", ts.URL+"/v1/explore", body, nil); code != http.StatusOK {
+		t.Fatalf("explore evicted trace: code %d, want 200", code)
+	}
+}
+
+// A deduplicated re-upload must still make the trace durable when the
+// disk copy is missing (an earlier persist failed, or the server ran
+// without -store when the trace first arrived).
+func TestServerReuploadPersistsMissingTrace(t *testing.T) {
+	dir := t.TempDir()
+	tr := testTrace(300, 1<<8)
+	var din bytes.Buffer
+	if err := trace.WriteText(&din, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts, stop := startPersistent(t, dir, Config{})
+	defer stop()
+	info, _ := uploadTrace(t, ts, din.Bytes())
+	if _, err := srv.persist.Delete(traceKeyPrefix + info.Digest); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, code := uploadTrace(t, ts, din.Bytes()); code != http.StatusOK {
+		t.Fatalf("re-upload: code %d, want 200", code)
+	}
+	if _, ok := srv.persist.Stat(traceKeyPrefix + info.Digest); !ok {
+		t.Fatal("re-upload of a dedup'd trace did not re-persist it")
+	}
+}
+
 // DELETE on a trace a queued or running job references is refused with
 // 409 until the job drains.
 func TestServerDeleteBusyTrace(t *testing.T) {

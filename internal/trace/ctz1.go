@@ -382,7 +382,9 @@ func (d *CTZ1Decoder) parsePayload() error {
 	if err != nil || nrefs == 0 || nrefs > ctz1MaxBlock {
 		return corruptf(d.idx, "bad reference count")
 	}
-	if d.lim.MaxRefs > 0 && d.total+nrefs > uint64(d.lim.MaxRefs) {
+	if d.lim.MaxRefs > 0 && nrefs > uint64(d.lim.MaxRefs)-d.total {
+		// Subtraction, not addition: d.total <= MaxRefs is invariant, so
+		// this cannot wrap the way `d.total+nrefs` could.
 		return &LimitError{What: "references", Limit: int64(d.lim.MaxRefs)}
 	}
 	if cap(d.block) < int(nrefs) {
@@ -407,7 +409,10 @@ func (d *CTZ1Decoder) parsePayload() error {
 		}
 		var runLen uint64
 		runLen, p, err = ctz1Uvarint(p)
-		if err != nil || runLen == 0 || at+runLen > nrefs {
+		// Compare by subtraction (at <= nrefs holds across iterations):
+		// `at+runLen > nrefs` would wrap for a crafted runLen near 2^64,
+		// and the checksum is unkeyed so crafted blocks do arrive here.
+		if err != nil || runLen == 0 || runLen > nrefs-at {
 			return corruptf(d.idx, "run %d: bad length", i)
 		}
 		for j := uint64(0); j < runLen; j++ {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -151,6 +152,38 @@ func TestCTZ1BitFlip(t *testing.T) {
 	}
 	if flips == 0 {
 		t.Fatal("no bit flip was ever detected")
+	}
+}
+
+// A crafted block with a correct (unkeyed, attacker-computable) checksum
+// whose second kind run declares a length near 2^64 must fail the run
+// validation as corruption, not wrap `at+runLen` past nrefs and panic
+// indexing the kind-fill loop. The checksum is valid, so only the
+// structural validation stands between this block and the fill loop —
+// the fuzzer cannot reach it by mutation.
+func TestCTZ1RunLengthOverflow(t *testing.T) {
+	var payload []byte
+	payload = binary.AppendUvarint(payload, 2) // nrefs
+	payload = binary.AppendUvarint(payload, 2) // nruns
+	payload = append(payload, byte(DataRead))
+	payload = binary.AppendUvarint(payload, 1) // run 0: len 1
+	payload = append(payload, byte(DataRead))
+	payload = binary.AppendUvarint(payload, ^uint64(0)) // run 1: 1 + (2^64-1) wraps to 0
+
+	var enc []byte
+	enc = append(enc, ctz1Magic[:]...)
+	enc = binary.AppendUvarint(enc, ctz1Version)
+	enc = binary.AppendUvarint(enc, CTZ1DefaultBlock)
+	enc = binary.AppendUvarint(enc, uint64(len(payload)))
+	enc = append(enc, payload...)
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], xxh64(payload))
+	enc = append(enc, sum[:]...)
+
+	_, err := ReadCTZ1(bytes.NewReader(enc))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("overflowing run length: err = %v, want *CorruptError", err)
 	}
 }
 

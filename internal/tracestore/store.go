@@ -6,10 +6,14 @@
 // digest, a result-cache key) to objects and carries per-object reference
 // counts; keys are deleted individually, and an object is unlinked only
 // when its last key goes. Writes spool into tmp/ and reach their final
-// name by atomic rename, manifest updates are write-then-rename, and Open
-// repairs whatever a crash left behind (orphaned temp files, objects no
-// key references, keys whose object vanished) — so a kill -9 at any point
-// loses at most the entry being written, never the store.
+// name by atomic rename — spools and the manifest are fsynced before the
+// rename (and the parent directory after), so the rename publishes
+// durable bytes, not page cache — and Open repairs whatever a crash left
+// behind (orphaned temp files, objects no key references, keys whose
+// object vanished) — so a kill -9 at any point loses at most the entry
+// being written, never the store. Should a filesystem renege anyway and
+// leave the manifest unparsable, Open sets it aside and boots the store
+// empty rather than refusing to start.
 package tracestore
 
 import (
@@ -94,6 +98,7 @@ func Open(dir string) (*Store, error) {
 		entries: make(map[string]Entry),
 		refs:    make(map[string]int),
 	}
+	keepOrphans := false
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -103,22 +108,32 @@ func Open(dir string) (*Store, error) {
 	default:
 		var m manifest
 		if err := json.Unmarshal(data, &m); err != nil {
-			return nil, fmt.Errorf("tracestore: parsing manifest: %w", err)
-		}
-		for key, e := range m.Entries {
-			e.Key = key
-			s.entries[key] = e
-			s.refs[e.Object]++
+			// A torn manifest (a filesystem that reneged on the rename
+			// durability) must not brick the store: set it aside for
+			// forensics and boot empty. With no entries every object
+			// would look unreferenced, so repair keeps them this boot —
+			// losing the index is recoverable, GC'ing the data is not.
+			_ = os.Rename(filepath.Join(dir, manifestName),
+				filepath.Join(dir, manifestName+".corrupt"))
+			keepOrphans = true
+		} else {
+			for key, e := range m.Entries {
+				e.Key = key
+				s.entries[key] = e
+				s.refs[e.Object]++
+			}
 		}
 	}
-	if err := s.repair(); err != nil {
+	if err := s.repair(keepOrphans); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
 // repair reconciles the directory tree with the manifest after a crash.
-func (s *Store) repair() error {
+// keepOrphans suppresses the unreferenced-object sweep for the boot after
+// a corrupt manifest, when "unreferenced" just means the index was lost.
+func (s *Store) repair(keepOrphans bool) error {
 	// 1. Temp spool files are by definition incomplete: remove them.
 	tmps, err := os.ReadDir(filepath.Join(s.dir, tmpDir))
 	if err != nil {
@@ -140,13 +155,15 @@ func (s *Store) repair() error {
 	}
 	// 3. Objects no entry references (a crash between the object rename
 	// and the manifest rename) are garbage: unlink them.
-	objs, err := os.ReadDir(filepath.Join(s.dir, objectsDir))
-	if err != nil {
-		return fmt.Errorf("tracestore: scanning objects: %w", err)
-	}
-	for _, de := range objs {
-		if s.refs[de.Name()] == 0 {
-			_ = os.Remove(filepath.Join(s.dir, objectsDir, de.Name()))
+	if !keepOrphans {
+		objs, err := os.ReadDir(filepath.Join(s.dir, objectsDir))
+		if err != nil {
+			return fmt.Errorf("tracestore: scanning objects: %w", err)
+		}
+		for _, de := range objs {
+			if s.refs[de.Name()] == 0 {
+				_ = os.Remove(filepath.Join(s.dir, objectsDir, de.Name()))
+			}
 		}
 	}
 	if dropped {
@@ -182,6 +199,12 @@ func (s *Store) Put(key string, r io.Reader) (Entry, error) {
 	}
 	h := sha256.New()
 	size, err := io.Copy(io.MultiWriter(f, h), r)
+	if err == nil {
+		// The rename below must publish durable bytes: without the fsync
+		// a power loss after the rename can leave a fully-named object
+		// holding zeroed pages.
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -196,9 +219,14 @@ func (s *Store) Put(key string, r io.Reader) (Entry, error) {
 	if _, err := os.Stat(s.objectPath(digest)); err == nil {
 		// Deduplicated: the bytes are already durable.
 		_ = os.Remove(spool)
-	} else if err := os.Rename(spool, s.objectPath(digest)); err != nil {
-		_ = os.Remove(spool)
-		return Entry{}, fmt.Errorf("tracestore: publishing object: %w", err)
+	} else {
+		if err := os.Rename(spool, s.objectPath(digest)); err != nil {
+			_ = os.Remove(spool)
+			return Entry{}, fmt.Errorf("tracestore: publishing object: %w", err)
+		}
+		if err := syncDir(filepath.Join(s.dir, objectsDir)); err != nil {
+			return Entry{}, fmt.Errorf("tracestore: publishing object: %w", err)
+		}
 	}
 	e := Entry{Key: key, Object: digest, Size: size, Created: time.Now().UTC()}
 	old, existed := s.entries[key]
@@ -313,12 +341,46 @@ func (s *Store) saveManifestLocked() error {
 	}
 	s.tmpSeq++
 	tmp := filepath.Join(s.dir, tmpDir, fmt.Sprintf("manifest-%d-%d", os.Getpid(), s.tmpSeq))
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
+		_ = os.Remove(tmp)
 		return fmt.Errorf("tracestore: writing manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("tracestore: publishing manifest: %w", err)
 	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("tracestore: publishing manifest: %w", err)
+	}
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before returning, so a
+// following rename publishes durable bytes rather than page cache.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory, making a rename into it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

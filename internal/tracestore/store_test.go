@@ -243,6 +243,56 @@ func TestOpenRepairsCrashDebris(t *testing.T) {
 	}
 }
 
+// A manifest torn to garbage (a filesystem that reneged on rename
+// durability) must not brick the store: Open boots it empty, sets the bad
+// manifest aside, and — crucially — does not GC the now-unreferenced
+// objects, since losing the index is recoverable but deleting the data is
+// not.
+func TestOpenSurvivesCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustPut(t, s, "trace/x", "survives the torn manifest")
+
+	manifest := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifest, make([]byte, len(raw)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open over zeroed manifest: %v", err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("Len = %d after corrupt manifest, want 0", s2.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName+".corrupt")); err != nil {
+		t.Fatalf("corrupt manifest not set aside: %v", err)
+	}
+	if _, err := os.Stat(s2.objectPath(e.Object)); err != nil {
+		t.Fatalf("object GC'd on the corrupt-manifest boot: %v", err)
+	}
+	// The store is fully usable again.
+	mustPut(t, s2, "trace/y", "fresh entry")
+	if got, err := s2.Get("trace/y"); err != nil || string(got) != "fresh entry" {
+		t.Fatalf("Get after recovery: %q, %v", got, err)
+	}
+	// And the next clean Open sweeps the leftovers as ordinary orphans.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s3.objectPath(e.Object)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan survived the following clean open: %v", err)
+	}
+}
+
 func TestConcurrentPutGetDelete(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {
