@@ -8,7 +8,8 @@
 //	cachedse stats    TRACE            trace statistics (N, N', max misses)
 //	cachedse strip    TRACE            stripped trace (unique refs + ids)
 //	cachedse explore  [-k N | -kpct P] [-maxdepth D] [-workers W] [-verify]
-//	                  [-cpuprofile F] [-memprofile F] [-store DIR] TRACE
+//	                  [-cpuprofile F] [-memprofile F] [-store DIR]
+//	                  [-trace-json F] [-log-format text|json] TRACE
 //	                                   optimal (D, A) instances for budget K
 //	cachedse simulate -depth D -assoc A [-line W] [-repl P] [-store DIR] TRACE
 //	                                   simulate one configuration
@@ -23,18 +24,23 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/example/cachedse/internal/cache"
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/dse"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -133,6 +139,33 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 	}
 }
 
+// newCLILogger builds the structured logger subcommands share, rejecting
+// unknown formats so a typo fails fast instead of silently logging text.
+func newCLILogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text", "json":
+		return obs.NewLogger(os.Stderr, format, slog.LevelInfo), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q, want text or json", format)
+	}
+}
+
+// writeTraceJSON dumps a recorder's span tree to path in the same nested
+// shape the server's job-trace endpoint serves.
+func writeTraceJSON(path, traceName string, rec *obs.Recorder) error {
+	tr := rec.Export()
+	out := map[string]any{
+		"trace":   traceName,
+		"spans":   tr.Tree(),
+		"dropped": tr.Dropped,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // loadTrace reads a trace file, auto-detecting binary by magic.
 func loadTrace(path string) (*trace.Trace, error) {
 	f, err := os.Open(path)
@@ -189,7 +222,7 @@ func cmdStrip(args []string) error {
 }
 
 func cmdExplore(args []string) error {
-	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-cpuprofile F] [-memprofile F] [-store DIR] TRACE")
+	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-cpuprofile F] [-memprofile F] [-store DIR] [-trace-json F] [-log-format text|json] TRACE")
 	k := fs.Int("k", -1, "miss budget K (absolute)")
 	kpct := fs.Float64("kpct", -1, "miss budget as percent of max misses")
 	maxDepth := fs.Int("maxdepth", 0, "largest cache depth to explore (power of two)")
@@ -199,11 +232,17 @@ func cmdExplore(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the exploration to this file")
 	storeDir := fs.String("store", "", "read TRACE from this tracestore directory instead of the filesystem")
+	traceJSON := fs.String("trace-json", "", "record the exploration's span tree and write it as JSON to this file")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("explore needs exactly one trace file")
+	}
+	logger, err := newCLILogger(*logFormat)
+	if err != nil {
+		return err
 	}
 	tr, err := resolveTrace(*storeDir, fs.Arg(0))
 	if err != nil {
@@ -228,15 +267,38 @@ func cmdExplore(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	// With -trace-json the run records its span tree: a root "explore"
+	// span whose children are the engine phases (strip, mrct, postlude —
+	// the same phases a server job's trace shows).
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *traceJSON != "" {
+		rec = obs.NewRecorder(0)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	ctx, root := obs.StartSpan(ctx, "explore")
+	root.SetAttr("trace", fs.Arg(0))
+	root.SetAttr("n", st.N)
+	root.SetAttr("n_unique", st.NUnique)
+	start := time.Now()
 	opts := core.Options{MaxDepth: *maxDepth}
 	var r *core.Result
 	if *workers == 1 {
-		r, err = core.Explore(tr, opts)
+		r, err = core.ExploreContext(ctx, tr, opts)
 	} else {
-		r, err = core.ExploreParallel(tr, opts, *workers)
+		r, err = core.ExploreParallelContext(ctx, tr, opts, *workers)
 	}
 	if err != nil {
 		return err
+	}
+	root.End()
+	logger.Info("exploration complete",
+		"trace", fs.Arg(0), "n", st.N, "n_unique", st.NUnique,
+		"levels", len(r.Levels), "duration", time.Since(start).String())
+	if rec != nil {
+		if err := writeTraceJSON(*traceJSON, fs.Arg(0), rec); err != nil {
+			return err
+		}
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,11 +31,17 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", time.Minute, "synchronous request wait cap")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain cap before cancelling jobs")
 	storeDir := fs.String("store", "", "persist traces and results to this directory (survives restarts)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
+	}
+	logger, err := newCLILogger(*logFormat)
+	if err != nil {
+		return err
 	}
 
 	srv, err := server.New(server.Config{
@@ -47,6 +54,7 @@ func cmdServe(args []string) error {
 		JobTimeout:     *jobTimeout,
 		RequestTimeout: *reqTimeout,
 		StoreDir:       *storeDir,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
@@ -57,12 +65,33 @@ func cmdServe(args []string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The profiling endpoints live on their own listener so they can be
+	// bound to loopback (or left off entirely) while the API listens
+	// publicly — pprof on the service port would expose heap contents to
+	// anyone who can reach the API.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener serving pprof", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		defer ds.Close()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "cachedse: serving on http://%s\n", *addr)
+	logger.Info("serving", "addr", "http://"+*addr)
 
 	select {
 	case err := <-errc:
@@ -71,11 +100,11 @@ func cmdServe(args []string) error {
 	}
 	stop() // a second signal kills the process the default way
 
-	fmt.Fprintln(os.Stderr, "cachedse: shutting down, draining jobs...")
+	logger.Info("shutting down, draining jobs")
 	sd, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sd); err != nil {
-		fmt.Fprintf(os.Stderr, "cachedse: http shutdown: %v\n", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := srv.Close(sd); err != nil {
 		return fmt.Errorf("job queue drain: %w", err)

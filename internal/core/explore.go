@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/example/cachedse/internal/bitset"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -152,12 +154,25 @@ func Explore(t *trace.Trace, opts Options) (*Result, error) {
 // it is done. Long-lived callers (servers, interactive tools) use this so
 // abandoned explorations stop burning CPU.
 func ExploreContext(ctx context.Context, t *trace.Trace, opts Options) (*Result, error) {
-	s := trace.Strip(t)
+	s := stripWithSpan(ctx, t)
 	m, err := BuildMRCTContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
 	return ExploreStrippedContext(ctx, s, m, opts)
+}
+
+// stripWithSpan wraps the prelude's strip pass in a "strip" span when
+// ctx carries a recorder; otherwise it is trace.Strip.
+func stripWithSpan(ctx context.Context, t *trace.Trace) *trace.Stripped {
+	_, span := obs.StartSpan(ctx, "strip")
+	s := trace.Strip(t)
+	if span != nil {
+		span.SetAttr("n", s.N())
+		span.SetAttr("n_unique", s.NUnique())
+		span.End()
+	}
+	return s
 }
 
 // ExploreStripped is Explore for callers that already hold the stripped
@@ -198,9 +213,11 @@ func ExploreStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opt
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "postlude")
 	r := newResult(s, m, levels)
 	if s.NUnique() == 0 {
 		finalize(r)
+		endPostludeSpan(span, "dfs", r, nil, nil)
 		return r, nil
 	}
 	zo := s.ZeroOneSets(levels)
@@ -209,13 +226,29 @@ func ExploreStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opt
 	for id := 0; id < s.NUnique(); id++ {
 		root.Add(id)
 	}
+	// Per-level row counts and accumulated nanoseconds, maintained only
+	// while a recorder is installed: the traced branch costs one
+	// time.Now pair per row set, the untraced branch a single nil check.
+	var lvlRows []int
+	var lvlNS []int64
+	if span != nil {
+		lvlRows = make([]int, levels+1)
+		lvlNS = make([]int64, levels+1)
+	}
 	chk := &ctxCheck{ctx: ctx, every: 64}
 	var visit func(set *bitset.Set, level int)
 	visit = func(set *bitset.Set, level int) {
 		if chk.stop() {
 			return
 		}
-		accumulate(r.Levels[level], set, m)
+		if span != nil {
+			t0 := time.Now()
+			accumulate(r.Levels[level], set, m)
+			lvlNS[level] += time.Since(t0).Nanoseconds()
+			lvlRows[level]++
+		} else {
+			accumulate(r.Levels[level], set, m)
+		}
 		if level >= levels || set.Count() < 2 {
 			// A row with fewer than two references can never conflict at
 			// this or any deeper depth (Algorithm 1's stop criterion).
@@ -233,7 +266,52 @@ func ExploreStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opt
 		return nil, chk.err
 	}
 	finalize(r)
+	endPostludeSpan(span, "dfs", r, lvlRows, lvlNS)
 	return r, nil
+}
+
+// endPostludeSpan closes the postlude phase span: one aggregate child
+// span per explored level carrying rows processed, occurrences folded
+// (refs, the histogram mass) and — when per-level timing was collected —
+// the accumulated duration and refs/sec. Level spans are aggregates: the
+// DFS interleaves levels, so each child's duration is summed work, not a
+// contiguous wall-clock interval.
+func endPostludeSpan(span *obs.Span, algorithm string, r *Result, lvlRows []int, lvlNS []int64) {
+	if span == nil {
+		return
+	}
+	totalRows, totalRefs := 0, 0
+	for i, l := range r.Levels {
+		refs := 0
+		for _, c := range l.Hist {
+			refs += c
+		}
+		totalRefs += refs
+		attrs := []obs.Attr{
+			{Key: "depth", Value: l.Depth},
+			{Key: "refs", Value: refs},
+			{Key: "aggregate", Value: true},
+		}
+		var dur time.Duration
+		if lvlRows != nil {
+			totalRows += lvlRows[i]
+			attrs = append(attrs, obs.Attr{Key: "rows", Value: lvlRows[i]})
+		}
+		if lvlNS != nil {
+			dur = time.Duration(lvlNS[i])
+			if secs := dur.Seconds(); secs > 0 {
+				attrs = append(attrs, obs.Attr{Key: "refs_per_sec", Value: float64(refs) / secs})
+			}
+		}
+		span.Child("level", span.Start(), dur, attrs...)
+	}
+	span.SetAttr("algorithm", algorithm)
+	span.SetAttr("levels", len(r.Levels))
+	span.SetAttr("refs", totalRefs)
+	if lvlRows != nil {
+		span.SetAttr("rows", totalRows)
+	}
+	span.End()
 }
 
 // ExploreBCAT runs Algorithm 3 over a materialised BCAT, the literal

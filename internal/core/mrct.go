@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"github.com/example/cachedse/internal/bitset"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -144,6 +145,7 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "mrct")
 	nu := s.NUnique()
 	m := &MRCT{
 		nunique: nu,
@@ -280,7 +282,28 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 		}
 		m.occ[id] = occs
 	}
+	if span != nil {
+		span.SetAttr("n", s.N())
+		span.SetAttr("n_unique", nu)
+		span.SetAttr("distinct_sets", len(m.sets))
+		span.SetAttr("occurrences", m.Occurrences())
+		span.SetAttr("dedup_hit_rate", m.DedupHitRate())
+		span.SetAttr("max_card", m.maxCard)
+		span.SetAttr("packed_sets", m.PackedSets())
+		span.End()
+	}
 	return m, nil
+}
+
+// DedupHitRate is the fraction of non-cold occurrences whose conflict
+// window had already been seen: 1 - distinct/occurrences. Loop-dominated
+// traces sit near 1; adversarially random traces near 0.
+func (m *MRCT) DedupHitRate() float64 {
+	occ := m.Occurrences()
+	if occ == 0 {
+		return 0
+	}
+	return 1 - float64(len(m.sets))/float64(occ)
 }
 
 // BuildMRCTNaive is the literal double loop of Algorithm 2, with the

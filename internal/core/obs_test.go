@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/internal/paperex"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// obsTestTrace builds a conflict-heavy random trace for span assertions.
+func obsTestTrace(n int, space uint32) *trace.Trace {
+	rng := rand.New(rand.NewSource(7))
+	tr := trace.New(n)
+	for i := 0; i < n; i++ {
+		tr.Append(trace.Ref{Addr: rng.Uint32() % space, Kind: trace.DataRead})
+	}
+	return tr
+}
+
+// spansByName indexes an exported trace for lookup assertions.
+func spansByName(tr obs.Trace) map[string][]obs.SpanRecord {
+	m := make(map[string][]obs.SpanRecord)
+	for _, s := range tr.Spans {
+		m[s.Name] = append(m[s.Name], s)
+	}
+	return m
+}
+
+// TestExploreContextRecordsPhaseSpans locks the engine's phase hook
+// contract: one strip, one mrct and one postlude span per run, the mrct
+// span carrying the dedup telemetry and the postlude span one aggregate
+// "level" child per cache level whose refs equal the non-cold occurrence
+// count (every occurrence lands in exactly one row set per level).
+func TestExploreContextRecordsPhaseSpans(t *testing.T) {
+	tr := obsTestTrace(4_000, 1<<7)
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	r, err := ExploreContext(ctx, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := spansByName(rec.Export())
+	for _, want := range []string{"strip", "mrct", "postlude"} {
+		if len(byName[want]) != 1 {
+			t.Fatalf("%d %q spans, want 1 (have %v)", len(byName[want]), want, byName)
+		}
+	}
+	s := trace.Strip(tr)
+	m := BuildMRCT(s)
+
+	mrctAttrs := byName["mrct"][0].Attrs
+	if got := mrctAttrs["n"]; got != s.N() {
+		t.Errorf("mrct span n = %v, want %d", got, s.N())
+	}
+	if got := mrctAttrs["n_unique"]; got != s.NUnique() {
+		t.Errorf("mrct span n_unique = %v, want %d", got, s.NUnique())
+	}
+	if got := mrctAttrs["dedup_hit_rate"]; got != m.DedupHitRate() {
+		t.Errorf("mrct span dedup_hit_rate = %v, want %v", got, m.DedupHitRate())
+	}
+	if got := mrctAttrs["occurrences"]; got != m.Occurrences() {
+		t.Errorf("mrct span occurrences = %v, want %d", got, m.Occurrences())
+	}
+
+	post := byName["postlude"][0]
+	if got := post.Attrs["algorithm"]; got != "dfs" {
+		t.Errorf("postlude algorithm = %v, want dfs", got)
+	}
+	levels := byName["level"]
+	if len(levels) != len(r.Levels) {
+		t.Fatalf("%d level spans, want %d", len(levels), len(r.Levels))
+	}
+	occ := m.Occurrences()
+	for _, lv := range levels {
+		if lv.Parent != post.ID {
+			t.Errorf("level span parented to %d, want postlude %d", lv.Parent, post.ID)
+		}
+		if got := lv.Attrs["refs"]; got != occ {
+			t.Errorf("level %v refs = %v, want %d", lv.Attrs["depth"], got, occ)
+		}
+		if agg, _ := lv.Attrs["aggregate"].(bool); !agg {
+			t.Errorf("level span not marked aggregate: %v", lv.Attrs)
+		}
+	}
+}
+
+// TestExploreParallelContextRecordsSplitSpan checks the parallel path's
+// phase taxonomy: a split span (the BCAT walk) ahead of the postlude, and
+// level children carrying row counts but no per-level timing.
+func TestExploreParallelContextRecordsSplitSpan(t *testing.T) {
+	tr := obsTestTrace(4_000, 1<<7)
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	if _, err := ExploreParallelContext(ctx, tr, Options{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	byName := spansByName(rec.Export())
+	for _, want := range []string{"strip", "mrct", "split", "postlude"} {
+		if len(byName[want]) != 1 {
+			t.Fatalf("%d %q spans, want 1", len(byName[want]), want)
+		}
+	}
+	if got := byName["postlude"][0].Attrs["algorithm"]; got != "parallel" {
+		t.Errorf("postlude algorithm = %v, want parallel", got)
+	}
+	for _, lv := range byName["level"] {
+		if _, ok := lv.Attrs["rows"]; !ok {
+			t.Errorf("parallel level span missing rows attr: %v", lv.Attrs)
+		}
+		if _, ok := lv.Attrs["refs_per_sec"]; ok {
+			t.Errorf("parallel level span carries refs_per_sec, but per-level timing is undefined across workers")
+		}
+	}
+}
+
+// TestExploreSameResultWithRecorder guards against instrumentation ever
+// perturbing the answer: the histograms must be bit-identical with and
+// without a recorder installed, sequential and parallel.
+func TestExploreSameResultWithRecorder(t *testing.T) {
+	tr := paperex.Trace()
+	plain, err := Explore(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))
+	traced, err := ExploreContext(ctx, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(plain, traced) {
+		t.Fatal("recorded sequential exploration differs from plain run")
+	}
+	tracedPar, err := ExploreParallelContext(ctx, tr, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(plain, tracedPar) {
+		t.Fatal("recorded parallel exploration differs from plain run")
+	}
+}
+
+// BenchmarkExploreObs measures the phase-hook overhead on the full
+// exploration: "off" runs with no recorder on the context (the production
+// default — every StartSpan is one context lookup returning nil), "on"
+// records the full span tree. The acceptance bar is "off" within 2% of
+// the pre-instrumentation baseline; compare BENCH_core.json snapshots.
+func BenchmarkExploreObs(b *testing.B) {
+	tr := obsTestTrace(20_000, 1<<9)
+	s := trace.Strip(tr)
+	m := BuildMRCT(s)
+	b.Run("off", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ExploreStrippedContext(ctx, s, m, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))
+			if _, err := ExploreStrippedContext(ctx, s, m, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/example/cachedse/internal/bitset"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -33,7 +34,7 @@ func ExploreParallel(t *trace.Trace, opts Options, workers int) (*Result, error)
 // worker checks ctx periodically and the run returns ctx.Err() once it is
 // done.
 func ExploreParallelContext(ctx context.Context, t *trace.Trace, opts Options, workers int) (*Result, error) {
-	s := trace.Strip(t)
+	s := stripWithSpan(ctx, t)
 	m, err := BuildMRCTContext(ctx, s)
 	if err != nil {
 		return nil, err
@@ -65,11 +66,14 @@ const chunkIDs = 256
 
 // splitWork performs the BCAT split once, appending a work item (or
 // several chunks for large rows) for every node the sequential DFS would
-// visit. Returns the items, or ctx's error if cancelled mid-walk.
-func splitWork(s *trace.Stripped, levels int, chk *ctxCheck) ([]workItem, error) {
+// visit. Returns the items and the row-set count per level, or ctx's
+// error if cancelled mid-walk.
+func splitWork(s *trace.Stripped, levels int, chk *ctxCheck) ([]workItem, []int, error) {
 	zo := s.ZeroOneSets(levels)
 	items := make([]workItem, 0, 4*s.NUnique()/chunkIDs+levels+1)
+	lvlRows := make([]int, levels+1)
 	enqueue := func(set *bitset.Set, level int) {
+		lvlRows[level]++
 		n := int32(set.Cap())
 		if set.Count() <= chunkIDs {
 			items = append(items, workItem{set: set, level: int32(level), lo: 0, hi: n})
@@ -105,9 +109,9 @@ func splitWork(s *trace.Stripped, levels int, chk *ctxCheck) ([]workItem, error)
 	}
 	visit(root, 0)
 	if chk.err != nil {
-		return nil, chk.err
+		return nil, nil, chk.err
 	}
-	return items, nil
+	return items, lvlRows, nil
 }
 
 // stealQueue is one worker's share of the item list. Items are only ever
@@ -144,10 +148,19 @@ func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *M
 	}
 	r := newResult(s, m, levels)
 
-	items, err := splitWork(s, levels, &ctxCheck{ctx: ctx, every: 64})
+	_, splitSpan := obs.StartSpan(ctx, "split")
+	items, lvlRows, err := splitWork(s, levels, &ctxCheck{ctx: ctx, every: 64})
 	if err != nil {
 		return nil, err
 	}
+	if splitSpan != nil {
+		splitSpan.SetAttr("items", len(items))
+		splitSpan.SetAttr("levels", levels)
+		splitSpan.End()
+	}
+	_, span := obs.StartSpan(ctx, "postlude")
+	span.SetAttr("workers", workers)
+	span.SetAttr("items", len(items))
 	// Deal items round-robin so each queue sees a slice of every level —
 	// neighbouring chunks of the same hot row land on different workers.
 	queues := make([]*stealQueue, workers)
@@ -199,6 +212,9 @@ func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *M
 		return nil, err
 	}
 	finalize(r)
+	// Per-level durations are meaningless across overlapping workers, so
+	// the level spans carry rows and refs only (nil timing).
+	endPostludeSpan(span, "parallel", r, lvlRows, nil)
 	return r, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -20,9 +21,15 @@ func ExploreReaderContext(ctx context.Context, rr trace.RefReader, opts Options)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "strip")
 	s, err := trace.StripReader(rr)
 	if err != nil {
 		return nil, err
+	}
+	if span != nil {
+		span.SetAttr("n", s.N())
+		span.SetAttr("n_unique", s.NUnique())
+		span.End()
 	}
 	m, err := BuildMRCTContext(ctx, s)
 	if err != nil {

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// WithRequestID returns ctx carrying the HTTP request identifier; log
+// records emitted under the returned context gain a request_id
+// attribute automatically.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns ctx's request identifier, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithJobID returns ctx carrying the queue job identifier; log records
+// emitted under the returned context gain a job_id attribute
+// automatically.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey, id)
+}
+
+// JobID returns ctx's job identifier, or "".
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey).(string)
+	return id
+}
+
+// ctxHandler wraps an slog.Handler and appends the request/job
+// identifiers found in the record's context, so every log line emitted
+// inside a request or a job carries its correlation IDs without the
+// call sites threading them by hand.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	if id := JobID(ctx); id != "" {
+		r.AddAttrs(slog.String("job_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the repository's structured logger: slog over a text
+// or JSON handler (format "json" selects JSON, anything else text),
+// wrapped so request and job IDs propagate from context into every
+// record.
+func NewLogger(w io.Writer, format string, level slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	if format == "json" {
+		inner = slog.NewJSONHandler(w, opts)
+	} else {
+		inner = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(ctxHandler{inner: inner})
+}

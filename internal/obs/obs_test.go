@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoopWithoutRecorder(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "phase")
+	if sp != nil {
+		t.Fatal("StartSpan without a recorder returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without a recorder allocated a new context")
+	}
+	// Every method on the nil span must be callable.
+	sp.SetAttr("k", 1)
+	sp.Child("c", time.Now(), time.Second)
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	if CurrentSpan(ctx) != nil {
+		t.Fatal("CurrentSpan on a bare context is non-nil")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+
+	ctx, root := StartSpan(ctx, "job")
+	root.SetAttr("kind", "explore")
+	cctx, child := StartSpan(ctx, "mrct")
+	child.SetAttr("n", 100)
+	_, grand := StartSpan(cctx, "inner")
+	grand.End()
+	child.End()
+	root.Child("level", root.start, 5*time.Millisecond, Attr{Key: "depth", Value: 4})
+	root.End()
+
+	tr := rec.Export()
+	if len(tr.Spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(tr.Spans))
+	}
+	roots := tr.Tree()
+	if len(roots) != 1 || roots[0].Name != "job" {
+		t.Fatalf("tree roots = %+v", roots)
+	}
+	names := map[string]bool{}
+	for _, c := range roots[0].Children {
+		names[c.Name] = true
+	}
+	if !names["mrct"] || !names["level"] {
+		t.Fatalf("root children = %v", names)
+	}
+	var mrct *Node
+	for _, c := range roots[0].Children {
+		if c.Name == "mrct" {
+			mrct = c
+		}
+	}
+	if len(mrct.Children) != 1 || mrct.Children[0].Name != "inner" {
+		t.Fatalf("mrct children = %+v", mrct.Children)
+	}
+	if mrct.Attrs["n"] != 100 {
+		t.Fatalf("mrct attrs = %v", mrct.Attrs)
+	}
+
+	sum := tr.Summary()
+	if sum == nil || sum.Name != "job" || len(sum.Phases) != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Attrs["kind"] != "explore" {
+		t.Fatalf("summary attrs = %v", sum.Attrs)
+	}
+}
+
+func TestRecorderBound(t *testing.T) {
+	rec := NewRecorder(2)
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	tr := rec.Export()
+	if len(tr.Spans) != 2 || tr.Dropped != 3 {
+		t.Fatalf("spans=%d dropped=%d, want 2/3", len(tr.Spans), tr.Dropped)
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+	_, sp := StartSpan(ctx, "s")
+	sp.End()
+	sp.End()
+	sp.SetAttr("late", true) // after End: ignored
+	if rec.Len() != 1 {
+		t.Fatalf("recorded %d spans, want 1", rec.Len())
+	}
+	if attrs := rec.Export().Spans[0].Attrs; attrs != nil {
+		t.Fatalf("post-End attr leaked: %v", attrs)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_, sp := StartSpan(ctx, "worker")
+				sp.SetAttr("j", j)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	tr := rec.Export()
+	if len(tr.Spans) != 16*50+1 {
+		t.Fatalf("recorded %d spans", len(tr.Spans))
+	}
+	roots := tr.Tree()
+	if len(roots) != 1 || len(roots[0].Children) != 16*50 {
+		t.Fatalf("tree shape: %d roots", len(roots))
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "explore")
+	_, sp := StartSpan(ctx, "strip")
+	sp.End()
+	root.End()
+
+	data, err := json.Marshal(rec.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 2 || back.Spans[1].Name != "explore" {
+		t.Fatalf("round trip: %+v", back.Spans)
+	}
+}
+
+func TestLoggerIDPropagation(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "json", slog.LevelInfo)
+
+	ctx := WithRequestID(context.Background(), "req-abc")
+	ctx = WithJobID(ctx, "job-000042")
+	log.InfoContext(ctx, "hello", "endpoint", "explore")
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %q", buf.String())
+	}
+	if rec["request_id"] != "req-abc" || rec["job_id"] != "job-000042" {
+		t.Fatalf("ids missing from record: %v", rec)
+	}
+	if rec["endpoint"] != "explore" {
+		t.Fatalf("explicit attr lost: %v", rec)
+	}
+
+	buf.Reset()
+	log.Info("no ctx")
+	if strings.Contains(buf.String(), "request_id") {
+		t.Fatalf("request_id leaked into context-free record: %q", buf.String())
+	}
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "text", slog.LevelInfo)
+	log.InfoContext(WithRequestID(context.Background(), "r1"), "served")
+	if !strings.Contains(buf.String(), "request_id=r1") {
+		t.Fatalf("text handler line: %q", buf.String())
+	}
+	if strings.Contains(buf.String(), "{") {
+		t.Fatalf("text format emitted JSON: %q", buf.String())
+	}
+}
+
+func TestNewID(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == b || len(a) != 16 {
+		t.Fatalf("NewID gave %q then %q", a, b)
+	}
+}
+
+// The no-recorder fast path must stay cheap enough to sit on engine
+// phase boundaries: one context lookup and nil returns.
+func BenchmarkObsNoopSpan(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "noop")
+		sp.SetAttr("k", i)
+		sp.End()
+	}
+}
+
+func BenchmarkObsRecordedSpan(b *testing.B) {
+	rec := NewRecorder(1 << 20)
+	ctx := WithRecorder(context.Background(), rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "op")
+		sp.End()
+	}
+}

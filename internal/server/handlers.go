@@ -11,6 +11,7 @@ import (
 	"github.com/example/cachedse/internal/cache"
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/dse"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -61,14 +62,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, existed := s.store.Add(tr)
 	if !existed {
-		s.persistTrace(entry)
+		s.persistTrace(r.Context(), entry)
 	} else if s.persist != nil {
 		// A deduplicated upload may still need persisting: an earlier
 		// persistTrace can have failed (errors only degrade durability),
 		// or the trace may predate -store. The re-upload is the client's
 		// bytes in hand, so make the trace durable now.
 		if _, ok := s.persist.Stat(traceKeyPrefix + entry.Digest); !ok {
-			s.persistTrace(entry)
+			s.persistTrace(r.Context(), entry)
 		}
 	}
 	code := http.StatusCreated
@@ -197,20 +198,33 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 // MaxDepth before — the budget K only selects rows from the profile, so
 // exploring at a different K is a pure cache hit.
 func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, req exploreRequest) (*exploreResponse, error) {
+	if root := obs.CurrentSpan(ctx); root != nil {
+		root.SetAttr("n", entry.Stats.N)
+		root.SetAttr("n_unique", entry.Stats.NUnique)
+	}
 	key := fmt.Sprintf("explore|%s|d=%d", entry.Digest, req.MaxDepth)
 	var res *core.Result
 	cached := false
+	_, lookupSpan := obs.StartSpan(ctx, "lookup")
 	if v, ok := s.results.Get(key); ok {
 		res = v.(*core.Result)
 		cached = true
-	} else if v, ok := s.loadResult(key); ok {
+	} else if v, ok := s.loadResult(ctx, key); ok {
 		// LRU-evicted but still on disk: promote instead of recomputing.
 		res = v.(*core.Result)
 		cached = true
-	} else {
+	}
+	if lookupSpan != nil {
+		lookupSpan.SetAttr("hit", cached)
+		lookupSpan.End()
+	}
+	if !cached {
 		stripped, mrct, err := entry.Prelude(ctx)
 		if err != nil {
 			return nil, err
+		}
+		if root := obs.CurrentSpan(ctx); root != nil {
+			root.SetAttr("dedup_hit_rate", mrct.DedupHitRate())
 		}
 		opts := core.Options{MaxDepth: req.MaxDepth}
 		if req.Parallel {
@@ -222,8 +236,9 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 			return nil, err
 		}
 		s.results.Put(key, res)
-		s.persistResult(key, persistedResult{Kind: "explore", Explore: res})
+		s.persistResult(ctx, key, persistedResult{Kind: "explore", Explore: res})
 	}
+	_, emitSpan := obs.StartSpan(ctx, "emit")
 	instances, tab := dse.InstanceTable(res, budget, entry.Stats.MaxMisses, req.Pareto)
 	resp := &exploreResponse{
 		Trace:     entry.Digest,
@@ -241,8 +256,20 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 			Misses:    res.Level(ins.Depth).Misses(ins.Assoc),
 		}
 	}
+	if emitSpan != nil {
+		emitSpan.SetAttr("instances", len(instances))
+		emitSpan.SetAttr("cached", cached)
+		emitSpan.End()
+	}
 	if req.Verify {
-		if err := dse.VerifyContext(ctx, entry.Trace, instances, budget); err != nil {
+		_, verifySpan := obs.StartSpan(ctx, "verify")
+		err := dse.VerifyContext(ctx, entry.Trace, instances, budget)
+		if verifySpan != nil {
+			verifySpan.SetAttr("instances", len(instances))
+			verifySpan.SetAttr("ok", err == nil)
+			verifySpan.End()
+		}
+		if err != nil {
 			return nil, err
 		}
 		resp.Verified = true
@@ -326,12 +353,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			resp.Cached = true
 			return &resp, nil
 		}
-		if v, ok := s.loadResult(key); ok {
+		if v, ok := s.loadResult(ctx, key); ok {
 			resp := *v.(*simulateResponse)
 			resp.Cached = true
 			return &resp, nil
 		}
+		_, span := obs.StartSpan(ctx, "simulate")
 		res, err := cache.Simulate(cfg, entry.Trace)
+		if span != nil {
+			span.SetAttr("config", fmt.Sprint(cfg))
+			span.End()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +378,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			MissRate:   res.MissRate(),
 		}
 		s.results.Put(key, resp)
-		s.persistResult(key, persistedResult{Kind: "simulate", Simulate: resp})
+		s.persistResult(ctx, key, persistedResult{Kind: "simulate", Simulate: resp})
 		return resp, nil
 	})
 }
@@ -434,13 +466,35 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 		httpError(w, http.StatusNotFound, "unknown trace %q", digest)
 		return
 	}
-	job, err := s.queue.Submit(kind, fn)
+	// Every job records its own span tree: a root "job" span wrapping fn,
+	// with the engine phases (prelude, postlude, ...) nesting beneath it.
+	// The recorder rides the job so GET /v1/jobs/{id}/trace can serve the
+	// tree after the fact.
+	rec := obs.NewRecorder(0)
+	reqID := obs.RequestID(r.Context())
+	job, err := s.queue.Submit(kind, func(ctx context.Context) (any, error) {
+		ctx = obs.WithRecorder(ctx, rec)
+		if reqID != "" {
+			ctx = obs.WithRequestID(ctx, reqID)
+		}
+		ctx, span := obs.StartSpan(ctx, "job")
+		span.SetAttr("kind", kind)
+		span.SetAttr("trace", digest)
+		res, err := fn(ctx)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+		return res, err
+	})
 	if err != nil {
 		s.active.release(digest)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	job.SetRecorder(rec)
+	w.Header().Set("X-Job-ID", job.ID())
 	go func() {
 		<-job.Done()
 		s.active.release(digest)
@@ -500,15 +554,57 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Snapshot())
 }
 
+// handleJobTrace serves the job's full span tree in nested form. Spans
+// appear as the job runs, so polling the endpoint on a running job shows
+// the phases completed so far.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	tr, ok := job.TraceExport()
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %q has no trace recorded", job.ID())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":     job.ID(),
+		"state":   job.Snapshot().State,
+		"spans":   tr.Tree(),
+		"dropped": tr.Dropped,
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }
 
+// handleHealthz is the liveness probe: the process is up and serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"queue_depth": s.queue.Depth(),
 		"traces":      s.store.Len(),
+	})
+}
+
+// handleReadyz is the readiness probe: traffic-worthy means the
+// persistent store (when configured) opened and the job queue still
+// accepts work. During drain the queue closes first, so readiness drops
+// before liveness — the conventional signal to pull the instance from
+// rotation while it flushes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	storeReady := s.cfg.StoreDir == "" || s.persist != nil
+	queueReady := s.queue.Accepting()
+	if !storeReady || !queueReady {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unavailable", "store": storeReady, "queue": queueReady,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "store": storeReady, "queue": queueReady,
 	})
 }

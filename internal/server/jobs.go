@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/example/cachedse/internal/obs"
 )
 
 // JobState is the lifecycle of a queued exploration.
@@ -36,6 +38,10 @@ type Job struct {
 	id   string
 	kind string
 	fn   func(context.Context) (any, error)
+	// recorder collects the job's span tree; set by the dispatcher right
+	// after Submit, read by the trace endpoint. Atomic because the worker
+	// may finish (and a poller may fetch) before SetRecorder runs.
+	recorder atomic.Pointer[obs.Recorder]
 
 	mu       sync.Mutex
 	state    JobState
@@ -59,10 +65,26 @@ type JobStatus struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Result   any        `json:"result,omitempty"`
+	// Trace is the condensed span breakdown (phases, wall time, N, N',
+	// dedup hit rate) once the job has produced spans.
+	Trace *obs.Summary `json:"trace,omitempty"`
 }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// SetRecorder attaches the span recorder whose trace the job exposes.
+func (j *Job) SetRecorder(r *obs.Recorder) { j.recorder.Store(r) }
+
+// TraceExport returns the job's recorded span trace, or ok=false when the
+// job has no recorder attached.
+func (j *Job) TraceExport() (obs.Trace, bool) {
+	r := j.recorder.Load()
+	if r == nil {
+		return obs.Trace{}, false
+	}
+	return r.Export(), true
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -82,6 +104,12 @@ func (j *Job) Snapshot() JobStatus {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.Finished = &t
+	}
+	switch st.State {
+	case JobDone, JobFailed, JobCanceled:
+		if r := j.recorder.Load(); r != nil {
+			st.Trace = r.Export().Summary()
+		}
 	}
 	return st
 }
@@ -117,6 +145,17 @@ type Queue struct {
 	nextID  atomic.Uint64
 	running atomic.Int64
 	counts  map[JobState]*atomic.Int64
+
+	forcedMu sync.Mutex
+	forced   []ForcedJob
+}
+
+// ForcedJob identifies one job that was still running when Shutdown's
+// drain deadline expired and had to be cancelled mid-flight.
+type ForcedJob struct {
+	ID      string
+	Kind    string
+	Elapsed time.Duration
 }
 
 // NewQueue starts workers goroutines servicing a backlog of depth jobs.
@@ -213,6 +252,14 @@ func (q *Queue) Cancel(id string) bool {
 // Depth returns the number of jobs waiting in the backlog.
 func (q *Queue) Depth() int { return len(q.ch) }
 
+// Accepting reports whether Submit can still enqueue work (i.e. Shutdown
+// has not begun).
+func (q *Queue) Accepting() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return !q.closed
+}
+
 // Running returns the number of jobs currently executing.
 func (q *Queue) Running() int64 { return q.running.Load() }
 
@@ -238,6 +285,10 @@ func (q *Queue) worker() {
 		if q.timeout > 0 {
 			ctx, cancel = context.WithTimeout(q.baseCtx, q.timeout)
 		}
+		// The job ID is only assigned at Submit, after the closure is
+		// built, so the worker is the natural place to thread it into the
+		// context for log correlation.
+		ctx = obs.WithJobID(ctx, job.id)
 		job.state = JobRunning
 		job.started = time.Now()
 		job.cancel = cancel
@@ -301,8 +352,33 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 	case <-doneCh:
 		return nil
 	case <-ctx.Done():
+		// Record who is about to be cut off before pulling the base
+		// context, so the caller can log the force-cancelled jobs.
+		now := time.Now()
+		q.mu.Lock()
+		var forced []ForcedJob
+		for _, j := range q.byID {
+			j.mu.Lock()
+			if j.state == JobRunning {
+				forced = append(forced, ForcedJob{ID: j.id, Kind: j.kind, Elapsed: now.Sub(j.started)})
+			}
+			j.mu.Unlock()
+		}
+		q.mu.Unlock()
+		q.forcedMu.Lock()
+		q.forced = append(q.forced, forced...)
+		q.forcedMu.Unlock()
 		q.baseCancel()
 		<-doneCh
 		return ctx.Err()
 	}
+}
+
+// ForceCanceled returns the jobs cancelled at Shutdown's drain deadline.
+func (q *Queue) ForceCanceled() []ForcedJob {
+	q.forcedMu.Lock()
+	defer q.forcedMu.Unlock()
+	out := make([]ForcedJob, len(q.forced))
+	copy(out, q.forced)
+	return out
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -43,7 +44,7 @@ func (s *Server) warmStart() {
 	for _, e := range s.persist.List(traceKeyPrefix) {
 		data, err := s.persist.Get(e.Key)
 		if err != nil {
-			s.cfg.Log.Printf("server: dropping persisted %s: %v", e.Key, err)
+			s.cfg.Logger.Warn("dropping persisted entry", "key", e.Key, "err", err)
 			_, _ = s.persist.Delete(e.Key)
 			continue
 		}
@@ -52,7 +53,7 @@ func (s *Server) warmStart() {
 			MaxBytes: s.cfg.MaxUploadBytes,
 		})
 		if err != nil {
-			s.cfg.Log.Printf("server: dropping undecodable %s: %v", e.Key, err)
+			s.cfg.Logger.Warn("dropping undecodable entry", "key", e.Key, "err", err)
 			_, _ = s.persist.Delete(e.Key)
 			continue
 		}
@@ -61,14 +62,14 @@ func (s *Server) warmStart() {
 	for _, e := range s.persist.List(resultKeyPrefix) {
 		data, err := s.persist.Get(e.Key)
 		if err != nil {
-			s.cfg.Log.Printf("server: dropping persisted %s: %v", e.Key, err)
+			s.cfg.Logger.Warn("dropping persisted entry", "key", e.Key, "err", err)
 			_, _ = s.persist.Delete(e.Key)
 			continue
 		}
 		key := strings.TrimPrefix(e.Key, resultKeyPrefix)
 		var env persistedResult
 		if err := json.Unmarshal(data, &env); err != nil {
-			s.cfg.Log.Printf("server: dropping unparsable %s: %v", e.Key, err)
+			s.cfg.Logger.Warn("dropping unparsable entry", "key", e.Key, "err", err)
 			_, _ = s.persist.Delete(e.Key)
 			continue
 		}
@@ -80,41 +81,44 @@ func (s *Server) warmStart() {
 		}
 	}
 	if n := s.store.Len(); n > 0 || s.results.Len() > 0 {
-		s.cfg.Log.Printf("server: warm start restored %d traces, %d cached results",
-			n, s.results.Len())
+		s.cfg.Logger.Info("warm start restored persisted state",
+			"traces", n, "results", s.results.Len())
 	}
 }
 
 // persistTrace writes an uploaded trace through to disk as ctz1. Failures
 // degrade durability, not availability: the upload already succeeded in
 // memory, so errors are logged and the request proceeds.
-func (s *Server) persistTrace(entry *TraceEntry) {
+func (s *Server) persistTrace(ctx context.Context, entry *TraceEntry) {
 	if s.persist == nil {
 		return
 	}
 	var buf bytes.Buffer
 	if err := trace.WriteCTZ1(&buf, entry.Trace); err != nil {
-		s.cfg.Log.Printf("server: encoding trace %s for persistence: %v", entry.Digest, err)
+		s.cfg.Logger.ErrorContext(ctx, "encoding trace for persistence",
+			"digest", entry.Digest, "err", err)
 		return
 	}
-	if _, err := s.persist.Put(traceKeyPrefix+entry.Digest, &buf); err != nil {
-		s.cfg.Log.Printf("server: persisting trace %s: %v", entry.Digest, err)
+	if _, err := s.persist.PutContext(ctx, traceKeyPrefix+entry.Digest, &buf); err != nil {
+		s.cfg.Logger.ErrorContext(ctx, "persisting trace",
+			"digest", entry.Digest, "err", err)
 	}
 }
 
 // persistResult writes one memoized answer through to disk under the
 // in-memory cache key.
-func (s *Server) persistResult(key string, env persistedResult) {
+func (s *Server) persistResult(ctx context.Context, key string, env persistedResult) {
 	if s.persist == nil {
 		return
 	}
 	data, err := json.Marshal(env)
 	if err != nil {
-		s.cfg.Log.Printf("server: encoding result %s for persistence: %v", key, err)
+		s.cfg.Logger.ErrorContext(ctx, "encoding result for persistence",
+			"key", key, "err", err)
 		return
 	}
-	if _, err := s.persist.Put(resultKeyPrefix+key, bytes.NewReader(data)); err != nil {
-		s.cfg.Log.Printf("server: persisting result %s: %v", key, err)
+	if _, err := s.persist.PutContext(ctx, resultKeyPrefix+key, bytes.NewReader(data)); err != nil {
+		s.cfg.Logger.ErrorContext(ctx, "persisting result", "key", key, "err", err)
 	}
 }
 
@@ -139,7 +143,7 @@ func (s *Server) lookupTrace(digest string) (*TraceEntry, bool) {
 		MaxBytes: s.cfg.MaxUploadBytes,
 	})
 	if err != nil {
-		s.cfg.Log.Printf("server: dropping undecodable %s: %v", traceKeyPrefix+digest, err)
+		s.cfg.Logger.Warn("dropping undecodable entry", "key", traceKeyPrefix+digest, "err", err)
 		_, _ = s.persist.Delete(traceKeyPrefix + digest)
 		return nil, false
 	}
@@ -149,11 +153,11 @@ func (s *Server) lookupTrace(digest string) (*TraceEntry, bool) {
 
 // loadResult read-throughs a result the LRU evicted but disk still holds.
 // The loaded value is re-promoted into the LRU.
-func (s *Server) loadResult(key string) (any, bool) {
+func (s *Server) loadResult(ctx context.Context, key string) (any, bool) {
 	if s.persist == nil {
 		return nil, false
 	}
-	data, err := s.persist.Get(resultKeyPrefix + key)
+	data, err := s.persist.GetContext(ctx, resultKeyPrefix+key)
 	if err != nil {
 		return nil, false
 	}
@@ -184,12 +188,12 @@ func (s *Server) forgetTrace(digest string) bool {
 	}
 	had, err := s.persist.Delete(traceKeyPrefix + digest)
 	if err != nil {
-		s.cfg.Log.Printf("server: deleting persisted trace %s: %v", digest, err)
+		s.cfg.Logger.Error("deleting persisted trace", "digest", digest, "err", err)
 	}
 	for _, e := range s.persist.List(resultKeyPrefix) {
 		if strings.Contains(e.Key, "|"+digest+"|") {
 			if _, err := s.persist.Delete(e.Key); err != nil {
-				s.cfg.Log.Printf("server: deleting persisted result %s: %v", e.Key, err)
+				s.cfg.Logger.Error("deleting persisted result", "key", e.Key, "err", err)
 			}
 		}
 	}

@@ -14,11 +14,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"time"
 
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/tracestore"
 )
 
@@ -45,9 +47,9 @@ type Config struct {
 	// results to a content-addressed store rooted there, surviving
 	// restarts. Empty keeps the server purely in-memory.
 	StoreDir string
-	// Log receives request-independent server events; nil uses the
-	// standard logger.
-	Log *log.Logger
+	// Logger receives structured server events; every record carries the
+	// request and job IDs found in its context. Nil logs text to stderr.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -75,8 +77,8 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = time.Minute
 	}
-	if c.Log == nil {
-		c.Log = log.Default()
+	if c.Logger == nil {
+		c.Logger = obs.NewLogger(os.Stderr, "text", slog.LevelInfo)
 	}
 	return c
 }
@@ -176,9 +178,14 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleGetJob))
+	s.mux.Handle("GET /v1/jobs/{id}/trace", s.instrument("jobs_trace", s.handleJobTrace))
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleCancelJob))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	// Probes get counted under their own endpoint labels but skip the
+	// latency histogram and the request log: a 1 s kubelet poll would
+	// otherwise dominate both with noise.
+	s.mux.Handle("GET /healthz", s.instrumentProbe("healthz", s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrumentProbe("readyz", s.handleReadyz))
 }
 
 // Handler returns the service's HTTP handler.
@@ -188,9 +195,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *Registry { return s.reg }
 
 // Close drains the job queue and flushes in-flight jobs; past ctx's
-// deadline running jobs are cancelled instead.
+// deadline running jobs are cancelled instead, and each force-cancelled
+// job is logged with its ID and elapsed runtime.
 func (s *Server) Close(ctx context.Context) error {
-	return s.queue.Shutdown(ctx)
+	err := s.queue.Shutdown(ctx)
+	for _, f := range s.queue.ForceCanceled() {
+		s.cfg.Logger.Warn("job force-cancelled at drain deadline",
+			"job_id", f.ID, "kind", f.Kind, "elapsed", f.Elapsed.String())
+	}
+	return err
 }
 
 // statusWriter records the status code written to a response.
@@ -204,19 +217,50 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with panic recovery, a request counter and a
-// latency histogram.
+// instrument wraps a handler with panic recovery, a request counter, a
+// latency histogram, request-ID propagation and a structured access log.
+// An inbound X-Request-ID is honored (so traces correlate across a proxy);
+// otherwise one is minted. Either way it is echoed in the response header
+// and carried in the request context, where the logger picks it up.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
-				s.cfg.Log.Printf("server: panic in %s: %v", endpoint, p)
+				s.cfg.Logger.ErrorContext(ctx, "panic in handler",
+					"endpoint", endpoint, "panic", fmt.Sprint(p))
+				httpError(sw, http.StatusInternalServerError, "internal error")
+			}
+			elapsed := time.Since(start)
+			s.reqTotal.With(endpoint, fmt.Sprintf("%d", sw.code)).Inc()
+			s.latency.With(endpoint).Observe(elapsed.Seconds())
+			s.cfg.Logger.InfoContext(ctx, "request",
+				"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+				"code", sw.code, "duration", elapsed.String())
+		}()
+		h(sw, r)
+	})
+}
+
+// instrumentProbe wraps a liveness/readiness handler: requests count into
+// the request counter under the probe's own endpoint label, but stay out
+// of the latency histogram and the access log.
+func (s *Server) instrumentProbe(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
 				httpError(sw, http.StatusInternalServerError, "internal error")
 			}
 			s.reqTotal.With(endpoint, fmt.Sprintf("%d", sw.code)).Inc()
-			s.latency.With(endpoint).Observe(time.Since(start).Seconds())
 		}()
 		h(sw, r)
 	})

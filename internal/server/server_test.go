@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -17,6 +18,7 @@ import (
 
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/dse"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -37,6 +39,9 @@ func testTrace(n int, addrSpace uint32) *trace.Trace {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NewLogger(io.Discard, "text", slog.LevelInfo)
+	}
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -604,6 +609,16 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 	}
 	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &hz); code != http.StatusOK || hz.Status != "ok" {
 		t.Fatalf("healthz: code %d, %+v", code, hz)
+	}
+	var rz struct {
+		Status string `json:"status"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/readyz", nil, &rz); code != http.StatusOK || rz.Status != "ok" {
+		t.Fatalf("readyz: code %d, %+v", code, rz)
+	}
+	// Probes stay out of the latency histogram; a regular endpoint feeds it.
+	if code := doJSON(t, "GET", ts.URL+"/v1/traces", nil, nil); code != http.StatusOK {
+		t.Fatalf("traces list: code %d", code)
 	}
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {

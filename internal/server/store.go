@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -33,15 +34,29 @@ type TraceEntry struct {
 // Prelude returns the stripped trace and conflict table, building them on
 // first use. Concurrent callers for the same trace serialize so the work
 // happens once; only successful builds are memoized, so a cancelled
-// builder fails just its own request.
+// builder fails just its own request. A build records a "prelude" span
+// with "strip" and "mrct" children; a memoized return records nothing —
+// the job paid nothing, so its trace shows nothing.
 func (e *TraceEntry) Prelude(ctx context.Context) (*trace.Stripped, *core.MRCT, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.mrct == nil {
+		pctx, span := obs.StartSpan(ctx, "prelude")
+		_, sspan := obs.StartSpan(pctx, "strip")
 		s := trace.Strip(e.Trace)
-		m, err := core.BuildMRCTContext(ctx, s)
+		if sspan != nil {
+			sspan.SetAttr("n", s.N())
+			sspan.SetAttr("n_unique", s.NUnique())
+			sspan.End()
+		}
+		m, err := core.BuildMRCTContext(pctx, s)
 		if err != nil {
 			return nil, nil, err
+		}
+		if span != nil {
+			span.SetAttr("n", s.N())
+			span.SetAttr("n_unique", s.NUnique())
+			span.End()
 		}
 		e.stripped, e.mrct = s, m
 	}

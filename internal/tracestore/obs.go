@@ -1,0 +1,81 @@
+package tracestore
+
+import (
+	"context"
+	"io"
+
+	"github.com/example/cachedse/internal/obs"
+)
+
+// Context-carrying variants of the store operations. Each records one
+// span ("store.put", "store.get", "store.delete", "store.open") into the
+// recorder carried by ctx; GetContext additionally records the digest
+// verification as a "store.verify" child. With no recorder on ctx they
+// cost one context lookup over the plain methods.
+
+// PutContext is Put, recorded as a "store.put" span.
+func (s *Store) PutContext(ctx context.Context, key string, r io.Reader) (Entry, error) {
+	_, span := obs.StartSpan(ctx, "store.put")
+	e, err := s.Put(key, r)
+	if span != nil {
+		span.SetAttr("key", key)
+		span.SetAttr("bytes", e.Size)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
+	return e, err
+}
+
+// GetContext is Get, recorded as a "store.get" span with a "store.verify"
+// child covering the content-digest check.
+func (s *Store) GetContext(ctx context.Context, key string) ([]byte, error) {
+	_, span := obs.StartSpan(ctx, "store.get")
+	data, err := s.getSpan(key, span)
+	if span != nil {
+		span.SetAttr("key", key)
+		span.SetAttr("bytes", len(data))
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
+	return data, err
+}
+
+// DeleteContext is Delete, recorded as a "store.delete" span.
+func (s *Store) DeleteContext(ctx context.Context, key string) (bool, error) {
+	_, span := obs.StartSpan(ctx, "store.delete")
+	had, err := s.Delete(key)
+	if span != nil {
+		span.SetAttr("key", key)
+		span.SetAttr("existed", had)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
+	return had, err
+}
+
+// OpenContext is Open, recorded as a "store.open" span. The crash-repair
+// sweep Open performs (temp removal, dangling-entry drop, orphan GC) is
+// what dominates a post-crash boot, so the span's duration is effectively
+// the repair cost.
+func OpenContext(ctx context.Context, dir string) (*Store, error) {
+	_, span := obs.StartSpan(ctx, "store.open")
+	st, err := Open(dir)
+	if span != nil {
+		span.SetAttr("dir", dir)
+		if st != nil {
+			span.SetAttr("entries", st.Len())
+			span.SetAttr("objects", st.Objects())
+		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
+	return st, err
+}

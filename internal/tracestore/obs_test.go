@@ -1,0 +1,120 @@
+package tracestore
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/example/cachedse/internal/obs"
+)
+
+// collectNames runs fn under a fresh recorder and returns the recorded
+// span names in end order.
+func collectNames(t *testing.T, fn func(ctx context.Context)) []string {
+	t.Helper()
+	rec := obs.NewRecorder(0)
+	fn(obs.WithRecorder(context.Background(), rec))
+	tr := rec.Export()
+	names := make([]string, len(tr.Spans))
+	for i, s := range tr.Spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func TestStoreContextOpsRecordSpans(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := collectNames(t, func(ctx context.Context) {
+		if _, err := st.PutContext(ctx, "k1", strings.NewReader("payload")); err != nil {
+			t.Fatal(err)
+		}
+		data, err := st.GetContext(ctx, "k1")
+		if err != nil || string(data) != "payload" {
+			t.Fatalf("get: %q, %v", data, err)
+		}
+		if had, err := st.DeleteContext(ctx, "k1"); err != nil || !had {
+			t.Fatalf("delete: %v, %v", had, err)
+		}
+	})
+	got := strings.Join(names, " ")
+	// store.verify is recorded as a child of store.get and ends first.
+	want := "store.put store.verify store.get store.delete"
+	if got != want {
+		t.Fatalf("span names = %q, want %q", got, want)
+	}
+}
+
+func TestStoreGetContextVerifyIsChild(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	if _, err := st.PutContext(ctx, "k", strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetContext(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	roots := rec.Export().Tree()
+	var get *obs.Node
+	for _, r := range roots {
+		if r.Name == "store.get" {
+			get = r
+		}
+	}
+	if get == nil {
+		t.Fatalf("no store.get root in %+v", roots)
+	}
+	if len(get.Children) != 1 || get.Children[0].Name != "store.verify" {
+		t.Fatalf("store.get children = %+v, want one store.verify", get.Children)
+	}
+	if ok, _ := get.Children[0].Attrs["ok"].(bool); !ok {
+		t.Fatalf("verify child attrs = %v, want ok=true", get.Children[0].Attrs)
+	}
+}
+
+func TestStoreContextOpsNoopWithoutRecorder(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := st.PutContext(ctx, "k", strings.NewReader("v")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := st.GetContext(ctx, "k"); err != nil || string(data) != "v" {
+		t.Fatalf("get without recorder: %q, %v", data, err)
+	}
+}
+
+func TestOpenContextRecordsRepairSpan(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("k", strings.NewReader("v")); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	st2, err := OpenContext(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", st2.Len())
+	}
+	tr := rec.Export()
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "store.open" {
+		t.Fatalf("spans = %+v, want one store.open", tr.Spans)
+	}
+	if got := tr.Spans[0].Attrs["entries"]; got != 1 {
+		t.Fatalf("store.open entries attr = %v, want 1", got)
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/example/cachedse/internal/obs"
 )
 
 // Entry describes one logical key in the store.
@@ -253,6 +255,12 @@ func (s *Store) releaseLocked(digest string) {
 // before handing anything back: a damaged object yields a
 // *CorruptObjectError, never silently wrong bytes.
 func (s *Store) Get(key string) ([]byte, error) {
+	return s.getSpan(key, nil)
+}
+
+// getSpan is Get with an optional parent span; when one is given the
+// digest verification is recorded beneath it as a "store.verify" child.
+func (s *Store) getSpan(key string, span *obs.Span) ([]byte, error) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	s.mu.Unlock()
@@ -263,8 +271,13 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, &CorruptObjectError{Key: key, Object: e.Object, Reason: err.Error()}
 	}
+	vstart := time.Now()
 	sum := sha256.Sum256(data)
-	if got := digestOf(sum[:]); got != e.Object {
+	got := digestOf(sum[:])
+	span.Child("store.verify", vstart, time.Since(vstart),
+		obs.Attr{Key: "bytes", Value: len(data)},
+		obs.Attr{Key: "ok", Value: got == e.Object})
+	if got != e.Object {
 		return nil, &CorruptObjectError{
 			Key: key, Object: e.Object,
 			Reason: fmt.Sprintf("content hashes to %s", got),

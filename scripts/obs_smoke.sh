@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end observability check for `cachedse serve`.
+#
+# Builds the CLI, starts the service, uploads a trace and runs an async
+# exploration, then requires every observability surface to answer:
+# /healthz and /readyz (liveness vs readiness probes), /metrics (Prometheus
+# exposition with the request counter moving), and the per-job span tree at
+# GET /v1/jobs/{id}/trace with the engine phases present. CI runs this as
+# its own job; it is equally runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=${ADDR:-127.0.0.1:18355}
+base="http://$addr"
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/cachedse" ./cmd/cachedse
+
+# A small loopy trace; big enough for non-trivial phase timings.
+awk 'BEGIN {
+  for (rep = 0; rep < 60; rep++)
+    for (i = 0; i < 50; i++) {
+      printf "2 %x\n", 4096 + i
+      printf "0 %x\n", 8192 + i * 3 % 257
+    }
+}' > "$tmp/t.din"
+
+"$tmp/cachedse" serve -addr "$addr" -store "$tmp/store" -log-format json &
+pid=$!
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" > /dev/null 2>&1 && break
+  sleep 0.1
+done
+
+curl -sf "$base/healthz" | grep -q ok ||
+  { echo "obs_smoke: /healthz not ok" >&2; exit 1; }
+curl -sf "$base/readyz" | grep -q ok ||
+  { echo "obs_smoke: /readyz not ok" >&2; exit 1; }
+
+digest=$(curl -sf --data-binary @"$tmp/t.din" "$base/v1/traces" |
+  sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' | head -n 1)
+[ -n "$digest" ] || { echo "obs_smoke: upload returned no digest" >&2; exit 1; }
+
+# Async dispatch so the job (and its span tree) outlives the request.
+job=$(curl -sf -X POST -d "{\"trace\":\"$digest\",\"k\":50,\"async\":true}" "$base/v1/explore" |
+  sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' | head -n 1)
+[ -n "$job" ] || { echo "obs_smoke: async explore returned no job id" >&2; exit 1; }
+
+state=""
+for _ in $(seq 1 100); do
+  status=$(curl -sf "$base/v1/jobs/$job")
+  state=$(echo "$status" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -n 1)
+  [ "$state" = "done" ] && break
+  [ "$state" = "failed" ] && { echo "obs_smoke: job failed: $status" >&2; exit 1; }
+  sleep 0.1
+done
+[ "$state" = "done" ] || { echo "obs_smoke: job never finished (state=$state)" >&2; exit 1; }
+
+# The finished job's status carries the phase breakdown...
+echo "$status" | grep -q '"phases":' ||
+  { echo "obs_smoke: job status has no trace summary: $status" >&2; exit 1; }
+
+# ...and the trace endpoint serves the full span tree with the engine phases.
+spans=$(curl -sf "$base/v1/jobs/$job/trace")
+for name in '"job"' '"prelude"' '"mrct"' '"postlude"'; do
+  echo "$spans" | grep -q "\"name\": $name" ||
+    { echo "obs_smoke: span tree missing $name: $spans" >&2; exit 1; }
+done
+
+# Metrics exposition: the request counter must have seen our calls.
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^# TYPE cachedse_requests_total counter' ||
+  { echo "obs_smoke: /metrics missing requests_total TYPE line" >&2; exit 1; }
+echo "$metrics" | grep -q 'cachedse_requests_total{endpoint="explore"' ||
+  { echo "obs_smoke: /metrics never counted the explore request" >&2; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+echo "obs_smoke: OK — probes, metrics and job trace all answered"
