@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -103,7 +104,7 @@ func benchRuntime(b *testing.B, stream experiments.Stream) {
 		st := trace.ComputeStats(tr)
 		b.Run(ts.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Explore(tr, core.Options{}); err != nil {
+				if _, err := core.Explore(context.Background(), tr, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -130,7 +131,7 @@ func BenchmarkFigure4(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("N=%d/Nu=%d", g.n, g.unique), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Explore(tr, core.Options{}); err != nil {
+				if _, err := core.Explore(context.Background(), tr, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -209,15 +210,14 @@ func BenchmarkAblationDFSvsMaterialized(b *testing.B) {
 	m := core.BuildMRCT(s)
 	b.Run("dfs", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.ExploreStripped(s, m, core.Options{}); err != nil {
+			if _, err := core.Explore(context.Background(), core.Prelude{Stripped: s, MRCT: m}, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("materialized", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			bcat := core.BuildBCAT(s, 0)
-			if _, err := core.ExploreBCAT(s, bcat, m, core.Options{}); err != nil {
+			if _, err := core.Explore(context.Background(), core.Prelude{Stripped: s, MRCT: m}, core.Options{Engine: core.EngineBCAT}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -264,7 +264,7 @@ func BenchmarkAblationOnePassVsAnalytical(b *testing.B) {
 	})
 	b.Run("analytical", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Explore(tr, core.Options{MaxDepth: maxDepth}); err != nil {
+			if _, err := core.Explore(context.Background(), tr, core.Options{MaxDepth: maxDepth}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -300,7 +300,7 @@ func BenchmarkAblationParallelExplore(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.ExploreParallelStripped(s, m, core.Options{}, workers); err != nil {
+				if _, err := core.Explore(context.Background(), core.Prelude{Stripped: s, MRCT: m}, core.Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -393,14 +393,14 @@ func BenchmarkAblationDedup(b *testing.B) {
 	}
 	b.Run("raw", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Explore(tr, core.Options{}); err != nil {
+			if _, err := core.Explore(context.Background(), tr, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("deduped", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Explore(reduced, core.Options{}); err != nil {
+			if _, err := core.Explore(context.Background(), reduced, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -414,7 +414,7 @@ func BenchmarkAblationLineSize(b *testing.B) {
 	tr := s.Get("fir").Data
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ExploreLineSizes(tr, core.Options{}, []int{1, 2, 4, 8}); err != nil {
+		if _, err := core.LineSizes(context.Background(), tr, core.Options{}, []int{1, 2, 4, 8}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -505,14 +505,14 @@ func BenchmarkAblationCompiledVsHand(b *testing.B) {
 	}
 	b.Run("hand", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Explore(hand.Instr, core.Options{}); err != nil {
+			if _, err := core.Explore(context.Background(), hand.Instr, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("compiled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Explore(compiled.Instr, core.Options{}); err != nil {
+			if _, err := core.Explore(context.Background(), compiled.Instr, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,7 +39,7 @@ func cmdLinesize(args []string) error {
 	if err != nil {
 		return err
 	}
-	results, err := core.ExploreLineSizes(tr, core.Options{}, lineWords)
+	results, err := core.LineSizes(context.Background(), tr, core.Options{}, lineWords)
 	if err != nil {
 		return err
 	}

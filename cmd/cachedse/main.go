@@ -281,13 +281,12 @@ func cmdExplore(args []string) error {
 	root.SetAttr("n", st.N)
 	root.SetAttr("n_unique", st.NUnique)
 	start := time.Now()
-	opts := core.Options{MaxDepth: *maxDepth}
-	var r *core.Result
-	if *workers == 1 {
-		r, err = core.ExploreContext(ctx, tr, opts)
-	} else {
-		r, err = core.ExploreParallelContext(ctx, tr, opts, *workers)
+	opts := core.Options{MaxDepth: *maxDepth, Workers: *workers}
+	if *workers == 0 {
+		// The flag's historical default 0 meant "use every core".
+		opts.Workers = -1
 	}
+	r, err := core.Explore(ctx, tr, opts)
 	if err != nil {
 		return err
 	}

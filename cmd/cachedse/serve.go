@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/server"
 )
 
@@ -33,6 +34,8 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "", "persist traces and results to this directory (survives restarts)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (off when empty)")
+	faults := fs.String("faults", "", "arm fault injection with this failpoint spec, e.g. 'tracestore.*=error()@0.2;queue.run=delay(5ms)@0.5' (testing only)")
+	faultSeed := fs.Uint64("fault-seed", 1, "deterministic seed for -faults decisions")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -42,6 +45,18 @@ func cmdServe(args []string) error {
 	logger, err := newCLILogger(*logFormat)
 	if err != nil {
 		return err
+	}
+	// The env var lets a harness arm faults without editing the command
+	// line; an explicit -faults flag wins.
+	if *faults == "" {
+		*faults = os.Getenv("CACHEDSE_FAULTS")
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults, *faultSeed); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		logger.Warn("fault injection armed; this instance will misbehave on purpose",
+			"spec", *faults, "seed", *faultSeed)
 	}
 
 	srv, err := server.New(server.Config{

@@ -1,0 +1,144 @@
+// Command chaosload drives a (typically fault-injected) cachedse server
+// with concurrent exploration load through the retrying pkg/client SDK
+// and verifies every answer against a locally computed ground truth.
+//
+// It is the client half of the chaos smoke test: the server is started
+// with `cachedse serve -faults ...`, then chaosload hammers it and exits
+// non-zero if any request ultimately fails, any answer deviates from the
+// analytical ground truth, or the run sees a smaller-than-expected
+// success count. Exit code 0 means: under injected faults, retries hid
+// every transient and no wrong answer escaped.
+//
+// Usage:
+//
+//	chaosload -addr http://127.0.0.1:8344 -n 64 -concurrency 8 -refs 4000
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/dse"
+	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/pkg/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8344", "server base URL")
+	n := flag.Int("n", 64, "number of explorations to issue")
+	concurrency := flag.Int("concurrency", 8, "concurrent requests")
+	refs := flag.Int("refs", 4000, "synthetic trace length")
+	seed := flag.Int64("seed", 11, "synthetic trace seed")
+	attempts := flag.Int("attempts", 12, "client retry attempts per request")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	c := client.New(*addr, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: *attempts,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+	}))
+
+	// Synthetic trace: loopy with a random tail, same recipe as the
+	// server's tests so behavior is representative.
+	rng := rand.New(rand.NewSource(*seed))
+	tr := trace.New(*refs)
+	for i := 0; i < *refs; i++ {
+		kind := trace.DataRead
+		if i%7 == 0 {
+			kind = trace.DataWrite
+		}
+		tr.Append(trace.Ref{Addr: rng.Uint32() % (1 << 10), Kind: kind})
+	}
+	var din bytes.Buffer
+	if err := trace.WriteText(&din, tr); err != nil {
+		return err
+	}
+
+	info, err := c.UploadTrace(ctx, din.Bytes())
+	if err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	fmt.Printf("chaosload: uploaded trace %s (n=%d unique=%d)\n", info.Digest, info.N, info.NUnique)
+
+	// Ground truth computed locally with the same analytical engine the
+	// server runs; any divergence is a correctness bug, not noise.
+	res, err := core.Explore(ctx, tr, core.Options{})
+	if err != nil {
+		return fmt.Errorf("local ground truth: %w", err)
+	}
+	stats := trace.ComputeStats(tr)
+
+	var ok, degraded, failed atomic.Int64
+	var firstErr atomic.Value
+	sem := make(chan struct{}, *concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			k := 1 + (i*13)%max(stats.MaxMisses, 2)
+			resp, err := c.Explore(ctx, client.ExploreRequest{Trace: info.Digest, K: &k})
+			if err != nil {
+				failed.Add(1)
+				firstErr.CompareAndSwap(nil, fmt.Errorf("explore k=%d: %w", k, err))
+				return
+			}
+			if resp.Degraded {
+				degraded.Add(1)
+			}
+			want, _ := dse.InstanceTable(res, k, stats.MaxMisses, false)
+			if len(resp.Instances) != len(want) {
+				failed.Add(1)
+				firstErr.CompareAndSwap(nil, fmt.Errorf("explore k=%d: %d instances, want %d", k, len(resp.Instances), len(want)))
+				return
+			}
+			for j, ins := range resp.Instances {
+				exp := client.Instance{
+					Depth:     want[j].Depth,
+					Assoc:     want[j].Assoc,
+					SizeWords: want[j].SizeWords(),
+					Misses:    res.Level(want[j].Depth).Misses(want[j].Assoc),
+				}
+				if !reflect.DeepEqual(ins, exp) {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("explore k=%d instance %d = %+v, want %+v", k, j, ins, exp))
+					return
+				}
+			}
+			ok.Add(1)
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Printf("chaosload: %d ok (%d degraded), %d failed of %d\n",
+		ok.Load(), degraded.Load(), failed.Load(), *n)
+	if failed.Load() > 0 {
+		return firstErr.Load().(error)
+	}
+	if ok.Load() != int64(*n) {
+		return fmt.Errorf("accounting mismatch: ok=%d n=%d", ok.Load(), *n)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	} {
 		st := trace.ComputeStats(v.tr)
 		k := st.MaxMisses / 20 // 5%
-		r, err := core.Explore(v.tr, core.Options{})
+		r, err := core.Explore(context.Background(), v.tr, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,7 +24,7 @@ func main() {
 		tracegen.Uniform(rng, 64, 200, 3000),
 	)
 
-	r, err := core.Explore(tr, core.Options{MaxDepth: 64})
+	r, err := core.Explore(context.Background(), tr, core.Options{MaxDepth: 64})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		fmt.Printf("%s cache (N=%d, N'=%d, max misses=%d, K=%d):\n",
 			stream.name, st.N, st.NUnique, st.MaxMisses, k)
 
-		r, err := core.Explore(stream.tr, core.Options{})
+		r, err := core.Explore(context.Background(), stream.tr, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	fmt.Printf("trace: N=%d unique=%d max misses=%d\n\n", st.N, st.NUnique, st.MaxMisses)
 
 	// Explore the whole depth x associativity space analytically.
-	r, err := core.Explore(tr, core.Options{})
+	r, err := core.Explore(context.Background(), tr, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

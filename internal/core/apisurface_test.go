@@ -1,0 +1,77 @@
+package core
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAPISurfaceOneExploreEntryPoint parses the package source and
+// enforces the unified-API contract: exactly one exported, non-deprecated
+// Explore entry point exists (core.Explore); every other Explore* export
+// carries a "Deprecated:" doc marker pointing callers at it. This is the
+// apidiff gate for the refactor — adding a second live entry point, or
+// silently un-deprecating a legacy wrapper, fails here before review.
+func TestAPISurfaceOneExploreEntryPoint(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["core"]
+	if !ok {
+		t.Fatalf("package core not found in %v", pkgs)
+	}
+
+	var live, deprecated []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !fn.Name.IsExported() {
+				continue
+			}
+			name := fn.Name.Name
+			if !strings.HasPrefix(name, "Explore") {
+				continue
+			}
+			if isDeprecated(fn.Doc) {
+				deprecated = append(deprecated, name)
+			} else {
+				live = append(live, name)
+			}
+		}
+	}
+	sort.Strings(live)
+	sort.Strings(deprecated)
+
+	if len(live) != 1 || live[0] != "Explore" {
+		t.Fatalf("non-deprecated Explore entry points = %v, want exactly [Explore]", live)
+	}
+	wantDeprecated := []string{
+		"ExploreBCAT", "ExploreContext", "ExploreLineSizes", "ExploreParallel",
+		"ExploreParallelContext", "ExploreParallelStripped",
+		"ExploreParallelStrippedContext", "ExploreReader", "ExploreReaderContext",
+		"ExploreStripped", "ExploreStrippedContext",
+	}
+	if strings.Join(deprecated, ",") != strings.Join(wantDeprecated, ",") {
+		t.Fatalf("deprecated wrappers changed:\ngot  %v\nwant %v\n(removing one breaks source compatibility; adding one needs a Deprecated: marker and a row here)", deprecated, wantDeprecated)
+	}
+}
+
+func isDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

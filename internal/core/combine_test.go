@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -15,7 +16,7 @@ func TestCombineEmpty(t *testing.T) {
 }
 
 func TestCombineSingleIsIdentity(t *testing.T) {
-	r, err := Explore(trace.FromAddrs(trace.DataRead, []uint32{1, 2, 1, 3, 1}), Options{})
+	r, err := Explore(context.Background(), trace.FromAddrs(trace.DataRead, []uint32{1, 2, 1, 3, 1}), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,11 +36,11 @@ func TestCombineMatchesFlushedSimulation(t *testing.T) {
 	appA := trace.FromAddrs(trace.DataRead, []uint32{0, 8, 0, 8, 0, 8, 3, 0})
 	appB := trace.FromAddrs(trace.DataRead, []uint32{0x40, 0x48, 0x40, 0x48, 0x44, 0x40})
 
-	ra, err := Explore(appA, Options{MaxDepth: 16})
+	ra, err := Explore(context.Background(), appA, Options{MaxDepth: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Explore(appB, Options{MaxDepth: 16})
+	rb, err := Explore(context.Background(), appB, Options{MaxDepth: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +76,11 @@ func TestQuickCombineAdds(t *testing.T) {
 			tb.Append(trace.Ref{Addr: uint32(b), Kind: trace.DataRead})
 		}
 		opt := Options{MaxDepth: 64}
-		ra, err := Explore(ta, opt)
+		ra, err := Explore(context.Background(), ta, opt)
 		if err != nil {
 			return false
 		}
-		rb, err := Explore(tb, opt)
+		rb, err := Explore(context.Background(), tb, opt)
 		if err != nil {
 			return false
 		}

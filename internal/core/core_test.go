@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/example/cachedse/internal/paperex"
@@ -217,7 +218,7 @@ func TestMRCTEmptyAndSingle(t *testing.T) {
 // ---- Postlude (Algorithm 3) ----
 
 func TestExplorePaperExample(t *testing.T) {
-	r, err := Explore(paperex.Trace(), Options{})
+	r, err := Explore(context.Background(), paperex.Trace(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestExplorePaperExample(t *testing.T) {
 }
 
 func TestExploreOptimalSet(t *testing.T) {
-	r, err := Explore(paperex.Trace(), Options{})
+	r, err := Explore(context.Background(), paperex.Trace(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestExploreOptimalSet(t *testing.T) {
 }
 
 func TestExploreParetoSet(t *testing.T) {
-	r, err := Explore(paperex.Trace(), Options{})
+	r, err := Explore(context.Background(), paperex.Trace(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestExploreParetoSet(t *testing.T) {
 }
 
 func TestExploreMaxDepthOption(t *testing.T) {
-	r, err := Explore(paperex.Trace(), Options{MaxDepth: 4})
+	r, err := Explore(context.Background(), paperex.Trace(), Options{MaxDepth: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,14 +332,14 @@ func TestExploreMaxDepthOption(t *testing.T) {
 
 func TestExploreBadMaxDepth(t *testing.T) {
 	for _, d := range []int{3, -2, 7} {
-		if _, err := Explore(paperex.Trace(), Options{MaxDepth: d}); err == nil {
+		if _, err := Explore(context.Background(), paperex.Trace(), Options{MaxDepth: d}); err == nil {
 			t.Errorf("MaxDepth=%d accepted, want error", d)
 		}
 	}
 }
 
 func TestExploreEmptyTrace(t *testing.T) {
-	r, err := Explore(trace.New(0), Options{})
+	r, err := Explore(context.Background(), trace.New(0), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,12 +354,11 @@ func TestExploreEmptyTrace(t *testing.T) {
 func TestExploreBCATMatchesDFS(t *testing.T) {
 	s := stripPaper()
 	m := BuildMRCT(s)
-	bcat := BuildBCAT(s, 0)
-	dfs, err := ExploreStripped(s, m, Options{})
+	dfs, err := Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mat, err := ExploreBCAT(s, bcat, m, Options{})
+	mat, err := Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{Engine: EngineBCAT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestLevelResultMissesPanics(t *testing.T) {
 }
 
 func TestResultLevelLookup(t *testing.T) {
-	r, err := Explore(paperex.Trace(), Options{})
+	r, err := Explore(context.Background(), paperex.Trace(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

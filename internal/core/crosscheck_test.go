@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -29,7 +30,7 @@ func TestQuickAnalyticalMatchesSimulator(t *testing.T) {
 	f := func(bs []uint8, depthPow, assocRaw, modRaw uint8) bool {
 		mod := uint32(modRaw)%120 + 8
 		tr := traceFromBytes(bs, mod)
-		r, err := Explore(tr, Options{})
+		r, err := Explore(context.Background(), tr, Options{})
 		if err != nil {
 			return false
 		}
@@ -53,7 +54,7 @@ func TestQuickAnalyticalMatchesOnePass(t *testing.T) {
 	f := func(bs []uint8, modRaw uint8) bool {
 		mod := uint32(modRaw)%120 + 8
 		tr := traceFromBytes(bs, mod)
-		r, err := Explore(tr, Options{})
+		r, err := Explore(context.Background(), tr, Options{})
 		if err != nil {
 			return false
 		}
@@ -86,7 +87,7 @@ func TestQuickOptimalSetIsOptimal(t *testing.T) {
 		tr := traceFromBytes(bs, 64)
 		st := trace.ComputeStats(tr)
 		k := int(kRaw) % (st.MaxMisses + 1)
-		r, err := Explore(tr, Options{})
+		r, err := Explore(context.Background(), tr, Options{})
 		if err != nil {
 			return false
 		}
@@ -166,11 +167,11 @@ func TestQuickDFSMatchesBCAT(t *testing.T) {
 		tr := traceFromBytes(bs, 64)
 		s := trace.Strip(tr)
 		m := BuildMRCT(s)
-		dfs, err := ExploreStripped(s, m, Options{})
+		dfs, err := Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{})
 		if err != nil {
 			return false
 		}
-		mat, err := ExploreBCAT(s, BuildBCAT(s, 0), m, Options{})
+		mat, err := Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{Engine: EngineBCAT})
 		if err != nil {
 			return false
 		}
@@ -241,11 +242,11 @@ func TestCrossCheckEnginesBitIdentical(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
 				s := trace.Strip(tr)
 				m := BuildMRCT(s)
-				seq, err := ExploreStripped(s, m, Options{})
+				seq, err := Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
-				mat, err := ExploreBCAT(s, BuildBCAT(s, 0), m, Options{})
+				mat, err := Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{Engine: EngineBCAT})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -253,7 +254,7 @@ func TestCrossCheckEnginesBitIdentical(t *testing.T) {
 					t.Fatalf("BCAT vs DFS: %s", d)
 				}
 				for _, workers := range []int{2, 3, 4, 8} {
-					par, err := ExploreParallelStripped(s, m, Options{}, workers)
+					par, err := Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{Workers: workers})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -275,7 +276,7 @@ func TestCrossCheckEnginesBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				viaPacked, err := Explore(unpacked, Options{})
+				viaPacked, err := Explore(context.Background(), unpacked, Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -286,7 +287,7 @@ func TestCrossCheckEnginesBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				streamed, err := ExploreReader(dec, Options{})
+				streamed, err := Explore(context.Background(), dec, Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -303,7 +304,7 @@ func TestCrossCheckEnginesBitIdentical(t *testing.T) {
 func TestQuickMinAssocMonotoneInBudget(t *testing.T) {
 	f := func(bs []uint8) bool {
 		tr := traceFromBytes(bs, 64)
-		r, err := Explore(tr, Options{})
+		r, err := Explore(context.Background(), tr, Options{})
 		if err != nil {
 			return false
 		}
@@ -340,7 +341,7 @@ func TestAnalyticalMatchesSimulatorLoopyWorkload(t *testing.T) {
 			}
 		}
 	}
-	r, err := Explore(tr, Options{})
+	r, err := Explore(context.Background(), tr, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

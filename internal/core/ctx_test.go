@@ -27,11 +27,11 @@ func TestExploreContextPreCanceled(t *testing.T) {
 	tr := trace.FromAddrs(trace.DataRead, []uint32{1, 2, 3, 1, 2, 3})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := ExploreContext(ctx, tr, Options{}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("ExploreContext on cancelled ctx: err = %v, want Canceled", err)
+	if _, err := Explore(ctx, tr, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Explore on cancelled ctx: err = %v, want Canceled", err)
 	}
-	if _, err := ExploreParallelContext(ctx, tr, Options{}, 4); !errors.Is(err, context.Canceled) {
-		t.Fatalf("ExploreParallelContext on cancelled ctx: err = %v, want Canceled", err)
+	if _, err := Explore(ctx, tr, Options{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel Explore on cancelled ctx: err = %v, want Canceled", err)
 	}
 	s := trace.Strip(tr)
 	if _, err := BuildMRCTContext(ctx, s); !errors.Is(err, context.Canceled) {
@@ -45,8 +45,8 @@ func TestExploreContextPreCanceled(t *testing.T) {
 func TestExploreContextCancelMidRun(t *testing.T) {
 	tr := bigTrace(120_000, 1<<14)
 	for name, run := range map[string]func(ctx context.Context) (*Result, error){
-		"serial":   func(ctx context.Context) (*Result, error) { return ExploreContext(ctx, tr, Options{}) },
-		"parallel": func(ctx context.Context) (*Result, error) { return ExploreParallelContext(ctx, tr, Options{}, 4) },
+		"serial":   func(ctx context.Context) (*Result, error) { return Explore(ctx, tr, Options{}) },
+		"parallel": func(ctx context.Context) (*Result, error) { return Explore(ctx, tr, Options{Workers: 4}) },
 	} {
 		t.Run(name, func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
@@ -80,7 +80,7 @@ func TestExploreContextCancelMidRun(t *testing.T) {
 // once. Exercised under -race in CI.
 func TestExploreConcurrentUse(t *testing.T) {
 	tr := bigTrace(4_000, 1<<9)
-	want, err := Explore(tr, Options{})
+	want, err := Explore(context.Background(), tr, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,13 +98,13 @@ func TestExploreConcurrentUse(t *testing.T) {
 			var err error
 			switch g % 4 {
 			case 0:
-				got, err = Explore(tr, Options{})
+				got, err = Explore(context.Background(), tr, Options{})
 			case 1:
-				got, err = ExploreParallel(tr, Options{}, 4)
+				got, err = Explore(context.Background(), tr, Options{Workers: 4})
 			case 2:
-				got, err = ExploreStripped(s, m, Options{})
+				got, err = Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{})
 			case 3:
-				got, err = ExploreParallelStrippedContext(context.Background(), s, m, Options{}, 3)
+				got, err = Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, Options{Workers: 3})
 			}
 			if err != nil {
 				errs <- err

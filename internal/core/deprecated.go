@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// This file holds the pre-unification Explore entry points. All eleven
+// are thin shims over the one real entry point, Explore(ctx, src, opts),
+// kept so out-of-tree forks and older scripts keep compiling; in-repo
+// callers have been migrated. They will be removed in a future major
+// revision.
+
+// ExploreContext explores an in-memory trace with cancellation.
+//
+// Deprecated: call Explore(ctx, t, opts).
+func ExploreContext(ctx context.Context, t *trace.Trace, opts Options) (*Result, error) {
+	return Explore(ctx, t, opts)
+}
+
+// ExploreStripped explores pre-built prelude structures.
+//
+// Deprecated: call Explore(ctx, Prelude{Stripped: s, MRCT: m}, opts).
+func ExploreStripped(s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+	return Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, opts)
+}
+
+// ExploreStrippedContext is ExploreStripped with cancellation.
+//
+// Deprecated: call Explore(ctx, Prelude{Stripped: s, MRCT: m}, opts).
+func ExploreStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+	return Explore(ctx, Prelude{Stripped: s, MRCT: m}, opts)
+}
+
+// ExploreBCAT runs Algorithm 3 over a caller-materialised BCAT. The tree
+// argument is now rebuilt internally (it is cheap relative to the walk),
+// so t is accepted only for signature compatibility.
+//
+// Deprecated: call Explore(ctx, Prelude{...}, Options{Engine: EngineBCAT}).
+func ExploreBCAT(s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, error) {
+	_ = t
+	opts.Engine = EngineBCAT
+	return Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, opts)
+}
+
+// ExploreParallel explores an in-memory trace over a worker pool;
+// workers <= 0 uses GOMAXPROCS.
+//
+// Deprecated: call Explore(ctx, t, opts) with Options.Workers set.
+func ExploreParallel(t *trace.Trace, opts Options, workers int) (*Result, error) {
+	return Explore(context.Background(), t, legacyWorkers(opts, workers))
+}
+
+// ExploreParallelContext is ExploreParallel with cancellation.
+//
+// Deprecated: call Explore(ctx, t, opts) with Options.Workers set.
+func ExploreParallelContext(ctx context.Context, t *trace.Trace, opts Options, workers int) (*Result, error) {
+	return Explore(ctx, t, legacyWorkers(opts, workers))
+}
+
+// ExploreParallelStripped explores pre-built prelude structures over a
+// worker pool.
+//
+// Deprecated: call Explore(ctx, Prelude{...}, opts) with Options.Workers set.
+func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
+	return Explore(context.Background(), Prelude{Stripped: s, MRCT: m}, legacyWorkers(opts, workers))
+}
+
+// ExploreParallelStrippedContext is ExploreParallelStripped with
+// cancellation.
+//
+// Deprecated: call Explore(ctx, Prelude{...}, opts) with Options.Workers set.
+func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
+	return Explore(ctx, Prelude{Stripped: s, MRCT: m}, legacyWorkers(opts, workers))
+}
+
+// ExploreReader explores a reference stream.
+//
+// Deprecated: call Explore(ctx, rr, opts) — trace.RefReader is a Source.
+func ExploreReader(rr trace.RefReader, opts Options) (*Result, error) {
+	return Explore(context.Background(), rr, opts)
+}
+
+// ExploreReaderContext is ExploreReader with cancellation.
+//
+// Deprecated: call Explore(ctx, rr, opts) — trace.RefReader is a Source.
+func ExploreReaderContext(ctx context.Context, rr trace.RefReader, opts Options) (*Result, error) {
+	return Explore(ctx, rr, opts)
+}
+
+// ExploreLineSizes runs the analytical exploration per line size.
+//
+// Deprecated: call LineSizes(ctx, t, opts, lineWords).
+func ExploreLineSizes(t *trace.Trace, opts Options, lineWords []int) ([]LineResult, error) {
+	return LineSizes(context.Background(), t, opts, lineWords)
+}
+
+// legacyWorkers maps the old separate workers argument onto
+// Options.Workers: the old convention used <= 0 for GOMAXPROCS, the new
+// one reserves 0 for serial and negative for GOMAXPROCS.
+func legacyWorkers(opts Options, workers int) Options {
+	if workers <= 0 {
+		workers = -1
+	}
+	opts.Workers = workers
+	return opts
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/example/cachedse/internal/core"
@@ -17,7 +18,7 @@ func ExampleExplore() {
 			tr.Append(trace.Ref{Addr: 16 + j, Kind: trace.DataRead})
 		}
 	}
-	r, err := core.Explore(tr, core.Options{MaxDepth: 8})
+	r, err := core.Explore(context.Background(), tr, core.Options{MaxDepth: 8})
 	if err != nil {
 		panic(err)
 	}
@@ -47,7 +48,7 @@ func ExampleBuildMRCT() {
 // ExampleResult_ParetoSet shows the designer-facing frontier.
 func ExampleResult_ParetoSet() {
 	tr := trace.FromAddrs(trace.DataRead, []uint32{0, 4, 0, 4, 0, 4, 0, 4})
-	r, err := core.Explore(tr, core.Options{MaxDepth: 8})
+	r, err := core.Explore(context.Background(), tr, core.Options{MaxDepth: 8})
 	if err != nil {
 		panic(err)
 	}

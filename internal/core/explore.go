@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
 	"github.com/example/cachedse/internal/bitset"
+	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
@@ -30,6 +32,54 @@ type Options struct {
 	// explores up to 2^AddrBits, where every unique reference has its own
 	// row.
 	MaxDepth int
+	// Workers sets the postlude parallelism: 0 or 1 runs the serial
+	// depth-first postlude, n > 1 fans the postlude out over n
+	// work-stealing workers, and any negative value uses GOMAXPROCS.
+	// Results are bit-identical at every setting.
+	Workers int
+	// Engine selects the postlude formulation. EngineAuto (the zero
+	// value) picks the linear-space DFS; EngineBCAT materialises the full
+	// Binary Cache Allocation Tree first (the paper's literal Algorithm 3,
+	// kept for cross-checking — it is serial and rejects Workers > 1).
+	Engine Engine
+}
+
+// Engine names a postlude formulation.
+type Engine int
+
+const (
+	// EngineAuto lets Explore choose; today it resolves to EngineDFS.
+	EngineAuto Engine = iota
+	// EngineDFS is the depth-first, linear-space postlude (§2.4).
+	EngineDFS
+	// EngineBCAT materialises the Binary Cache Allocation Tree and walks
+	// it level by level — the paper's literal Algorithm 3.
+	EngineBCAT
+)
+
+// String names the engine for logs and errors.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineDFS:
+		return "dfs"
+	case EngineBCAT:
+		return "bcat"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// workerCount resolves Options.Workers: 0 and 1 are serial, negative is
+// GOMAXPROCS, anything else is taken literally.
+func (o Options) workerCount() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 // LevelResult holds the analytical profile of one cache depth.
@@ -141,25 +191,47 @@ func (r *Result) ParetoSet(k int) []Instance {
 	return out
 }
 
-// Explore runs the combined prelude+postlude analysis in its depth-first,
-// linear-space form (§2.4): the BCAT is never materialised; the recursion
-// carries only the current root-to-leaf path of row sets, accumulating
-// every level's distance histogram on the way down.
-func Explore(t *trace.Trace, opts Options) (*Result, error) {
-	return ExploreContext(context.Background(), t, opts)
-}
-
-// ExploreContext is Explore with cancellation: the prelude and the DFS
-// postlude check ctx periodically and abandon the run with ctx.Err() once
-// it is done. Long-lived callers (servers, interactive tools) use this so
-// abandoned explorations stop burning CPU.
-func ExploreContext(ctx context.Context, t *trace.Trace, opts Options) (*Result, error) {
-	s := stripWithSpan(ctx, t)
-	m, err := BuildMRCTContext(ctx, s)
+// Explore is the one entry point of the analytical engine: it runs the
+// prelude (strip + conflict table) over src as needed and the postlude
+// selected by opts, returning the per-depth miss profile. Cancellation
+// flows from ctx into every phase.
+//
+// Source accepts three shapes:
+//
+//	*trace.Trace     — the full prelude runs over the in-memory trace
+//	Prelude          — pre-built strip + MRCT (reuse across budgets)
+//	trace.RefReader  — streaming: the prelude consumes the reference
+//	                   stream without materialising a *trace.Trace
+//
+// Options.Workers picks serial vs work-stealing parallel postlude and
+// Options.Engine the formulation; results are bit-identical across all
+// combinations (TestCrossCheckEnginesBitIdentical pins this).
+func Explore(ctx context.Context, src Source, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, m, err := resolveSource(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	return ExploreStrippedContext(ctx, s, m, opts)
+	if err := faultinject.Hit("core.postlude"); err != nil {
+		return nil, err
+	}
+	workers := opts.workerCount()
+	switch opts.Engine {
+	case EngineAuto, EngineDFS:
+		if workers > 1 {
+			return exploreParallel(ctx, s, m, opts, workers)
+		}
+		return exploreDFS(ctx, s, m, opts)
+	case EngineBCAT:
+		if workers > 1 {
+			return nil, fmt.Errorf("core: the %s engine is serial; it rejects Workers = %d", opts.Engine, opts.Workers)
+		}
+		return exploreBCAT(ctx, s, BuildBCAT(s, 0), m, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %s", opts.Engine)
+	}
 }
 
 // stripWithSpan wraps the prelude's strip pass in a "strip" span when
@@ -173,13 +245,6 @@ func stripWithSpan(ctx context.Context, t *trace.Trace) *trace.Stripped {
 		span.End()
 	}
 	return s
-}
-
-// ExploreStripped is Explore for callers that already hold the stripped
-// trace and conflict table (e.g. to reuse them across budgets or to pair
-// with BuildMRCTNaive in tests).
-func ExploreStripped(s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
-	return ExploreStrippedContext(context.Background(), s, m, opts)
 }
 
 // ctxCheck amortises cancellation checks over hot loops: ctx.Err is
@@ -203,9 +268,12 @@ func (c *ctxCheck) stop() bool {
 	return c.err != nil
 }
 
-// ExploreStrippedContext is ExploreStripped with cancellation; the DFS
-// checks ctx every few row sets.
-func ExploreStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+// exploreDFS runs the postlude in its depth-first, linear-space form
+// (§2.4): the BCAT is never materialised; the recursion carries only the
+// current root-to-leaf path of row sets, accumulating every level's
+// distance histogram on the way down. The DFS checks ctx every few row
+// sets.
+func exploreDFS(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -314,10 +382,10 @@ func endPostludeSpan(span *obs.Span, algorithm string, r *Result, lvlRows []int,
 	span.End()
 }
 
-// ExploreBCAT runs Algorithm 3 over a materialised BCAT, the literal
+// exploreBCAT runs Algorithm 3 over a materialised BCAT, the literal
 // formulation of the paper. It must produce exactly the same Result as
-// Explore; the DFS variant is preferred for its linear space.
-func ExploreBCAT(s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, error) {
+// the DFS; that variant is preferred for its linear space.
+func exploreBCAT(ctx context.Context, s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, error) {
 	levels, err := levelCount(s, opts)
 	if err != nil {
 		return nil, err
@@ -333,8 +401,12 @@ func ExploreBCAT(s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, er
 			root.Add(id)
 		}
 		accumulate(r.Levels[0], root, m)
+		chk := &ctxCheck{ctx: ctx, every: 64}
 		for l := 1; l <= levels; l++ {
 			for _, set := range t.LevelSets(l) {
+				if chk.stop() {
+					return nil, chk.err
+				}
 				accumulate(r.Levels[l], set, m)
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/example/cachedse/internal/trace"
@@ -28,9 +29,10 @@ type LineResult struct {
 	Cold int
 }
 
-// ExploreLineSizes runs the analytical exploration for each requested line
-// size (words, powers of two).
-func ExploreLineSizes(t *trace.Trace, opts Options, lineWords []int) ([]LineResult, error) {
+// LineSizes runs the analytical exploration for each requested line size
+// (words, powers of two), deriving each line-shifted trace and exploring
+// it under opts.
+func LineSizes(ctx context.Context, t *trace.Trace, opts Options, lineWords []int) ([]LineResult, error) {
 	out := make([]LineResult, 0, len(lineWords))
 	for _, lw := range lineWords {
 		if lw < 1 || lw&(lw-1) != 0 {
@@ -44,7 +46,7 @@ func ExploreLineSizes(t *trace.Trace, opts Options, lineWords []int) ([]LineResu
 		for _, r := range t.Refs {
 			lined.Append(trace.Ref{Addr: r.Addr >> shift, Kind: r.Kind})
 		}
-		r, err := Explore(lined, opts)
+		r, err := Explore(ctx, lined, opts)
 		if err != nil {
 			return nil, err
 		}

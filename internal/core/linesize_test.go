@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -11,7 +12,7 @@ import (
 func TestExploreLineSizesRejectsBad(t *testing.T) {
 	tr := trace.FromAddrs(trace.DataRead, []uint32{1, 2, 3})
 	for _, lw := range []int{0, -2, 3, 6} {
-		if _, err := ExploreLineSizes(tr, Options{}, []int{lw}); err == nil {
+		if _, err := LineSizes(context.Background(), tr, Options{}, []int{lw}); err == nil {
 			t.Errorf("line size %d accepted", lw)
 		}
 	}
@@ -27,7 +28,7 @@ func TestExploreLineSizesSpatialLocality(t *testing.T) {
 		}
 	}
 	tr := trace.FromAddrs(trace.DataRead, addrs)
-	lines, err := ExploreLineSizes(tr, Options{}, []int{1, 4})
+	lines, err := LineSizes(context.Background(), tr, Options{}, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestQuickLineSizesMatchSimulator(t *testing.T) {
 			tr.Append(trace.Ref{Addr: uint32(b), Kind: trace.DataRead})
 		}
 		lw := 1 << (lwPow % 3) // 1, 2, 4
-		lines, err := ExploreLineSizes(tr, Options{}, []int{lw})
+		lines, err := LineSizes(context.Background(), tr, Options{}, []int{lw})
 		if err != nil {
 			return false
 		}
@@ -84,7 +85,7 @@ func TestBestLine(t *testing.T) {
 		}
 	}
 	strided := trace.FromAddrs(trace.DataRead, addrs)
-	lines, err := ExploreLineSizes(strided, Options{}, []int{1, 4})
+	lines, err := LineSizes(context.Background(), strided, Options{}, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestBestLine(t *testing.T) {
 			seq = append(seq, i)
 		}
 	}
-	lines, err = ExploreLineSizes(trace.FromAddrs(trace.DataRead, seq), Options{}, []int{1, 4})
+	lines, err = LineSizes(context.Background(), trace.FromAddrs(trace.DataRead, seq), Options{}, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestBestLine(t *testing.T) {
 
 func TestBestLineNoFit(t *testing.T) {
 	tr := trace.FromAddrs(trace.DataRead, []uint32{0, 1, 2, 3, 0, 1, 2, 3})
-	lines, err := ExploreLineSizes(tr, Options{}, []int{1})
+	lines, err := LineSizes(context.Background(), tr, Options{}, []int{1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func TestExploreContextRecordsPhaseSpans(t *testing.T) {
 	tr := obsTestTrace(4_000, 1<<7)
 	rec := obs.NewRecorder(0)
 	ctx := obs.WithRecorder(context.Background(), rec)
-	r, err := ExploreContext(ctx, tr, Options{})
+	r, err := Explore(ctx, tr, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestExploreParallelContextRecordsSplitSpan(t *testing.T) {
 	tr := obsTestTrace(4_000, 1<<7)
 	rec := obs.NewRecorder(0)
 	ctx := obs.WithRecorder(context.Background(), rec)
-	if _, err := ExploreParallelContext(ctx, tr, Options{}, 4); err != nil {
+	if _, err := Explore(ctx, tr, Options{Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	byName := spansByName(rec.Export())
@@ -121,19 +121,19 @@ func TestExploreParallelContextRecordsSplitSpan(t *testing.T) {
 // without a recorder installed, sequential and parallel.
 func TestExploreSameResultWithRecorder(t *testing.T) {
 	tr := paperex.Trace()
-	plain, err := Explore(tr, Options{})
+	plain, err := Explore(context.Background(), tr, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))
-	traced, err := ExploreContext(ctx, tr, Options{})
+	traced, err := Explore(ctx, tr, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !resultsIdentical(plain, traced) {
 		t.Fatal("recorded sequential exploration differs from plain run")
 	}
-	tracedPar, err := ExploreParallelContext(ctx, tr, Options{}, 4)
+	tracedPar, err := Explore(ctx, tr, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func BenchmarkExploreObs(b *testing.B) {
 		ctx := context.Background()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := ExploreStrippedContext(ctx, s, m, Options{}); err != nil {
+			if _, err := Explore(ctx, Prelude{Stripped: s, MRCT: m}, Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -164,7 +164,7 @@ func BenchmarkExploreObs(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))
-			if _, err := ExploreStrippedContext(ctx, s, m, Options{}); err != nil {
+			if _, err := Explore(ctx, Prelude{Stripped: s, MRCT: m}, Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -11,10 +10,11 @@ import (
 	"github.com/example/cachedse/internal/trace"
 )
 
-// ExploreParallel is Explore with the postlude fanned out over a worker
-// pool. The paper observes that the set formulation "allows for execution
-// of the algorithm on a cluster of machines" (§2.4); the same independence
-// yields a shared-memory parallelisation here.
+// This file holds the parallel postlude: Explore with Workers > 1 fans
+// the accumulate pass out over a work-stealing pool. The paper observes
+// that the set formulation "allows for execution of the algorithm on a
+// cluster of machines" (§2.4); the same independence yields a
+// shared-memory parallelisation here.
 //
 // The dominant cost is scanning conflict sets: every non-cold occurrence
 // of every unique reference is intersected with its row set at every
@@ -24,29 +24,8 @@ import (
 // queues; workers drain their own queue and steal from the others when it
 // runs dry, so nobody repeats the tree walk and load imbalance between
 // conflict-heavy and conflict-free rows evens out dynamically. Per-worker
-// histograms merge associatively, so results are bit-identical to Explore.
-// workers <= 0 uses GOMAXPROCS.
-func ExploreParallel(t *trace.Trace, opts Options, workers int) (*Result, error) {
-	return ExploreParallelContext(context.Background(), t, opts, workers)
-}
-
-// ExploreParallelContext is ExploreParallel with cancellation: every
-// worker checks ctx periodically and the run returns ctx.Err() once it is
-// done.
-func ExploreParallelContext(ctx context.Context, t *trace.Trace, opts Options, workers int) (*Result, error) {
-	s := stripWithSpan(ctx, t)
-	m, err := BuildMRCTContext(ctx, s)
-	if err != nil {
-		return nil, err
-	}
-	return ExploreParallelStrippedContext(ctx, s, m, opts, workers)
-}
-
-// ExploreParallelStripped is ExploreParallel over pre-built prelude
-// structures.
-func ExploreParallelStripped(s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
-	return ExploreParallelStrippedContext(context.Background(), s, m, opts, workers)
-}
+// histograms merge associatively, so results are bit-identical to the
+// serial DFS.
 
 // workItem is one unit of postlude work: accumulate the references of set
 // whose identifiers fall in [lo, hi) into the level's histogram. The set
@@ -130,21 +109,19 @@ func (q *stealQueue) pop() (workItem, bool) {
 	return q.items[n], true
 }
 
-// ExploreParallelStrippedContext is ExploreParallelStripped with
-// cancellation.
-func ExploreParallelStrippedContext(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
+// exploreParallel is the work-stealing postlude. workers has already been
+// resolved (> 1) by Explore; tiny traces still fall back to the serial
+// DFS, whose output is bit-identical.
+func exploreParallel(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	levels, err := levelCount(s, opts)
 	if err != nil {
 		return nil, err
 	}
 	if workers == 1 || s.NUnique() < 2*workers || levels == 0 {
-		return ExploreStrippedContext(ctx, s, m, opts)
+		return exploreDFS(ctx, s, m, opts)
 	}
 	r := newResult(s, m, levels)
 

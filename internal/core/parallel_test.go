@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,12 @@ import (
 	"github.com/example/cachedse/internal/paperex"
 	"github.com/example/cachedse/internal/trace"
 )
+
+// workersOpt returns opts with the worker count set.
+func workersOpt(opts Options, workers int) Options {
+	opts.Workers = workers
+	return opts
+}
 
 func resultsIdentical(a, b *Result) bool {
 	if len(a.Levels) != len(b.Levels) {
@@ -32,12 +39,12 @@ func resultsIdentical(a, b *Result) bool {
 }
 
 func TestExploreParallelPaperExample(t *testing.T) {
-	seq, err := Explore(paperex.Trace(), Options{})
+	seq, err := Explore(context.Background(), paperex.Trace(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 1, 2, 4, 16} {
-		par, err := ExploreParallel(paperex.Trace(), Options{}, workers)
+		par, err := Explore(context.Background(), paperex.Trace(), workersOpt(Options{}, workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,11 +60,11 @@ func TestExploreParallelDegenerate(t *testing.T) {
 		trace.New(0),
 		trace.FromAddrs(trace.DataRead, []uint32{7, 7, 7}),
 	} {
-		seq, err := Explore(tr, Options{})
+		seq, err := Explore(context.Background(), tr, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := ExploreParallel(tr, Options{}, 8)
+		par, err := Explore(context.Background(), tr, workersOpt(Options{}, 8))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +75,7 @@ func TestExploreParallelDegenerate(t *testing.T) {
 }
 
 func TestExploreParallelBadOptions(t *testing.T) {
-	if _, err := ExploreParallel(paperex.Trace(), Options{MaxDepth: 3}, 4); err == nil {
+	if _, err := Explore(context.Background(), paperex.Trace(), workersOpt(Options{MaxDepth: 3}, 4)); err == nil {
 		t.Fatal("bad MaxDepth accepted")
 	}
 }
@@ -81,11 +88,11 @@ func TestQuickParallelMatchesSequential(t *testing.T) {
 		for _, b := range bs {
 			tr.Append(trace.Ref{Addr: uint32(b), Kind: trace.DataRead})
 		}
-		seq, err := Explore(tr, Options{})
+		seq, err := Explore(context.Background(), tr, Options{})
 		if err != nil {
 			return false
 		}
-		par, err := ExploreParallel(tr, Options{}, 1+int(workersRaw%8))
+		par, err := Explore(context.Background(), tr, workersOpt(Options{}, 1+int(workersRaw%8)))
 		if err != nil {
 			return false
 		}
@@ -103,12 +110,12 @@ func TestExploreParallelDeterministic(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		tr.Append(trace.Ref{Addr: uint32(rng.Intn(700)), Kind: trace.DataRead})
 	}
-	first, err := ExploreParallel(tr, Options{}, 8)
+	first, err := Explore(context.Background(), tr, workersOpt(Options{}, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for run := 0; run < 3; run++ {
-		again, err := ExploreParallel(tr, Options{}, 8)
+		again, err := Explore(context.Background(), tr, workersOpt(Options{}, 8))
 		if err != nil {
 			t.Fatal(err)
 		}

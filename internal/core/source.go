@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/example/cachedse/internal/faultinject"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Source is the input to Explore. Three shapes are accepted:
+//
+//	*trace.Trace     — an in-memory trace; the full prelude runs over it
+//	Prelude          — pre-built strip + conflict table, for reuse across
+//	                   repeated explorations of the same trace
+//	trace.RefReader  — a reference stream; the prelude consumes it without
+//	                   materialising a *trace.Trace (ctz1 files flow from
+//	                   disk holding one decoder block at a time)
+//
+// It is deliberately `any` rather than a method interface: *trace.Trace
+// lives below core in the import graph and cannot implement a core-defined
+// interface, and a sealed type switch keeps the accepted set explicit.
+type Source any
+
+// Prelude bundles the outputs of the engine's first phase — the stripped
+// trace and its conflict table — so callers exploring the same trace under
+// several Options can pay for strip + MRCT construction once.
+type Prelude struct {
+	Stripped *trace.Stripped
+	MRCT     *MRCT
+}
+
+// resolveSource normalises a Source into the (stripped, MRCT) pair the
+// postlude consumes, running whatever part of the prelude the shape still
+// needs. Phase boundaries carry failpoints (core.strip, core.mrct) so the
+// chaos suite can fail an exploration between phases.
+func resolveSource(ctx context.Context, src Source) (*trace.Stripped, *MRCT, error) {
+	switch v := src.(type) {
+	case *trace.Trace:
+		if v == nil {
+			return nil, nil, fmt.Errorf("core: Explore given a nil *trace.Trace")
+		}
+		if err := faultinject.Hit("core.strip"); err != nil {
+			return nil, nil, err
+		}
+		s := stripWithSpan(ctx, v)
+		return buildPreludeMRCT(ctx, s)
+	case Prelude:
+		if v.Stripped == nil || v.MRCT == nil {
+			return nil, nil, fmt.Errorf("core: Prelude needs both Stripped and MRCT (got %v, %v)", v.Stripped != nil, v.MRCT != nil)
+		}
+		return v.Stripped, v.MRCT, nil
+	case trace.RefReader:
+		if v == nil {
+			return nil, nil, fmt.Errorf("core: Explore given a nil trace.RefReader")
+		}
+		if err := faultinject.Hit("core.strip"); err != nil {
+			return nil, nil, err
+		}
+		s, err := stripReaderWithSpan(ctx, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		return buildPreludeMRCT(ctx, s)
+	case nil:
+		return nil, nil, fmt.Errorf("core: Explore given a nil Source")
+	default:
+		return nil, nil, fmt.Errorf("core: unsupported Source type %T (want *trace.Trace, core.Prelude, or trace.RefReader)", src)
+	}
+}
+
+// buildPreludeMRCT finishes the prelude from a stripped trace.
+func buildPreludeMRCT(ctx context.Context, s *trace.Stripped) (*trace.Stripped, *MRCT, error) {
+	if err := faultinject.Hit("core.mrct"); err != nil {
+		return nil, nil, err
+	}
+	m, err := BuildMRCTContext(ctx, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, m, nil
+}

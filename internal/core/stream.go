@@ -7,20 +7,11 @@ import (
 	"github.com/example/cachedse/internal/trace"
 )
 
-// ExploreReader runs the exploration over a stream of references instead
-// of a materialized *trace.Trace. The prelude (strip + MRCT) is built
-// directly from the stream, so a ctz1 file can flow from disk into the
-// engine holding only the stripped form and one decoder block in memory —
-// never the full reference slice. The stream is consumed to completion.
-func ExploreReader(rr trace.RefReader, opts Options) (*Result, error) {
-	return ExploreReaderContext(context.Background(), rr, opts)
-}
-
-// ExploreReaderContext is ExploreReader with cancellation.
-func ExploreReaderContext(ctx context.Context, rr trace.RefReader, opts Options) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// stripReaderWithSpan runs the streaming strip pass over a reference
+// stream inside a "strip" span when ctx carries a recorder. The stream is
+// consumed to completion; only the stripped form and one decoder block
+// are ever resident, never the full reference slice.
+func stripReaderWithSpan(ctx context.Context, rr trace.RefReader) (*trace.Stripped, error) {
 	_, span := obs.StartSpan(ctx, "strip")
 	s, err := trace.StripReader(rr)
 	if err != nil {
@@ -31,9 +22,5 @@ func ExploreReaderContext(ctx context.Context, rr trace.RefReader, opts Options)
 		span.SetAttr("n_unique", s.NUnique())
 		span.End()
 	}
-	m, err := BuildMRCTContext(ctx, s)
-	if err != nil {
-		return nil, err
-	}
-	return ExploreStrippedContext(ctx, s, m, opts)
+	return s, nil
 }

@@ -44,7 +44,7 @@ func Analytical(t *trace.Trace, k int, opts core.Options) (Outcome, error) {
 // prelude and postlude.
 func AnalyticalContext(ctx context.Context, t *trace.Trace, k int, opts core.Options) (Outcome, error) {
 	start := time.Now()
-	r, err := core.ExploreContext(ctx, t, opts)
+	r, err := core.Explore(ctx, t, opts)
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/example/cachedse/internal/cache"
@@ -35,7 +36,7 @@ type Choice struct {
 // analytical method does not count dirty evictions); the refill and miss
 // penalty terms dominate for the embedded workloads this targets.
 func EnergyAware(t *trace.Trace, k int, lineWords []int, capWords int, params cacti.Params, missPenaltyPJ float64) (Choice, error) {
-	lines, err := core.ExploreLineSizes(t, core.Options{}, lineWords)
+	lines, err := core.LineSizes(context.Background(), t, core.Options{}, lineWords)
 	if err != nil {
 		return Choice{}, err
 	}

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"testing"
 
 	"github.com/example/cachedse/internal/cache"
@@ -55,7 +56,7 @@ func TestEnergyAwareIsMinimal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines, err := core.ExploreLineSizes(tr, core.Options{}, lineWords)
+	lines, err := core.LineSizes(context.Background(), tr, core.Options{}, lineWords)
 	if err != nil {
 		t.Fatal(err)
 	}

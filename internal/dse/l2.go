@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"github.com/example/cachedse/internal/cache"
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/trace"
@@ -61,7 +62,7 @@ func ExploreL2(t *trace.Trace, l1 cache.Config, opts core.Options) (*core.Result
 	if err != nil {
 		return nil, nil, err
 	}
-	r, err := core.Explore(filtered, opts)
+	r, err := core.Explore(context.Background(), filtered, opts)
 	if err != nil {
 		return nil, nil, err
 	}

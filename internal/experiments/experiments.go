@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -211,7 +212,7 @@ func (s *Suite) Optimal(name string, stream Stream) (*OptimalResult, error) {
 	}
 	tr := ts.Stream(stream)
 	budgets := Budgets(tr)
-	r, err := core.Explore(tr, core.Options{})
+	r, err := core.Explore(context.Background(), tr, core.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +290,7 @@ func (s *Suite) Runtime(stream Stream) (*report.Table, []Timing, error) {
 	for _, ts := range s.Sets {
 		tr := ts.Stream(stream)
 		start := time.Now()
-		if _, err := core.Explore(tr, core.Options{}); err != nil {
+		if _, err := core.Explore(context.Background(), tr, core.Options{}); err != nil {
 			return nil, nil, err
 		}
 		el := time.Since(start).Seconds()
@@ -318,7 +319,7 @@ func ControlledScaling(seed int64) ([]Timing, error) {
 			best := 0.0
 			for rep := 0; rep < 3; rep++ {
 				start := time.Now()
-				if _, err := core.Explore(tr, core.Options{}); err != nil {
+				if _, err := core.Explore(context.Background(), tr, core.Options{}); err != nil {
 					return nil, err
 				}
 				el := time.Since(start).Seconds()

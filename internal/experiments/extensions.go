@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/example/cachedse/internal/bus"
@@ -140,7 +141,7 @@ func (s *Suite) CompilerTable() (*report.Table, error) {
 			{"compiled", cres.Instr},
 		} {
 			st := trace.ComputeStats(v.tr)
-			r, err := core.Explore(v.tr, core.Options{})
+			r, err := core.Explore(context.Background(), v.tr, core.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +172,7 @@ func (s *Suite) PerformanceTable(missPenalty uint64) (*report.Table, error) {
 		for i, stream := range []Stream{Instruction, Data} {
 			tr := ts.Stream(stream)
 			st := trace.ComputeStats(tr)
-			r, err := core.Explore(tr, core.Options{})
+			r, err := core.Explore(context.Background(), tr, core.Options{})
 			if err != nil {
 				return nil, err
 			}

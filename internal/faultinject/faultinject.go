@@ -1,0 +1,302 @@
+// Package faultinject is a dependency-free failpoint registry for chaos
+// testing the service's failure paths. Code under test declares named
+// sites ("tracestore.put", "queue.submit", "core.postlude") and calls
+// Hit at each; a disarmed registry makes Hit a single atomic load and a
+// nil return, so production binaries pay nothing. Arming the registry —
+// from a test, the serve command's -faults flag, or the CACHEDSE_FAULTS
+// environment variable — attaches rules that inject errors, latency, or
+// panics at a configured rate.
+//
+// Schedules are deterministic: every rule draws from its own splitmix64
+// stream seeded by the registry seed and the site name, so the same
+// (spec, seed) pair fires the same faults at the same evaluations on
+// every run. That is what lets a chaos suite assert exact behaviour
+// ("the 3rd put fails") instead of flaky probabilities.
+//
+// Spec grammar (semicolon-separated rules):
+//
+//	site=mode(arg)@rate
+//
+//	site  a failpoint name; a trailing '*' prefix-matches ("tracestore.*")
+//	mode  error(msg) | delay(duration) | panic(msg)
+//	rate  probability in (0, 1], or omitted for 1 (always fire)
+//
+// Example:
+//
+//	tracestore.put=error(injected)@0.05;tracestore.fsync=delay(2ms)@0.5
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// InjectedError is the error returned by a firing error-mode rule. It
+// carries the site so logs and tests can tell injected failures from
+// organic ones.
+type InjectedError struct {
+	Site string
+	Msg  string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s at %s", e.Msg, e.Site)
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// mode is what a firing rule does.
+type mode int
+
+const (
+	modeError mode = iota
+	modeDelay
+	modePanic
+)
+
+// rule is one armed failpoint: a site pattern, an action, and a firing
+// rate driven by a private deterministic stream.
+type rule struct {
+	pattern string // exact site, or prefix ending in '*'
+	mode    mode
+	msg     string
+	delay   time.Duration
+	rate    float64
+
+	mu    sync.Mutex
+	rng   uint64 // splitmix64 state
+	evals int64
+	fires int64
+}
+
+// fire decides whether this evaluation fires, advancing the rule's
+// deterministic stream.
+func (r *rule) fire() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evals++
+	if r.rate >= 1 {
+		r.fires++
+		return true
+	}
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// 53 random bits -> uniform float64 in [0, 1).
+	u := float64(z>>11) / (1 << 53)
+	if u < r.rate {
+		r.fires++
+		return true
+	}
+	return false
+}
+
+// SiteStats is the evaluation/fire count of one armed rule.
+type SiteStats struct {
+	Pattern string `json:"pattern"`
+	Evals   int64  `json:"evals"`
+	Fires   int64  `json:"fires"`
+}
+
+// Registry holds armed failpoint rules. The zero value is disarmed and
+// ready to use; all methods are safe for concurrent use.
+type Registry struct {
+	armed atomic.Bool
+	mu    sync.Mutex
+	rules []*rule
+	// totalFires accumulates across Arm/Disarm cycles so the exported
+	// fault counter stays monotone even when rules are swapped out.
+	totalFires atomic.Int64
+}
+
+// hashSite folds a site name into a 64-bit seed component (FNV-1a).
+func hashSite(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Arm parses spec and installs its rules, replacing any previous set.
+// An empty spec disarms. The seed fixes every rule's firing schedule.
+func (g *Registry) Arm(spec string, seed uint64) error {
+	rules, err := parseSpec(spec, seed)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.rules = rules
+	g.mu.Unlock()
+	g.armed.Store(len(rules) > 0)
+	return nil
+}
+
+// Disarm removes every rule; Hit returns to its no-op fast path.
+func (g *Registry) Disarm() {
+	g.mu.Lock()
+	g.rules = nil
+	g.mu.Unlock()
+	g.armed.Store(false)
+}
+
+// Enabled reports whether any rule is armed.
+func (g *Registry) Enabled() bool { return g.armed.Load() }
+
+// match returns the armed rule for site: an exact pattern wins, then the
+// longest matching '*' prefix pattern.
+func (g *Registry) match(site string) *rule {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var best *rule
+	bestLen := -1
+	for _, r := range g.rules {
+		if p, ok := strings.CutSuffix(r.pattern, "*"); ok {
+			if strings.HasPrefix(site, p) && len(p) > bestLen {
+				best, bestLen = r, len(p)
+			}
+		} else if r.pattern == site {
+			return r
+		}
+	}
+	return best
+}
+
+// Hit evaluates the failpoint named site. Disarmed, it is a single
+// atomic load returning nil. Armed, a matching rule that fires either
+// returns an *InjectedError, sleeps its configured delay (then returns
+// nil), or panics with its message.
+func (g *Registry) Hit(site string) error {
+	if !g.armed.Load() {
+		return nil
+	}
+	r := g.match(site)
+	if r == nil || !r.fire() {
+		return nil
+	}
+	g.totalFires.Add(1)
+	switch r.mode {
+	case modeDelay:
+		time.Sleep(r.delay)
+		return nil
+	case modePanic:
+		panic(fmt.Sprintf("faultinject: %s at %s", r.msg, site))
+	default:
+		return &InjectedError{Site: site, Msg: r.msg}
+	}
+}
+
+// Stats returns per-rule evaluation and fire counts, ordered by pattern.
+func (g *Registry) Stats() []SiteStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]SiteStats, 0, len(g.rules))
+	for _, r := range g.rules {
+		r.mu.Lock()
+		out = append(out, SiteStats{Pattern: r.pattern, Evals: r.evals, Fires: r.fires})
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pattern < out[j].Pattern })
+	return out
+}
+
+// TotalFires returns the total number of injected faults over the
+// registry's lifetime, across Arm/Disarm cycles — a monotone counter.
+func (g *Registry) TotalFires() int64 {
+	return g.totalFires.Load()
+}
+
+func parseSpec(spec string, seed uint64) ([]*rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []*rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, action, ok := strings.Cut(part, "=")
+		site = strings.TrimSpace(site)
+		if !ok || site == "" {
+			return nil, fmt.Errorf("faultinject: rule %q: want site=mode(arg)@rate", part)
+		}
+		action, rateStr, hasRate := strings.Cut(action, "@")
+		rate := 1.0
+		if hasRate {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+			if err != nil || math.IsNaN(v) || v <= 0 || v > 1 {
+				return nil, fmt.Errorf("faultinject: rule %q: rate %q is not in (0, 1]", part, rateStr)
+			}
+			rate = v
+		}
+		action = strings.TrimSpace(action)
+		open := strings.IndexByte(action, '(')
+		if open < 0 || !strings.HasSuffix(action, ")") {
+			return nil, fmt.Errorf("faultinject: rule %q: want mode(arg)", part)
+		}
+		modeName, arg := action[:open], action[open+1:len(action)-1]
+		r := &rule{pattern: site, rate: rate, rng: seed ^ hashSite(site)}
+		switch modeName {
+		case "error":
+			r.mode = modeError
+			r.msg = arg
+			if r.msg == "" {
+				r.msg = "injected fault"
+			}
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faultinject: rule %q: bad delay %q", part, arg)
+			}
+			r.mode = modeDelay
+			r.delay = d
+		case "panic":
+			r.mode = modePanic
+			r.msg = arg
+			if r.msg == "" {
+				r.msg = "injected panic"
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: rule %q: unknown mode %q", part, modeName)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// Default is the process-wide registry the production code paths consult.
+var Default = &Registry{}
+
+// Enabled reports whether the default registry has rules armed.
+func Enabled() bool { return Default.Enabled() }
+
+// Hit evaluates site against the default registry.
+func Hit(site string) error { return Default.Hit(site) }
+
+// Arm installs spec on the default registry.
+func Arm(spec string, seed uint64) error { return Default.Arm(spec, seed) }
+
+// Disarm clears the default registry.
+func Disarm() { Default.Disarm() }
+
+// Stats returns the default registry's per-rule counters.
+func Stats() []SiteStats { return Default.Stats() }
+
+// TotalFires returns the default registry's total injected-fault count.
+func TotalFires() int64 { return Default.TotalFires() }

@@ -1,0 +1,225 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	var g Registry
+	if g.Enabled() {
+		t.Fatal("zero registry reports enabled")
+	}
+	for i := 0; i < 100; i++ {
+		if err := g.Hit("any.site"); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+	if got := g.Stats(); len(got) != 0 {
+		t.Fatalf("disarmed stats = %v", got)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	var g Registry
+	if err := g.Arm("store.put=error(boom)", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Hit("store.put")
+	if err == nil {
+		t.Fatal("rate-1 rule did not fire")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "store.put" || ie.Msg != "boom" {
+		t.Fatalf("err = %#v", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected(injected) = false")
+	}
+	if IsInjected(errors.New("organic")) {
+		t.Fatal("IsInjected(organic) = true")
+	}
+	if err := g.Hit("store.get"); err != nil {
+		t.Fatalf("unmatched site fired: %v", err)
+	}
+}
+
+func TestPrefixMatchAndPrecedence(t *testing.T) {
+	var g Registry
+	spec := "store.*=error(wide);store.put.*=error(narrow);store.get=error(exact)"
+	if err := g.Arm(spec, 7); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"store.put.spool": "narrow", // longest prefix wins
+		"store.fsync":     "wide",
+		"store.get":       "exact", // exact beats any prefix
+	}
+	for site, want := range cases {
+		err := g.Hit(site)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Hit(%q) = %v, want msg %q", site, err, want)
+		}
+	}
+	if err := g.Hit("queue.submit"); err != nil {
+		t.Errorf("unrelated site fired: %v", err)
+	}
+}
+
+// TestDeterministicSchedule is the property the chaos suite leans on:
+// the same (spec, seed) pair fires on exactly the same evaluations.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []bool {
+		var g Registry
+		if err := g.Arm("s=error(x)@0.3", seed); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = g.Hit("s") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at evaluation %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRateIsApproximatelyHonoured(t *testing.T) {
+	var g Registry
+	if err := g.Arm("s=error(x)@0.25", 99); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if g.Hit("s") != nil {
+			fired++
+		}
+	}
+	frac := float64(fired) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("rate 0.25 fired at %.3f", frac)
+	}
+	st := g.Stats()
+	if len(st) != 1 || st[0].Evals != n || st[0].Fires != int64(fired) {
+		t.Fatalf("stats = %+v, fired = %d", st, fired)
+	}
+	if g.TotalFires() != int64(fired) {
+		t.Fatalf("TotalFires = %d, want %d", g.TotalFires(), fired)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	var g Registry
+	if err := g.Arm("slow=delay(30ms)", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := g.Hit("slow"); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	var g Registry
+	if err := g.Arm("boom=panic(kaboom)", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil || !strings.Contains(p.(string), "kaboom") {
+			t.Fatalf("recover() = %v", p)
+		}
+	}()
+	_ = g.Hit("boom")
+	t.Fatal("panic rule did not panic")
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []string{
+		"nosign",
+		"s=weird(x)",
+		"s=error(x)@0",
+		"s=error(x)@1.5",
+		"s=error(x)@nan",
+		"s=delay(xyz)",
+		"s=error",
+		"=error(x)",
+	}
+	for _, spec := range bad {
+		var g Registry
+		if err := g.Arm(spec, 1); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+}
+
+func TestArmReplacesAndDisarm(t *testing.T) {
+	var g Registry
+	if err := g.Arm("a=error(one)", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Arm("b=error(two)", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Hit("a"); err != nil {
+		t.Fatalf("replaced rule still fires: %v", err)
+	}
+	if err := g.Hit("b"); err == nil {
+		t.Fatal("new rule does not fire")
+	}
+	g.Disarm()
+	if g.Enabled() || g.Hit("b") != nil {
+		t.Fatal("disarm did not clear rules")
+	}
+	// Arming the empty spec is equivalent to disarming.
+	if err := g.Arm("", 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Enabled() {
+		t.Fatal("empty spec left registry armed")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	var g Registry
+	if err := g.Arm("s=error(x)@0.5", 5); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = g.Hit("s")
+			}
+		}()
+	}
+	wg.Wait()
+	st := g.Stats()
+	if len(st) != 1 || st[0].Evals != 4000 {
+		t.Fatalf("stats after concurrent hits = %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package minicbench
 
 import (
+	"context"
 	"testing"
 
 	"github.com/example/cachedse/internal/cache"
@@ -106,7 +107,7 @@ func TestCompiledTracesExplore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Explore(res.Data, core.Options{MaxDepth: 1024})
+	r, err := core.Explore(context.Background(), res.Data, core.Options{MaxDepth: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Stable machine-readable error codes carried in every v1 error envelope.
+// Clients branch on the code, never the message: messages are free to
+// change between releases, codes are part of the API contract (locked by
+// the golden-file compatibility tests and mirrored by pkg/client's typed
+// errors).
+const (
+	codeBadRequest       = "bad_request"
+	codePayloadTooLarge  = "payload_too_large"
+	codeTraceNotFound    = "trace_not_found"
+	codeJobNotFound      = "job_not_found"
+	codeTraceBusy        = "trace_busy"
+	codeQueueFull        = "queue_full"
+	codeOverloaded       = "overloaded"
+	codeDeadlineExceeded = "deadline_exceeded"
+	codeCanceled         = "canceled"
+	codeUnavailable      = "unavailable"
+	codeInternal         = "internal"
+)
+
+// errorBody is the inner object of the uniform error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the uniform v1 error shape:
+//
+//	{"error": {"code": "trace_not_found", "message": "..."}}
+//
+// Every non-2xx JSON response from the service uses this shape.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// httpError writes the uniform error envelope with the given HTTP status
+// and stable code.
+func httpError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}

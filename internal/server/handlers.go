@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,6 +24,7 @@ type traceInfo struct {
 	NUnique   int       `json:"n_unique"`
 	MaxMisses int       `json:"max_misses"`
 	AddrBits  int       `json:"addr_bits"`
+	Kind      string    `json:"kind"`
 	Uploaded  time.Time `json:"uploaded"`
 }
 
@@ -32,6 +35,7 @@ func infoOf(e *TraceEntry) traceInfo {
 		NUnique:   e.Stats.NUnique,
 		MaxMisses: e.Stats.MaxMisses,
 		AddrBits:  e.Trace.AddrBits(),
+		Kind:      e.Kind,
 		Uploaded:  e.Uploaded,
 	}
 }
@@ -50,14 +54,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		var limErr *trace.LimitError
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &limErr) || errors.As(err, &maxErr) {
-			httpError(w, http.StatusRequestEntityTooLarge, "%v", err)
+			httpError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge, "%v", err)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	if tr.Len() == 0 {
-		httpError(w, http.StatusBadRequest, "empty trace")
+		httpError(w, http.StatusBadRequest, codeBadRequest, "empty trace")
 		return
 	}
 	entry, existed := s.store.Add(tr)
@@ -79,19 +83,69 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, infoOf(entry))
 }
 
+// listTracesDefaultLimit and listTracesMaxLimit bound one page of
+// GET /v1/traces.
+const (
+	listTracesDefaultLimit = 100
+	listTracesMaxLimit     = 1000
+)
+
+// handleListTraces pages through the stored traces in ascending digest
+// order — a total order that is stable across requests regardless of LRU
+// activity, so a client walking pages sees each trace at most once.
+// ?limit bounds the page (default 100, max 1000), ?cursor resumes after
+// the given digest (use the previous page's next_cursor), and ?kind
+// filters to "instr", "data" or "mixed" traces.
 func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
-	entries := s.store.List()
-	out := make([]traceInfo, len(entries))
-	for i, e := range entries {
-		out[i] = infoOf(e)
+	q := r.URL.Query()
+	limit := listTracesDefaultLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, codeBadRequest, "limit %q must be a positive integer", raw)
+			return
+		}
+		limit = min(n, listTracesMaxLimit)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+	kind := q.Get("kind")
+	switch kind {
+	case "", "instr", "data", "mixed":
+	default:
+		httpError(w, http.StatusBadRequest, codeBadRequest,
+			`kind %q must be "instr", "data" or "mixed"`, kind)
+		return
+	}
+	cursor := q.Get("cursor")
+
+	entries := s.store.List()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Digest < entries[j].Digest })
+	out := make([]traceInfo, 0, limit)
+	next := ""
+	for _, e := range entries {
+		if cursor != "" && e.Digest <= cursor {
+			continue
+		}
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if len(out) == limit {
+			// One past the page: tell the client where to resume.
+			next = out[len(out)-1].Digest
+			break
+		}
+		out = append(out, infoOf(e))
+	}
+	resp := map[string]any{"traces": out}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.lookupTrace(r.PathValue("digest"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown trace %q", r.PathValue("digest"))
+		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", r.PathValue("digest"))
 		return
 	}
 	writeJSON(w, http.StatusOK, infoOf(entry))
@@ -116,12 +170,12 @@ func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
 		return removed
 	})
 	if !idle {
-		httpError(w, http.StatusConflict,
+		httpError(w, http.StatusConflict, codeTraceBusy,
 			"trace %q is referenced by a queued or running job; retry when it finishes", digest)
 		return
 	}
 	if !removed {
-		httpError(w, http.StatusNotFound, "unknown trace %q", digest)
+		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", digest)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": digest})
@@ -154,6 +208,10 @@ type exploreResponse struct {
 	Table     string         `json:"table"`
 	Cached    bool           `json:"cached"`
 	Verified  bool           `json:"verified,omitempty"`
+	// Degraded marks a response served from a cached depth profile
+	// because the worker pool was saturated; the answer is exact (the
+	// profile is deterministic) but any requested verify step was skipped.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // budgetFor resolves the CLI's -k / -kpct convention: an absolute budget
@@ -171,26 +229,73 @@ func budgetFor(e *TraceEntry, k *int, kpct *float64) (int, error) {
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	var req exploreRequest
 	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	entry, ok := s.lookupTrace(req.Trace)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", req.Trace)
 		return
 	}
 	budget, err := budgetFor(entry, req.K, req.KPct)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	if req.MaxDepth != 0 && (req.MaxDepth < 1 || req.MaxDepth&(req.MaxDepth-1) != 0) {
-		httpError(w, http.StatusBadRequest, "max_depth %d is not a power of two >= 1", req.MaxDepth)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "max_depth %d is not a power of two >= 1", req.MaxDepth)
 		return
 	}
 	s.dispatch(w, r, "explore", entry.Digest, req.Async, func(ctx context.Context) (any, error) {
 		return s.runExplore(ctx, entry, budget, req)
+	}, func() (any, bool) {
+		// Degraded read: the worker pool is saturated, but the depth
+		// profile may already be cached (in memory or on disk). K only
+		// selects rows, so the budget-specific answer renders without
+		// pool work.
+		res, ok := s.cachedExplore(r.Context(), entry, req.MaxDepth)
+		if !ok {
+			return nil, false
+		}
+		resp := renderExplore(entry, budget, req, res, true)
+		resp.Degraded = true
+		return resp, true
 	})
+}
+
+// cachedExplore fetches a memoized depth profile from the result LRU or
+// the persistent store without running any pool work.
+func (s *Server) cachedExplore(ctx context.Context, entry *TraceEntry, maxDepth int) (*core.Result, bool) {
+	key := fmt.Sprintf("explore|%s|d=%d", entry.Digest, maxDepth)
+	if v, ok := s.results.Get(key); ok {
+		return v.(*core.Result), true
+	}
+	if v, ok := s.loadResult(ctx, key); ok {
+		return v.(*core.Result), true
+	}
+	return nil, false
+}
+
+// renderExplore projects a depth profile into the budget-K response rows.
+func renderExplore(entry *TraceEntry, budget int, req exploreRequest, res *core.Result, cached bool) *exploreResponse {
+	instances, tab := dse.InstanceTable(res, budget, entry.Stats.MaxMisses, req.Pareto)
+	resp := &exploreResponse{
+		Trace:     entry.Digest,
+		K:         budget,
+		MaxMisses: entry.Stats.MaxMisses,
+		Instances: make([]instanceJSON, len(instances)),
+		Table:     tab.Render(),
+		Cached:    cached,
+	}
+	for i, ins := range instances {
+		resp.Instances[i] = instanceJSON{
+			Depth:     ins.Depth,
+			Assoc:     ins.Assoc,
+			SizeWords: ins.SizeWords(),
+			Misses:    res.Level(ins.Depth).Misses(ins.Assoc),
+		}
+	}
+	return resp
 }
 
 // runExplore answers one exploration, serving the depth profile from the
@@ -228,10 +333,9 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 		}
 		opts := core.Options{MaxDepth: req.MaxDepth}
 		if req.Parallel {
-			res, err = core.ExploreParallelStrippedContext(ctx, stripped, mrct, opts, 0)
-		} else {
-			res, err = core.ExploreStrippedContext(ctx, stripped, mrct, opts)
+			opts.Workers = -1
 		}
+		res, err = core.Explore(ctx, core.Prelude{Stripped: stripped, MRCT: mrct}, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -239,29 +343,17 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 		s.persistResult(ctx, key, persistedResult{Kind: "explore", Explore: res})
 	}
 	_, emitSpan := obs.StartSpan(ctx, "emit")
-	instances, tab := dse.InstanceTable(res, budget, entry.Stats.MaxMisses, req.Pareto)
-	resp := &exploreResponse{
-		Trace:     entry.Digest,
-		K:         budget,
-		MaxMisses: entry.Stats.MaxMisses,
-		Instances: make([]instanceJSON, len(instances)),
-		Table:     tab.Render(),
-		Cached:    cached,
-	}
-	for i, ins := range instances {
-		resp.Instances[i] = instanceJSON{
-			Depth:     ins.Depth,
-			Assoc:     ins.Assoc,
-			SizeWords: ins.SizeWords(),
-			Misses:    res.Level(ins.Depth).Misses(ins.Assoc),
-		}
-	}
+	resp := renderExplore(entry, budget, req, res, cached)
 	if emitSpan != nil {
-		emitSpan.SetAttr("instances", len(instances))
+		emitSpan.SetAttr("instances", len(resp.Instances))
 		emitSpan.SetAttr("cached", cached)
 		emitSpan.End()
 	}
 	if req.Verify {
+		instances := make([]core.Instance, len(resp.Instances))
+		for i, ins := range resp.Instances {
+			instances[i] = core.Instance{Depth: ins.Depth, Assoc: ins.Assoc}
+		}
 		_, verifySpan := obs.StartSpan(ctx, "verify")
 		err := dse.VerifyContext(ctx, entry.Trace, instances, budget)
 		if verifySpan != nil {
@@ -297,6 +389,7 @@ type simulateResponse struct {
 	Writebacks int     `json:"writebacks"`
 	MissRate   float64 `json:"miss_rate"`
 	Cached     bool    `json:"cached"`
+	Degraded   bool    `json:"degraded,omitempty"`
 }
 
 func replFromName(name string) (cache.Replacement, error) {
@@ -316,21 +409,21 @@ func replFromName(name string) (cache.Replacement, error) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
 	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	entry, ok := s.lookupTrace(req.Trace)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", req.Trace)
 		return
 	}
 	repl, err := replFromName(req.Repl)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	if req.Depth < 1 || req.Depth&(req.Depth-1) != 0 {
-		httpError(w, http.StatusBadRequest, "depth %d is not a power of two >= 1", req.Depth)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "depth %d is not a power of two >= 1", req.Depth)
 		return
 	}
 	if req.Assoc == 0 {
@@ -346,8 +439,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.WriteThrough {
 		cfg.Write = cache.WriteThrough
 	}
+	key := fmt.Sprintf("simulate|%s|%v|wt=%v", entry.Digest, cfg, req.WriteThrough)
 	s.dispatch(w, r, "simulate", entry.Digest, req.Async, func(ctx context.Context) (any, error) {
-		key := fmt.Sprintf("simulate|%s|%v|wt=%v", entry.Digest, cfg, req.WriteThrough)
 		if v, ok := s.results.Get(key); ok {
 			resp := *v.(*simulateResponse)
 			resp.Cached = true
@@ -380,6 +473,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.results.Put(key, resp)
 		s.persistResult(ctx, key, persistedResult{Kind: "simulate", Simulate: resp})
 		return resp, nil
+	}, func() (any, bool) {
+		v, ok := s.results.Get(key)
+		if !ok {
+			v, ok = s.loadResult(r.Context(), key)
+		}
+		if !ok {
+			return nil, false
+		}
+		resp := *v.(*simulateResponse)
+		resp.Cached = true
+		resp.Degraded = true
+		return &resp, true
 	})
 }
 
@@ -403,22 +508,22 @@ type verifyResponse struct {
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req verifyRequest
 	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	entry, ok := s.lookupTrace(req.Trace)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", req.Trace)
 		return
 	}
 	if len(req.Instances) == 0 {
-		httpError(w, http.StatusBadRequest, "verify needs at least one instance")
+		httpError(w, http.StatusBadRequest, codeBadRequest, "verify needs at least one instance")
 		return
 	}
 	instances := make([]core.Instance, len(req.Instances))
 	for i, ins := range req.Instances {
 		if ins.Depth < 1 || ins.Depth&(ins.Depth-1) != 0 || ins.Assoc < 1 {
-			httpError(w, http.StatusBadRequest,
+			httpError(w, http.StatusBadRequest, codeBadRequest,
 				"instance %d: depth must be a power of two >= 1 and assoc >= 1", i)
 			return
 		}
@@ -434,7 +539,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			resp.Reason = err.Error()
 		}
 		return resp, nil
-	})
+	}, nil)
 }
 
 // dispatch runs fn through the worker pool. Async requests get 202 with
@@ -448,7 +553,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // removes it under, closing the window where a DELETE lands between the
 // handler's lookup and the retain and the job would run against (and
 // re-persist results for) a trace the server already purged.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest string, async bool, fn func(context.Context) (any, error)) {
+// fallback, when non-nil, is tried if the queue sheds the request: a
+// degraded read that answers from cached/persisted results without pool
+// work. It runs on the request goroutine and must be cheap.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest string, async bool, fn func(context.Context) (any, error), fallback func() (any, bool)) {
 	retained := s.active.retainIf(digest, func() bool {
 		if _, ok := s.store.Get(digest); ok {
 			return true
@@ -463,7 +571,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 		return false
 	})
 	if !retained {
-		httpError(w, http.StatusNotFound, "unknown trace %q", digest)
+		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", digest)
 		return
 	}
 	// Every job records its own span tree: a root "job" span wrapping fn,
@@ -472,6 +580,13 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 	// tree after the fact.
 	rec := obs.NewRecorder(0)
 	reqID := obs.RequestID(r.Context())
+	var submitOpts []SubmitOption
+	if dl, ok := r.Context().Deadline(); ok {
+		// An X-Request-Deadline (or any upstream context deadline) bounds
+		// the job itself, not just the handler's wait: async jobs honor it
+		// too, and a queued job past its deadline fails instead of running.
+		submitOpts = append(submitOpts, WithJobDeadline(dl))
+	}
 	job, err := s.queue.Submit(kind, func(ctx context.Context) (any, error) {
 		ctx = obs.WithRecorder(ctx, rec)
 		if reqID != "" {
@@ -486,11 +601,28 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 		}
 		span.End()
 		return res, err
-	})
+	}, submitOpts...)
 	if err != nil {
 		s.active.release(digest)
+		if errors.Is(err, ErrQueueFull) {
+			s.shedTotal.With("queue_full").Inc()
+			if fallback != nil {
+				if v, ok := fallback(); ok {
+					s.degradedReads.Inc()
+					w.Header().Set("X-Degraded", "true")
+					writeJSON(w, http.StatusOK, v)
+					return
+				}
+			}
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, codeQueueFull, "%v", err)
+			return
+		}
+		// The queue is closed (drain in progress) or otherwise refusing
+		// work: this instance is going away, tell the client to go
+		// elsewhere rather than retry here.
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
 		return
 	}
 	job.SetRecorder(rec)
@@ -521,13 +653,20 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 	case JobDone:
 		writeJSON(w, http.StatusOK, st.Result)
 	case JobCanceled:
-		httpError(w, httpStatusClientClosedRequest, "exploration cancelled: %s", st.Error)
-	default:
-		if strings.Contains(st.Error, context.DeadlineExceeded.Error()) {
-			httpError(w, http.StatusGatewayTimeout, "%s", st.Error)
+		// A cancellation driven by the request's own deadline is a
+		// timeout, not a client disconnect.
+		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			httpError(w, http.StatusGatewayTimeout, codeDeadlineExceeded,
+				"request deadline exceeded: %s", st.Error)
 			return
 		}
-		httpError(w, http.StatusInternalServerError, "%s", st.Error)
+		httpError(w, httpStatusClientClosedRequest, codeCanceled, "exploration cancelled: %s", st.Error)
+	default:
+		if strings.Contains(st.Error, context.DeadlineExceeded.Error()) {
+			httpError(w, http.StatusGatewayTimeout, codeDeadlineExceeded, "%s", st.Error)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, codeInternal, "%s", st.Error)
 	}
 }
 
@@ -538,7 +677,7 @@ const httpStatusClientClosedRequest = 499
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, codeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Snapshot())
@@ -547,7 +686,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, codeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	s.queue.Cancel(job.ID())
@@ -560,12 +699,12 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, codeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	tr, ok := job.TraceExport()
 	if !ok {
-		httpError(w, http.StatusNotFound, "job %q has no trace recorded", job.ID())
+		httpError(w, http.StatusNotFound, codeJobNotFound, "job %q has no trace recorded", job.ID())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

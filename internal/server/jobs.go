@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/obs"
 )
 
@@ -42,6 +43,10 @@ type Job struct {
 	// after Submit, read by the trace endpoint. Atomic because the worker
 	// may finish (and a poller may fetch) before SetRecorder runs.
 	recorder atomic.Pointer[obs.Recorder]
+
+	// deadline, when non-zero, caps the job context: the client's
+	// propagated X-Request-Deadline rides the job into the worker.
+	deadline time.Time
 
 	mu       sync.Mutex
 	state    JobState
@@ -190,8 +195,22 @@ func NewQueue(workers, depth int, timeout time.Duration, maxFinished int) *Queue
 	return q
 }
 
+// SubmitOption tweaks one submission.
+type SubmitOption func(*Job)
+
+// WithJobDeadline caps the job's context at t (the client's propagated
+// request deadline). The zero time means no cap beyond the queue timeout.
+func WithJobDeadline(t time.Time) SubmitOption {
+	return func(j *Job) { j.deadline = t }
+}
+
 // Submit enqueues fn as a job of the given kind.
-func (q *Queue) Submit(kind string, fn func(context.Context) (any, error)) (*Job, error) {
+func (q *Queue) Submit(kind string, fn func(context.Context) (any, error), opts ...SubmitOption) (*Job, error) {
+	if err := faultinject.Hit("queue.submit"); err != nil {
+		// An injected submit fault presents as a full backlog: the
+		// admission path the chaos suite wants to exercise.
+		return nil, fmt.Errorf("%w (%v)", ErrQueueFull, err)
+	}
 	job := &Job{
 		id:      fmt.Sprintf("job-%06d", q.nextID.Add(1)),
 		kind:    kind,
@@ -199,6 +218,9 @@ func (q *Queue) Submit(kind string, fn func(context.Context) (any, error)) (*Job
 		state:   JobQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(job)
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -285,6 +307,13 @@ func (q *Queue) worker() {
 		if q.timeout > 0 {
 			ctx, cancel = context.WithTimeout(q.baseCtx, q.timeout)
 		}
+		if !job.deadline.IsZero() {
+			// The client's deadline composes with the queue timeout:
+			// whichever expires first cancels the job.
+			dctx, dcancel := context.WithDeadline(ctx, job.deadline)
+			inner := cancel
+			ctx, cancel = dctx, func() { dcancel(); inner() }
+		}
 		// The job ID is only assigned at Submit, after the closure is
 		// built, so the worker is the natural place to thread it into the
 		// context for log correlation.
@@ -295,7 +324,7 @@ func (q *Queue) worker() {
 		job.mu.Unlock()
 
 		q.running.Add(1)
-		result, err := job.fn(ctx)
+		result, err := q.runJob(ctx, job)
 		q.running.Add(-1)
 		cancel()
 
@@ -311,6 +340,21 @@ func (q *Queue) worker() {
 		job.mu.Unlock()
 		q.noteFinished(job)
 	}
+}
+
+// runJob executes the job body behind the queue.run failpoint and a panic
+// net: a panicking exploration (or an injected panic) downs neither the
+// worker goroutine nor the process — the job just fails.
+func (q *Queue) runJob(ctx context.Context, job *Job) (result any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			result, err = nil, fmt.Errorf("server: job panicked: %v", p)
+		}
+	}()
+	if err := faultinject.Hit("queue.run"); err != nil {
+		return nil, err
+	}
+	return job.fn(ctx)
 }
 
 // noteFinished records a terminal transition and prunes the oldest

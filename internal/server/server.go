@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/tracestore"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// results to a content-addressed store rooted there, surviving
 	// restarts. Empty keeps the server purely in-memory.
 	StoreDir string
+	// EndpointInflight caps concurrently executing requests per compute
+	// endpoint (explore / simulate / verify / traces_upload). Excess
+	// requests are shed with 429 and a Retry-After hint instead of piling
+	// onto the queue. <= 0 derives a cap from the worker pool.
+	EndpointInflight int
 	// Logger receives structured server events; every record carries the
 	// request and job IDs found in its context. Nil logs text to stderr.
 	Logger *slog.Logger
@@ -77,6 +83,12 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = time.Minute
 	}
+	if c.EndpointInflight <= 0 {
+		// Enough headroom that a full queue, not the gate, is the usual
+		// shedding signal; the gate exists to bound per-endpoint pile-up
+		// of synchronous waiters.
+		c.EndpointInflight = 2 * (c.Workers + c.QueueDepth)
+	}
 	if c.Logger == nil {
 		c.Logger = obs.NewLogger(os.Stderr, "text", slog.LevelInfo)
 	}
@@ -93,9 +105,12 @@ type Server struct {
 	mux     *http.ServeMux
 	persist *tracestore.Store // nil when StoreDir is unset
 	active  *activeTraces
+	gates   map[string]chan struct{} // per-endpoint admission gates
 
-	reqTotal *CounterVec
-	latency  *HistogramVec
+	reqTotal      *CounterVec
+	latency       *HistogramVec
+	shedTotal     *CounterVec
+	degradedReads *Counter
 }
 
 // New builds a Server ready to serve via Handler. With Config.StoreDir set
@@ -112,6 +127,10 @@ func New(cfg Config) (*Server, error) {
 		reg:     NewRegistry(),
 		mux:     http.NewServeMux(),
 		active:  newActiveTraces(),
+		gates:   make(map[string]chan struct{}),
+	}
+	for _, ep := range []string{"explore", "simulate", "verify", "traces_upload"} {
+		s.gates[ep] = make(chan struct{}, cfg.EndpointInflight)
 	}
 	if cfg.StoreDir != "" {
 		st, err := tracestore.Open(cfg.StoreDir)
@@ -160,6 +179,14 @@ func (s *Server) registerMetrics() {
 		"Uploaded traces currently retained.", func() float64 { return float64(s.store.Len()) })
 	s.reg.GaugeFunc("cachedse_result_cache_entries",
 		"Exploration results currently cached.", func() float64 { return float64(s.results.Len()) })
+	s.shedTotal = s.reg.CounterVec("cachedse_shed_total",
+		"Requests shed by admission control, by reason (gate, queue_full, deadline).", "reason")
+	s.degradedReads = s.reg.Counter("cachedse_degraded_reads_total",
+		"Requests answered from cached/persisted results because the pool was saturated.")
+	s.reg.CounterFunc("cachedse_faults_injected_total",
+		"Faults fired by the failpoint registry (0 unless fault injection is armed).", func() float64 {
+			return float64(faultinject.TotalFires())
+		})
 	s.reg.GaugeFunc("cachedse_persisted_entries",
 		"Keys held by the persistent store (0 when persistence is off).", func() float64 {
 			if s.persist == nil {
@@ -217,11 +244,34 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// requestDeadline parses the X-Request-Deadline header: either a Go
+// duration ("2s", "150ms") relative to now, or an absolute RFC 3339
+// timestamp. The zero time means no deadline was requested.
+func requestDeadline(r *http.Request, now time.Time) (time.Time, error) {
+	raw := r.Header.Get("X-Request-Deadline")
+	if raw == "" {
+		return time.Time{}, nil
+	}
+	if d, err := time.ParseDuration(raw); err == nil {
+		if d <= 0 {
+			return time.Time{}, fmt.Errorf("deadline %q is not positive", raw)
+		}
+		return now.Add(d), nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, raw); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("X-Request-Deadline %q is neither a duration nor RFC 3339", raw)
+}
+
 // instrument wraps a handler with panic recovery, a request counter, a
-// latency histogram, request-ID propagation and a structured access log.
-// An inbound X-Request-ID is honored (so traces correlate across a proxy);
-// otherwise one is minted. Either way it is echoed in the response header
-// and carried in the request context, where the logger picks it up.
+// latency histogram, request-ID propagation, deadline propagation,
+// per-endpoint admission and a structured access log. An inbound
+// X-Request-ID is honored (so traces correlate across a proxy); otherwise
+// one is minted. Either way it is echoed in the response header and
+// carried in the request context, where the logger picks it up. An
+// X-Request-Deadline header (duration or RFC 3339) becomes the request
+// context's deadline, flowing into the job the handler submits.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -231,13 +281,12 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		}
 		w.Header().Set("X-Request-ID", reqID)
 		ctx := obs.WithRequestID(r.Context(), reqID)
-		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		defer func() {
+		logAndCount := func() {
 			if p := recover(); p != nil {
 				s.cfg.Logger.ErrorContext(ctx, "panic in handler",
 					"endpoint", endpoint, "panic", fmt.Sprint(p))
-				httpError(sw, http.StatusInternalServerError, "internal error")
+				httpError(sw, http.StatusInternalServerError, codeInternal, "internal error")
 			}
 			elapsed := time.Since(start)
 			s.reqTotal.With(endpoint, fmt.Sprintf("%d", sw.code)).Inc()
@@ -245,8 +294,40 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			s.cfg.Logger.InfoContext(ctx, "request",
 				"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
 				"code", sw.code, "duration", elapsed.String())
-		}()
-		h(sw, r)
+		}
+		defer logAndCount()
+		deadline, err := requestDeadline(r, start)
+		if err != nil {
+			httpError(sw, http.StatusBadRequest, codeBadRequest, "%v", err)
+			return
+		}
+		if !deadline.IsZero() {
+			if !deadline.After(start) {
+				s.shedTotal.With("deadline").Inc()
+				httpError(sw, http.StatusGatewayTimeout, codeDeadlineExceeded,
+					"request deadline already passed")
+				return
+			}
+			dctx, cancel := context.WithDeadline(ctx, deadline)
+			defer cancel()
+			ctx = dctx
+		}
+		// Per-endpoint admission: a gate slot is held for the request's
+		// duration; when the endpoint is saturated the request is shed
+		// immediately with a retry hint rather than queued.
+		if gate, ok := s.gates[endpoint]; ok {
+			select {
+			case gate <- struct{}{}:
+				defer func() { <-gate }()
+			default:
+				s.shedTotal.With("gate").Inc()
+				sw.Header().Set("Retry-After", "1")
+				httpError(sw, http.StatusTooManyRequests, codeOverloaded,
+					"endpoint %q is at its concurrency limit; retry shortly", endpoint)
+				return
+			}
+		}
+		h(sw, r.WithContext(ctx))
 	})
 }
 
@@ -258,7 +339,7 @@ func (s *Server) instrumentProbe(endpoint string, h http.HandlerFunc) http.Handl
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
-				httpError(sw, http.StatusInternalServerError, "internal error")
+				httpError(sw, http.StatusInternalServerError, codeInternal, "internal error")
 			}
 			s.reqTotal.With(endpoint, fmt.Sprintf("%d", sw.code)).Inc()
 		}()
@@ -273,11 +354,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-// httpError writes a JSON error body.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // decodeJSON strictly parses a small JSON request body into v.

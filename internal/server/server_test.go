@@ -205,7 +205,7 @@ func TestServerExploreMatchesCLI(t *testing.T) {
 
 	st := trace.ComputeStats(tr)
 	k := st.MaxMisses / 2
-	want, err := core.Explore(tr, core.Options{})
+	want, err := core.Explore(context.Background(), tr, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,11 +493,23 @@ func TestServerQueueFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("explore on full queue: code %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("explore on full queue: code %d, want 429", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("503 without Retry-After")
+		t.Fatal("429 without Retry-After")
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	if env.Error.Code != "queue_full" {
+		t.Fatalf("error code = %q, want %q", env.Error.Code, "queue_full")
 	}
 }
 

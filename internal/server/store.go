@@ -24,6 +24,7 @@ type TraceEntry struct {
 	Digest   string
 	Trace    *trace.Trace
 	Stats    trace.Stats
+	Kind     string // "instr", "data" or "mixed" (see classifyTrace)
 	Uploaded time.Time
 
 	mu       sync.Mutex
@@ -61,6 +62,27 @@ func (e *TraceEntry) Prelude(ctx context.Context) (*trace.Stripped, *core.MRCT, 
 		e.stripped, e.mrct = s, m
 	}
 	return e.stripped, e.mrct, nil
+}
+
+// classifyTrace buckets a trace by its reference kinds: "instr" when
+// every reference is an instruction fetch, "data" when none is, "mixed"
+// otherwise. The label backs the ?kind filter on GET /v1/traces.
+func classifyTrace(t *trace.Trace) string {
+	instr, data := false, false
+	for _, r := range t.Refs {
+		if r.Kind == trace.Instr {
+			instr = true
+		} else {
+			data = true
+		}
+		if instr && data {
+			return "mixed"
+		}
+	}
+	if instr {
+		return "instr"
+	}
+	return "data"
 }
 
 // TraceDigest returns the content digest of a trace: SHA-256 over the
@@ -119,6 +141,7 @@ func (s *TraceStore) Add(t *trace.Trace) (entry *TraceEntry, existed bool) {
 		Digest:   digest,
 		Trace:    t,
 		Stats:    trace.ComputeStats(t),
+		Kind:     classifyTrace(t),
 		Uploaded: time.Now(),
 	}
 	s.byDigest[digest] = s.ll.PushFront(entry)

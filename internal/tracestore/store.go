@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/obs"
 )
 
@@ -190,6 +191,9 @@ func (s *Store) Put(key string, r io.Reader) (Entry, error) {
 	if key == "" {
 		return Entry{}, errors.New("tracestore: empty key")
 	}
+	if err := faultinject.Hit("tracestore.put"); err != nil {
+		return Entry{}, fmt.Errorf("tracestore: %w", err)
+	}
 	s.mu.Lock()
 	s.tmpSeq++
 	spool := filepath.Join(s.dir, tmpDir, fmt.Sprintf("put-%d-%d", os.Getpid(), s.tmpSeq))
@@ -201,6 +205,9 @@ func (s *Store) Put(key string, r io.Reader) (Entry, error) {
 	}
 	h := sha256.New()
 	size, err := io.Copy(io.MultiWriter(f, h), r)
+	if err == nil {
+		err = faultinject.Hit("tracestore.fsync")
+	}
 	if err == nil {
 		// The rename below must publish durable bytes: without the fsync
 		// a power loss after the rename can leave a fully-named object
@@ -222,7 +229,11 @@ func (s *Store) Put(key string, r io.Reader) (Entry, error) {
 		// Deduplicated: the bytes are already durable.
 		_ = os.Remove(spool)
 	} else {
-		if err := os.Rename(spool, s.objectPath(digest)); err != nil {
+		err := faultinject.Hit("tracestore.rename")
+		if err == nil {
+			err = os.Rename(spool, s.objectPath(digest))
+		}
+		if err != nil {
 			_ = os.Remove(spool)
 			return Entry{}, fmt.Errorf("tracestore: publishing object: %w", err)
 		}
@@ -266,6 +277,9 @@ func (s *Store) getSpan(key string, span *obs.Span) ([]byte, error) {
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err := faultinject.Hit("tracestore.get"); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
 	}
 	data, err := os.ReadFile(s.objectPath(e.Object))
 	if err != nil {
@@ -347,6 +361,9 @@ func (s *Store) Objects() int {
 // saveManifestLocked writes the manifest atomically (temp + rename).
 // Callers hold s.mu.
 func (s *Store) saveManifestLocked() error {
+	if err := faultinject.Hit("tracestore.manifest"); err != nil {
+		return fmt.Errorf("tracestore: writing manifest: %w", err)
+	}
 	m := manifest{Version: 1, Entries: s.entries}
 	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {

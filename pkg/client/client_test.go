@@ -1,0 +1,295 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestClient wires a Client to a handler with instant sleeps and a
+// recorded sleep log, so retry behavior is observable without waiting.
+func newTestClient(t *testing.T, h http.Handler, opts ...Option) (*Client, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	var slept []time.Duration
+	c := New(ts.URL, opts...)
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return c, &slept
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`, code, msg)
+}
+
+func TestRetriesTransientServerErrors(t *testing.T) {
+	var calls atomic.Int32
+	c, slept := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			writeEnvelope(w, http.StatusInternalServerError, "internal", "transient")
+			return
+		}
+		json.NewEncoder(w).Encode(TraceInfo{Digest: "abc"})
+	}))
+	info, err := c.GetTrace(context.Background(), "abc")
+	if err != nil {
+		t.Fatalf("GetTrace: %v", err)
+	}
+	if info.Digest != "abc" {
+		t.Fatalf("digest = %q, want abc", info.Digest)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	c, slept := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			writeEnvelope(w, http.StatusTooManyRequests, "queue_full", "busy")
+			return
+		}
+		json.NewEncoder(w).Encode(TraceInfo{Digest: "abc"})
+	}))
+	if _, err := c.GetTrace(context.Background(), "abc"); err != nil {
+		t.Fatalf("GetTrace: %v", err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly [2s] (the Retry-After hint)", *slept)
+	}
+}
+
+func TestNoRetryOnClientErrors(t *testing.T) {
+	for _, c := range []struct {
+		status int
+		code   string
+		target error
+	}{
+		{http.StatusNotFound, "trace_not_found", ErrTraceNotFound},
+		{http.StatusBadRequest, "bad_request", ErrBadRequest},
+		{http.StatusConflict, "trace_busy", ErrTraceBusy},
+		{http.StatusGatewayTimeout, "deadline_exceeded", ErrDeadlineExceeded},
+	} {
+		t.Run(c.code, func(t *testing.T) {
+			var calls atomic.Int32
+			cl, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				writeEnvelope(w, c.status, c.code, "nope")
+			}))
+			_, err := cl.GetTrace(context.Background(), "x")
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !errors.Is(err, c.target) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, c.target)
+			}
+			if got := calls.Load(); got != 1 {
+				t.Fatalf("server saw %d calls, want 1 (no retry on %d)", got, c.status)
+			}
+		})
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeEnvelope(w, http.StatusServiceUnavailable, "unavailable", "draining")
+	}), WithRetry(RetryPolicy{MaxAttempts: 3}))
+	_, err := c.GetTrace(context.Background(), "x")
+	var exhausted *RetryExhaustedError
+	if !errors.As(err, &exhausted) {
+		t.Fatalf("error %T, want *RetryExhaustedError", err)
+	}
+	if exhausted.Attempts != 3 || calls.Load() != 3 {
+		t.Fatalf("attempts = %d, calls = %d, want 3/3", exhausted.Attempts, calls.Load())
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatal("exhausted error should unwrap to the last API error")
+	}
+}
+
+func TestRetriesTruncatedBody(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Declare a long body, cut the stream mid-JSON.
+			w.Header().Set("Content-Length", "1000")
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"digest":"ab`))
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			if hj, ok := w.(http.Hijacker); ok {
+				conn, _, _ := hj.Hijack()
+				conn.Close()
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(TraceInfo{Digest: "abc"})
+	}))
+	info, err := c.GetTrace(context.Background(), "abc")
+	if err != nil {
+		t.Fatalf("GetTrace after truncated body: %v", err)
+	}
+	if info.Digest != "abc" || calls.Load() != 2 {
+		t.Fatalf("digest=%q calls=%d, want abc/2", info.Digest, calls.Load())
+	}
+}
+
+func TestRetriesConnectionDrop(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("response writer is not a hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close() // slam the door before any response
+			return
+		}
+		json.NewEncoder(w).Encode(TraceInfo{Digest: "abc"})
+	}))
+	info, err := c.GetTrace(context.Background(), "abc")
+	if err != nil {
+		t.Fatalf("GetTrace after dropped connection: %v", err)
+	}
+	if info.Digest != "abc" || calls.Load() != 2 {
+		t.Fatalf("digest=%q calls=%d, want abc/2", info.Digest, calls.Load())
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cancel() // fail the request AND expire the caller's context
+		writeEnvelope(w, http.StatusInternalServerError, "internal", "boom")
+	}))
+	_, err := c.GetTrace(ctx, "x")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestDeadlineHeaderForwarded(t *testing.T) {
+	var got atomic.Value
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Request-Deadline"))
+		json.NewEncoder(w).Encode(TraceInfo{})
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := c.GetTrace(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := got.Load().(string)
+	if raw == "" {
+		t.Fatal("X-Request-Deadline header not sent")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, raw); err != nil {
+		t.Fatalf("header %q is not RFC 3339: %v", raw, err)
+	}
+}
+
+func TestUploadReplaysBodyOnRetry(t *testing.T) {
+	payload := []byte("r 0\nr 4\nr 8\n")
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, len(payload)+16)
+		n, _ := r.Body.Read(body)
+		if string(body[:n]) != string(payload) {
+			t.Errorf("attempt %d body = %q, want %q", calls.Load()+1, body[:n], payload)
+		}
+		if calls.Add(1) == 1 {
+			writeEnvelope(w, http.StatusServiceUnavailable, "unavailable", "warming up")
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(TraceInfo{Digest: "d1", N: 3})
+	}))
+	info, err := c.UploadTrace(context.Background(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != "d1" || calls.Load() != 2 {
+		t.Fatalf("digest=%q calls=%d, want d1/2", info.Digest, calls.Load())
+	}
+}
+
+func TestListTracesPaging(t *testing.T) {
+	pages := map[string]TracePage{
+		"":   {Traces: []TraceInfo{{Digest: "a"}, {Digest: "b"}}, NextCursor: "b"},
+		"b":  {Traces: []TraceInfo{{Digest: "c"}}},
+		"xx": {},
+	}
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		page, ok := pages[r.URL.Query().Get("cursor")]
+		if !ok {
+			writeEnvelope(w, http.StatusBadRequest, "bad_request", "bad cursor")
+			return
+		}
+		json.NewEncoder(w).Encode(page)
+	}))
+	all, err := c.AllTraces(context.Background(), ListOptions{Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0].Digest != "a" || all[2].Digest != "c" {
+		t.Fatalf("AllTraces = %+v, want a,b,c", all)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	c := New("http://unused", WithRetry(RetryPolicy{
+		MaxAttempts: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+	}))
+	prevMax := time.Duration(0)
+	for attempt := 0; attempt < 8; attempt++ {
+		d := c.backoff(attempt, 0)
+		ceil := min(100*time.Millisecond<<uint(attempt), time.Second)
+		if d < ceil/2 || d > ceil {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+		}
+		if d > time.Second {
+			t.Fatalf("attempt %d backoff %v exceeds cap", attempt, d)
+		}
+		prevMax = max(prevMax, d)
+	}
+	if got := c.backoff(3, 30*time.Second); got != time.Second {
+		t.Fatalf("Retry-After above cap: backoff = %v, want 1s cap", got)
+	}
+}
+
+func TestErrorEnvelopeFallsBackToRawBody(t *testing.T) {
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text from some proxy", http.StatusForbidden)
+	}))
+	_, err := c.GetTrace(context.Background(), "x")
+	var api *APIError
+	if !errors.As(err, &api) {
+		t.Fatalf("error %T, want *APIError", err)
+	}
+	if api.StatusCode != http.StatusForbidden || api.Code != "" {
+		t.Fatalf("api = %+v, want 403 with empty code", api)
+	}
+	if api.Message == "" {
+		t.Fatal("raw body should land in Message")
+	}
+}

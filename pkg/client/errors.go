@@ -1,0 +1,89 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// apiCode is a stable server error code usable as an errors.Is target.
+type apiCode string
+
+func (c apiCode) Error() string { return "cachedse: " + string(c) }
+
+// Sentinel errors, one per stable code in the server's error envelope.
+// Match with errors.Is:
+//
+//	_, err := c.GetTrace(ctx, digest)
+//	if errors.Is(err, client.ErrTraceNotFound) { ... }
+var (
+	ErrBadRequest       error = apiCode("bad_request")
+	ErrPayloadTooLarge  error = apiCode("payload_too_large")
+	ErrTraceNotFound    error = apiCode("trace_not_found")
+	ErrJobNotFound      error = apiCode("job_not_found")
+	ErrTraceBusy        error = apiCode("trace_busy")
+	ErrQueueFull        error = apiCode("queue_full")
+	ErrOverloaded       error = apiCode("overloaded")
+	ErrDeadlineExceeded error = apiCode("deadline_exceeded")
+	ErrCanceled         error = apiCode("canceled")
+	ErrUnavailable      error = apiCode("unavailable")
+	ErrInternal         error = apiCode("internal")
+)
+
+// APIError is a non-2xx response from the service, carrying the HTTP
+// status and the envelope's stable code and human-readable message.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+
+	// retryAfter is the server's Retry-After hint, consumed by the retry
+	// loop when scheduling the next attempt.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("cachedse: HTTP %d: %s", e.StatusCode, e.Message)
+	}
+	return fmt.Sprintf("cachedse: %s (HTTP %d): %s", e.Code, e.StatusCode, e.Message)
+}
+
+// Is matches an APIError against the package's sentinel code errors, so
+// errors.Is(err, client.ErrQueueFull) works through wrapping.
+func (e *APIError) Is(target error) bool {
+	c, ok := target.(apiCode)
+	return ok && e.Code == string(c)
+}
+
+// RetryExhaustedError wraps the last error after all retry attempts.
+type RetryExhaustedError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("cachedse: giving up after %d attempts: %v", e.Attempts, e.Last)
+}
+
+func (e *RetryExhaustedError) Unwrap() error { return e.Last }
+
+// retryable reports whether an error is worth another attempt: transport
+// failures, truncated bodies, and the server's explicit back-pressure
+// signals (429 queue_full / overloaded, 500, 503). Client mistakes (4xx)
+// and deadline expiries (504 — retrying cannot beat a passed deadline)
+// are terminal.
+func retryable(err error) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		switch api.StatusCode {
+		case 429, 500, 502, 503:
+			return true
+		}
+		return false
+	}
+	// Anything that is not an API error is a transport-level failure
+	// (connection refused/reset, unexpected EOF mid-body, bad JSON from a
+	// cut stream) — the request may well succeed on a healthy retry.
+	return true
+}

@@ -1,0 +1,129 @@
+package client
+
+import "time"
+
+// TraceInfo describes one stored trace, as returned by upload/get/list.
+type TraceInfo struct {
+	Digest    string    `json:"digest"`
+	N         int       `json:"n"`
+	NUnique   int       `json:"n_unique"`
+	MaxMisses int       `json:"max_misses"`
+	AddrBits  int       `json:"addr_bits"`
+	Kind      string    `json:"kind"`
+	Uploaded  time.Time `json:"uploaded"`
+}
+
+// TracePage is one page of GET /v1/traces. A non-empty NextCursor means
+// more traces follow; pass it as ListTraces' Cursor to continue.
+type TracePage struct {
+	Traces     []TraceInfo `json:"traces"`
+	NextCursor string      `json:"next_cursor,omitempty"`
+}
+
+// ListOptions filters and pages GET /v1/traces.
+type ListOptions struct {
+	Limit  int    // page size; 0 uses the server default
+	Cursor string // resume after this digest (from TracePage.NextCursor)
+	Kind   string // "instr", "data" or "mixed"; empty lists all
+}
+
+// Instance is one emitted (depth, assoc) cache configuration.
+type Instance struct {
+	Depth     int `json:"depth"`
+	Assoc     int `json:"assoc"`
+	SizeWords int `json:"size_words"`
+	Misses    int `json:"misses"`
+}
+
+// ExploreRequest asks for the set of cache instances meeting a miss
+// budget. Exactly one of K / KPct must be set (K counts misses, KPct is
+// a percentage of the trace's maximum).
+type ExploreRequest struct {
+	Trace    string   `json:"trace"`
+	K        *int     `json:"k,omitempty"`
+	KPct     *float64 `json:"kpct,omitempty"`
+	MaxDepth int      `json:"max_depth,omitempty"`
+	Pareto   bool     `json:"pareto,omitempty"`
+	Parallel bool     `json:"parallel,omitempty"`
+	Verify   bool     `json:"verify,omitempty"`
+}
+
+// ExploreResponse is the exploration's answer. Degraded marks an answer
+// served from cached results while the server was saturated — exact, but
+// any requested verification was skipped.
+type ExploreResponse struct {
+	Trace     string     `json:"trace"`
+	K         int        `json:"k"`
+	MaxMisses int        `json:"max_misses"`
+	Instances []Instance `json:"instances"`
+	Table     string     `json:"table"`
+	Cached    bool       `json:"cached"`
+	Verified  bool       `json:"verified,omitempty"`
+	Degraded  bool       `json:"degraded,omitempty"`
+}
+
+// SimulateRequest runs one concrete cache configuration over a trace.
+type SimulateRequest struct {
+	Trace        string `json:"trace"`
+	Depth        int    `json:"depth"`
+	Assoc        int    `json:"assoc,omitempty"`
+	LineWords    int    `json:"line_words,omitempty"`
+	Repl         string `json:"repl,omitempty"`
+	WriteThrough bool   `json:"write_through,omitempty"`
+}
+
+// SimulateResponse reports the simulation's hit/miss accounting.
+type SimulateResponse struct {
+	Trace      string  `json:"trace"`
+	Config     string  `json:"config"`
+	Accesses   int     `json:"accesses"`
+	Hits       int     `json:"hits"`
+	ColdMisses int     `json:"cold_misses"`
+	Misses     int     `json:"misses"`
+	Writebacks int     `json:"writebacks"`
+	MissRate   float64 `json:"miss_rate"`
+	Cached     bool    `json:"cached"`
+	Degraded   bool    `json:"degraded,omitempty"`
+}
+
+// VerifyRequest cross-checks analytical instances against simulation.
+type VerifyRequest struct {
+	Trace     string           `json:"trace"`
+	K         int              `json:"k"`
+	Instances []VerifyInstance `json:"instances"`
+}
+
+// VerifyInstance names one (depth, assoc) pair to verify.
+type VerifyInstance struct {
+	Depth int `json:"depth"`
+	Assoc int `json:"assoc"`
+}
+
+// VerifyResponse reports whether every instance met the budget.
+type VerifyResponse struct {
+	Trace  string `json:"trace"`
+	K      int    `json:"k"`
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// JobStatus mirrors the server's job snapshot.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	State    string     `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Result   any        `json:"result,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j JobStatus) Terminal() bool {
+	switch j.State {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
