@@ -541,3 +541,38 @@ func BenchmarkReportRender(b *testing.B) {
 		_ = t.Render()
 	}
 }
+
+// BenchmarkSampledExplore measures the spatial-sampling speedup
+// trajectory on the largest PowerStone trace (the compiled compress
+// kernel's instruction stream, N = 2.7M): the exact engine against the
+// streaming sampled engine at decreasing rates. The MinUnique floor is
+// disabled so the literal rates apply — with N' = 488 the default floor
+// would (correctly) clamp these runs back to exact; the trajectory
+// quantifies the raw cost model, cost ≈ R·N, not a recommended
+// configuration. The rate-0.01 sub-benchmark is the ≥10x speedup claim
+// the sampling design targets.
+func BenchmarkSampledExplore(b *testing.B) {
+	run, err := minicbench.Compress.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := run.Instr
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Explore(context.Background(), tr, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, rate := range []float64{0.1, 0.01} {
+		b.Run(fmt.Sprintf("sample-%g", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := trace.RefReader(trace.NewReader(tr))
+				if _, err := core.Explore(context.Background(), src,
+					core.Options{SampleRate: rate, SampleFloor: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,9 +8,13 @@
 //	cachedse stats    TRACE            trace statistics (N, N', max misses)
 //	cachedse strip    TRACE            stripped trace (unique refs + ids)
 //	cachedse explore  [-k N | -kpct P] [-maxdepth D] [-workers W] [-verify]
+//	                  [-sample R] [-sample-floor N]
 //	                  [-cpuprofile F] [-memprofile F] [-store DIR]
 //	                  [-trace-json F] [-log-format text|json] TRACE
-//	                                   optimal (D, A) instances for budget K
+//	                                   optimal (D, A) instances for budget K;
+//	                                   -sample R explores a spatial sample and
+//	                                   reports miss estimates with confidence
+//	                                   bounds
 //	cachedse simulate -depth D -assoc A [-line W] [-repl P] [-store DIR] TRACE
 //	                                   simulate one configuration
 //	cachedse verify   -k N TRACE D:A [D:A ...]
@@ -30,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/bits"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -41,6 +46,7 @@ import (
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/dse"
 	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/internal/sampling"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -222,12 +228,14 @@ func cmdStrip(args []string) error {
 }
 
 func cmdExplore(args []string) error {
-	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-cpuprofile F] [-memprofile F] [-store DIR] [-trace-json F] [-log-format text|json] TRACE")
+	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-sample R] [-sample-floor N] [-cpuprofile F] [-memprofile F] [-store DIR] [-trace-json F] [-log-format text|json] TRACE")
 	k := fs.Int("k", -1, "miss budget K (absolute)")
 	kpct := fs.Float64("kpct", -1, "miss budget as percent of max misses")
 	maxDepth := fs.Int("maxdepth", 0, "largest cache depth to explore (power of two)")
 	workers := fs.Int("workers", 1, "postlude worker count (0 = GOMAXPROCS, 1 = sequential)")
 	verify := fs.Bool("verify", false, "simulate each emitted instance")
+	sample := fs.Float64("sample", 0, "spatial sampling rate in (0, 1] for approximate exploration (0 = exact)")
+	sampleFloor := fs.Int("sample-floor", 0, "minimum expected sampled unique references (0 = default, negative = no floor)")
 	pareto := fs.Bool("pareto", false, "print only the size-Pareto frontier")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the exploration to this file")
@@ -256,6 +264,9 @@ func cmdExplore(args []string) error {
 	if budget < 0 {
 		return fmt.Errorf("explore needs -k or -kpct")
 	}
+	if *sample != 0 && *verify {
+		return fmt.Errorf("-verify needs exact miss counts; drop -sample or verify the chosen instances with the verify command")
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -281,7 +292,7 @@ func cmdExplore(args []string) error {
 	root.SetAttr("n", st.N)
 	root.SetAttr("n_unique", st.NUnique)
 	start := time.Now()
-	opts := core.Options{MaxDepth: *maxDepth, Workers: *workers}
+	opts := core.Options{MaxDepth: *maxDepth, Workers: *workers, SampleRate: *sample, SampleFloor: *sampleFloor}
 	if *workers == 0 {
 		// The flag's historical default 0 meant "use every core".
 		opts.Workers = -1
@@ -294,6 +305,16 @@ func cmdExplore(args []string) error {
 	logger.Info("exploration complete",
 		"trace", fs.Arg(0), "n", st.N, "n_unique", st.NUnique,
 		"levels", len(r.Levels), "duration", time.Since(start).String())
+	if est := r.Sample; est != nil {
+		if est.Exact() {
+			fmt.Printf("# sampled at rate %g: effective rate 1 (unique-count floor) — result is exact\n",
+				est.RequestedRate)
+		} else {
+			fmt.Printf("# sampled at rate %g (effective %.4g, %s mode): kept %d of %d refs; miss counts are %.0f%%-confidence estimates\n",
+				est.RequestedRate, est.EffectiveRate, est.Mode,
+				est.KeptRefs, est.KeptRefs+est.DroppedRefs, 100*sampling.ConfidenceLevel)
+		}
+	}
 	if rec != nil {
 		if err := writeTraceJSON(*traceJSON, fs.Arg(0), rec); err != nil {
 			return err
@@ -312,6 +333,16 @@ func cmdExplore(args []string) error {
 	}
 	instances, tab := dse.InstanceTable(r, budget, st.MaxMisses, *pareto)
 	fmt.Print(tab.Render())
+	if est := r.Sample; est != nil && !est.Exact() {
+		fmt.Println("Confidence bounds (95%) per instance:")
+		for _, ins := range instances {
+			lvl := bits.TrailingZeros(uint(ins.Depth))
+			misses := r.Level(ins.Depth).Misses(ins.Assoc)
+			lo, hi := est.CI95(lvl, ins.Assoc, misses)
+			fmt.Printf("  D=%-6d A=%-4d misses %d in [%d, %d] (se %.1f)\n",
+				ins.Depth, ins.Assoc, misses, lo, hi, est.SE(lvl, ins.Assoc))
+		}
+	}
 	if *verify {
 		if err := dse.Verify(tr, instances, budget); err != nil {
 			return err

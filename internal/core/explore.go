@@ -10,6 +10,7 @@ import (
 	"github.com/example/cachedse/internal/bitset"
 	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/internal/sampling"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -42,6 +43,19 @@ type Options struct {
 	// Binary Cache Allocation Tree first (the paper's literal Algorithm 3,
 	// kept for cross-checking — it is serial and rejects Workers > 1).
 	Engine Engine
+	// SampleRate switches the engine into SHARDS-style approximate mode:
+	// spatially hash-sample references at this rate, explore the sampled
+	// trace and rescale the miss counts back to full-trace magnitude with
+	// confidence bounds (Result.Sample). Zero is exact mode — the default
+	// path, byte-identical to an engine without sampling. Valid rates lie
+	// in (0, 1]; anything else fails with *sampling.ErrRate.
+	SampleRate float64
+	// SampleSeed perturbs the sampling hash; zero uses sampling.DefaultSeed.
+	SampleSeed uint64
+	// SampleFloor floors the expected sampled unique-reference count
+	// (sampling.Config.MinUnique): zero means sampling.DefaultMinUnique,
+	// negative disables the floor.
+	SampleFloor int
 }
 
 // Engine names a postlude formulation.
@@ -135,8 +149,15 @@ type Result struct {
 	// Levels[i] profiles depth 2^i.
 	Levels []*LevelResult
 	// NUnique and N echo the trace statistics the exploration consumed.
+	// Under sampling they are the estimated/true full-trace values, not
+	// the sampled subset's.
 	NUnique int
 	N       int
+	// Sample carries the sampling estimate when the exploration ran in
+	// approximate mode (Options.SampleRate > 0); nil for exact runs. Miss
+	// counts in Levels are then rescaled estimates, and Sample derives
+	// their standard errors and confidence intervals.
+	Sample *sampling.Estimate `json:",omitempty"`
 }
 
 // Level returns the profile for the given depth, or nil if the depth is
@@ -210,10 +231,21 @@ func Explore(ctx context.Context, src Source, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if opts.SampleRate != 0 {
+		return exploreSampled(ctx, src, opts)
+	}
 	s, m, err := resolveSource(ctx, src)
 	if err != nil {
 		return nil, err
 	}
+	return runPostlude(ctx, s, m, opts)
+}
+
+// runPostlude dispatches the resolved (stripped, MRCT) pair to the
+// configured postlude engine. Both the exact and the sampled path funnel
+// through here, so engine selection and the postlude failpoint behave
+// identically in both modes.
+func runPostlude(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
 	if err := faultinject.Hit("core.postlude"); err != nil {
 		return nil, err
 	}

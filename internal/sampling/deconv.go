@@ -1,0 +1,170 @@
+package sampling
+
+import "math"
+
+// Binomial thinning destroys small conflict-set cardinalities: a true
+// cardinality d surfaces in the sampled histogram at k ~ Binomial(d, q),
+// and for small d the whole set vanishes into the k=0 bin with
+// probability (1−q)^d. The per-bin occupancy weight (BinWeight) is a
+// good inverse when d is large — the binomial concentrates and k/q
+// estimates d well — but at deep cache levels true cardinalities are
+// small integers and no per-bin reweighting is unbiased. There the full
+// inverse problem is cheap enough to solve directly: recover the true
+// cardinality distribution by expectation-maximisation (Richardson–Lucy
+// deconvolution) over the binomial mixture
+//
+//	P_obs(k) = Σ_d P(d) · C(d,k) q^k (1−q)^{d−k}
+//
+// which is the maximum-likelihood estimate of P(d) given the observed
+// bins, k=0 included.
+
+// deconvCostLimit caps the support·bins product a deconvolution may use;
+// above it the occupancy estimator is used instead. 1<<22 keeps a level's
+// EM under a few tens of milliseconds.
+const deconvCostLimit = 1 << 22
+
+// deconvIters is the EM iteration budget. RL converges geometrically on
+// these small mixtures; early stopping also acts as regularisation for
+// the ill-posed large-support cases.
+var deconvIters = 120
+
+// DeconvolveHist estimates the true cardinality histogram underlying a
+// sampled one, assuming each true-cardinality-d occurrence was observed
+// with its conflict set thinned Binomial(d, q). The returned histogram
+// has support 0..maxD and carries the same total mass as hs. It returns
+// nil when the problem is too large for the cost cap — callers fall back
+// to per-bin occupancy weighting.
+func DeconvolveHist(hs []int, q float64, maxD int) []float64 {
+	mass := 0
+	kmax := 0
+	bins := 0
+	for k, c := range hs {
+		if c > 0 {
+			mass += c
+			kmax = k
+			bins++
+		}
+	}
+	if mass == 0 {
+		return make([]float64, 1)
+	}
+	if q >= 1 || maxD < kmax {
+		out := make([]float64, kmax+1)
+		for k, c := range hs {
+			if c > 0 {
+				out[k] = float64(c)
+			}
+		}
+		return out
+	}
+	if (maxD+1)*bins > deconvCostLimit {
+		return nil
+	}
+
+	// Precompute the thinning kernel B[i][d] = P(Bin(d, q) = k_i) for the
+	// observed bins only, in log space for stability at large d.
+	ks := make([]int, 0, bins)
+	cs := make([]float64, 0, bins)
+	for k, c := range hs {
+		if c > 0 {
+			ks = append(ks, k)
+			cs = append(cs, float64(c))
+		}
+	}
+	lf := make([]float64, maxD+1)
+	for i := 2; i <= maxD; i++ {
+		lf[i] = lf[i-1] + math.Log(float64(i))
+	}
+	lq, l1q := math.Log(q), math.Log1p(-q)
+	B := make([][]float64, len(ks))
+	for i, k := range ks {
+		row := make([]float64, maxD+1)
+		for d := k; d <= maxD; d++ {
+			row[d] = math.Exp(lf[d] - lf[k] - lf[d-k] + float64(k)*lq + float64(d-k)*l1q)
+		}
+		B[i] = row
+	}
+
+	// Initialise from the stretched histogram (the occupancy estimator's
+	// support guess) plus uniform smoothing mass, then iterate EM.
+	p := make([]float64, maxD+1)
+	eps := 1.0 / float64(maxD+1)
+	for i := range p {
+		p[i] = eps
+	}
+	stretch := 1.0
+	if q > 0 {
+		stretch = 1 / q
+	}
+	for i, k := range ks {
+		d := int(math.Round(float64(k) * stretch))
+		if d > maxD {
+			d = maxD
+		}
+		p[d] += cs[i] / float64(mass)
+	}
+	normalize(p)
+
+	next := make([]float64, maxD+1)
+	for it := 0; it < deconvIters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i := range ks {
+			denom := 0.0
+			row := B[i]
+			for d, pd := range p {
+				if pd > 0 {
+					denom += pd * row[d]
+				}
+			}
+			if denom <= 0 {
+				continue
+			}
+			w := cs[i] / denom
+			for d, pd := range p {
+				if pd > 0 {
+					next[d] += pd * row[d] * w
+				}
+			}
+		}
+		copy(p, next)
+		normalize(p)
+	}
+
+	out := make([]float64, maxD+1)
+	for d, pd := range p {
+		out[d] = pd * float64(mass)
+	}
+	return out
+}
+
+func normalize(p []float64) {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	if s <= 0 {
+		return
+	}
+	for i := range p {
+		p[i] /= s
+	}
+}
+
+// DeconvSupport returns the true-cardinality support bound for a sampled
+// histogram: the largest observed bin stretched back by 1/q plus a
+// binomial-tail slack, so mass near the upper edge is representable.
+func DeconvSupport(hs []int, q float64) int {
+	kmax := 0
+	for k, c := range hs {
+		if c > 0 {
+			kmax = k
+		}
+	}
+	if q <= 0 || q >= 1 {
+		return kmax
+	}
+	d := float64(kmax)/q + 4*math.Sqrt(float64(kmax)+1)/q + 4
+	return int(d)
+}

@@ -108,6 +108,10 @@ func TestAPICompatGolden(t *testing.T) {
 		{"trace_list_kind", get("/v1/traces?kind=mixed"), 200},
 		{"explore", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"k":5}`, digest)), 200},
 		{"explore_cached", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"k":3}`, digest)), 200},
+		// 32 uniques sit far under the MinUnique floor, so the sampled
+		// request deterministically degenerates to exact — locking the
+		// sample summary's shape without locking estimator noise.
+		{"explore_sampled", post("/v1/explore?sample=0.5", fmt.Sprintf(`{"trace":%q,"k":5}`, digest)), 200},
 		{"simulate", post("/v1/simulate", fmt.Sprintf(`{"trace":%q,"depth":8,"assoc":2}`, digest)), 200},
 		{"verify", post("/v1/verify", fmt.Sprintf(`{"trace":%q,"k":5,"instances":[{"depth":8,"assoc":2}]}`, digest)), 200},
 		{"error_trace_not_found", get("/v1/traces/ffffffffffffffffffffffffffffffff"), 404},
@@ -115,6 +119,8 @@ func TestAPICompatGolden(t *testing.T) {
 		{"error_bad_request", post("/v1/explore", `{"trace":`), 400},
 		{"error_bad_kind", get("/v1/traces?kind=bananas"), 400},
 		{"error_bad_instance", post("/v1/verify", fmt.Sprintf(`{"trace":%q,"k":5,"instances":[{"depth":3,"assoc":1}]}`, digest)), 400},
+		{"error_invalid_sample_rate", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"k":5,"sample_rate":1.5}`, digest)), 400},
+		{"error_sample_verify", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"k":5,"sample_rate":0.5,"verify":true}`, digest)), 400},
 		{"trace_delete", del("/v1/traces/" + digest), 200},
 	}
 
@@ -163,12 +169,13 @@ func TestErrorCodesLocked(t *testing.T) {
 	got := []string{
 		codeBadRequest, codePayloadTooLarge, codeTraceNotFound, codeJobNotFound,
 		codeTraceBusy, codeQueueFull, codeOverloaded, codeDeadlineExceeded,
-		codeCanceled, codeUnavailable, codeInternal,
+		codeCanceled, codeUnavailable, codeInternal, codeInvalidSampleRate,
 	}
 	want := []string{
-		"bad_request", "canceled", "deadline_exceeded", "internal", "job_not_found",
-		"overloaded", "payload_too_large", "queue_full", "trace_busy",
-		"trace_not_found", "unavailable",
+		"bad_request", "canceled", "deadline_exceeded", "internal",
+		"invalid_sample_rate", "job_not_found", "overloaded",
+		"payload_too_large", "queue_full", "trace_busy", "trace_not_found",
+		"unavailable",
 	}
 	sort.Strings(got)
 	if !equalStrings(got, want) {

@@ -11,17 +11,18 @@ import (
 // the golden-file compatibility tests and mirrored by pkg/client's typed
 // errors).
 const (
-	codeBadRequest       = "bad_request"
-	codePayloadTooLarge  = "payload_too_large"
-	codeTraceNotFound    = "trace_not_found"
-	codeJobNotFound      = "job_not_found"
-	codeTraceBusy        = "trace_busy"
-	codeQueueFull        = "queue_full"
-	codeOverloaded       = "overloaded"
-	codeDeadlineExceeded = "deadline_exceeded"
-	codeCanceled         = "canceled"
-	codeUnavailable      = "unavailable"
-	codeInternal         = "internal"
+	codeBadRequest        = "bad_request"
+	codePayloadTooLarge   = "payload_too_large"
+	codeTraceNotFound     = "trace_not_found"
+	codeJobNotFound       = "job_not_found"
+	codeTraceBusy         = "trace_busy"
+	codeQueueFull         = "queue_full"
+	codeOverloaded        = "overloaded"
+	codeInvalidSampleRate = "invalid_sample_rate"
+	codeDeadlineExceeded  = "deadline_exceeded"
+	codeCanceled          = "canceled"
+	codeUnavailable       = "unavailable"
+	codeInternal          = "internal"
 )
 
 // errorBody is the inner object of the uniform error envelope.

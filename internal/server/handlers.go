@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"net/http"
 	"sort"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/dse"
 	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/internal/sampling"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -181,12 +183,19 @@ func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": digest})
 }
 
-// instanceJSON is one emitted (D, A) pair with its derived columns.
+// instanceJSON is one emitted (D, A) pair with its derived columns. The
+// misses_* interval fields appear only on sampled (approximate)
+// explorations that did not degenerate to exact.
 type instanceJSON struct {
 	Depth     int `json:"depth"`
 	Assoc     int `json:"assoc"`
 	SizeWords int `json:"size_words"`
 	Misses    int `json:"misses"`
+	// MissesSE is the standard error of the estimated miss count;
+	// MissesLo/MissesHi bracket it at the estimator's confidence level.
+	MissesSE float64 `json:"misses_se,omitempty"`
+	MissesLo int     `json:"misses_lo,omitempty"`
+	MissesHi int     `json:"misses_hi,omitempty"`
 }
 
 type exploreRequest struct {
@@ -198,6 +207,26 @@ type exploreRequest struct {
 	Parallel bool     `json:"parallel,omitempty"`
 	Verify   bool     `json:"verify,omitempty"`
 	Async    bool     `json:"async,omitempty"`
+	// SampleRate, when non-zero, runs the spatially-sampled approximate
+	// engine at that rate (0 < rate <= 1); the ?sample= query parameter
+	// overrides it.
+	SampleRate float64 `json:"sample_rate,omitempty"`
+}
+
+// sampleJSON summarises the sampling estimate attached to an approximate
+// exploration: rates, measured totals and the confidence level of the
+// per-instance intervals.
+type sampleJSON struct {
+	Mode          string  `json:"mode"`
+	RequestedRate float64 `json:"requested_rate"`
+	EffectiveRate float64 `json:"effective_rate"`
+	Confidence    float64 `json:"confidence"`
+	KeptRefs      int64   `json:"kept_refs"`
+	DroppedRefs   int64   `json:"dropped_refs"`
+	// Exact marks a sampled request that degenerated to the exact engine
+	// (rate 1, or the MinUnique floor clamped it): intervals are
+	// zero-width and the miss counts are not estimates.
+	Exact bool `json:"exact,omitempty"`
 }
 
 type exploreResponse struct {
@@ -212,6 +241,8 @@ type exploreResponse struct {
 	// because the worker pool was saturated; the answer is exact (the
 	// profile is deterministic) but any requested verify step was skipped.
 	Degraded bool `json:"degraded,omitempty"`
+	// Sample is present iff the exploration was sampled.
+	Sample *sampleJSON `json:"sample,omitempty"`
 }
 
 // budgetFor resolves the CLI's -k / -kpct convention: an absolute budget
@@ -246,6 +277,26 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "max_depth %d is not a power of two >= 1", req.MaxDepth)
 		return
 	}
+	// ?sample= overrides the body's sample_rate (the curl-friendly form).
+	if raw := r.URL.Query().Get("sample"); raw != "" {
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, codeInvalidSampleRate, "sample %q is not a number", raw)
+			return
+		}
+		req.SampleRate = f
+	}
+	if req.SampleRate != 0 {
+		if err := (sampling.Config{Rate: req.SampleRate}).Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, codeInvalidSampleRate, "%v", err)
+			return
+		}
+		if req.Verify {
+			httpError(w, http.StatusBadRequest, codeBadRequest,
+				"verify needs exact miss counts; drop sample_rate or verify the chosen instances separately")
+			return
+		}
+	}
 	s.dispatch(w, r, "explore", entry.Digest, req.Async, func(ctx context.Context) (any, error) {
 		return s.runExplore(ctx, entry, budget, req)
 	}, func() (any, bool) {
@@ -253,7 +304,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		// profile may already be cached (in memory or on disk). K only
 		// selects rows, so the budget-specific answer renders without
 		// pool work.
-		res, ok := s.cachedExplore(r.Context(), entry, req.MaxDepth)
+		res, ok := s.cachedExplore(r.Context(), exploreKey(entry.Digest, req))
 		if !ok {
 			return nil, false
 		}
@@ -263,10 +314,21 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// exploreKey is the memoization key of one depth profile. Sampled
+// profiles are keyed separately per rate — an approximate answer must
+// never be served where an exact one was asked for (or vice versa), and
+// the default seed makes a given rate deterministic.
+func exploreKey(digest string, req exploreRequest) string {
+	key := fmt.Sprintf("explore|%s|d=%d", digest, req.MaxDepth)
+	if req.SampleRate != 0 {
+		key = fmt.Sprintf("%s|sample=%g", key, req.SampleRate)
+	}
+	return key
+}
+
 // cachedExplore fetches a memoized depth profile from the result LRU or
 // the persistent store without running any pool work.
-func (s *Server) cachedExplore(ctx context.Context, entry *TraceEntry, maxDepth int) (*core.Result, bool) {
-	key := fmt.Sprintf("explore|%s|d=%d", entry.Digest, maxDepth)
+func (s *Server) cachedExplore(ctx context.Context, key string) (*core.Result, bool) {
 	if v, ok := s.results.Get(key); ok {
 		return v.(*core.Result), true
 	}
@@ -277,6 +339,9 @@ func (s *Server) cachedExplore(ctx context.Context, entry *TraceEntry, maxDepth 
 }
 
 // renderExplore projects a depth profile into the budget-K response rows.
+// Sampled profiles additionally carry the estimate summary and, unless
+// the sample degenerated to exact, per-instance standard errors and
+// confidence bounds derived from the estimator's raw histograms.
 func renderExplore(entry *TraceEntry, budget int, req exploreRequest, res *core.Result, cached bool) *exploreResponse {
 	instances, tab := dse.InstanceTable(res, budget, entry.Stats.MaxMisses, req.Pareto)
 	resp := &exploreResponse{
@@ -295,6 +360,25 @@ func renderExplore(entry *TraceEntry, budget int, req exploreRequest, res *core.
 			Misses:    res.Level(ins.Depth).Misses(ins.Assoc),
 		}
 	}
+	if est := res.Sample; est != nil {
+		resp.Sample = &sampleJSON{
+			Mode:          est.Mode,
+			RequestedRate: est.RequestedRate,
+			EffectiveRate: est.EffectiveRate,
+			Confidence:    sampling.ConfidenceLevel,
+			KeptRefs:      est.KeptRefs,
+			DroppedRefs:   est.DroppedRefs,
+			Exact:         est.Exact(),
+		}
+		if !est.Exact() {
+			for i := range resp.Instances {
+				lvl := bits.TrailingZeros(uint(resp.Instances[i].Depth))
+				resp.Instances[i].MissesSE = est.SE(lvl, resp.Instances[i].Assoc)
+				resp.Instances[i].MissesLo, resp.Instances[i].MissesHi =
+					est.CI95(lvl, resp.Instances[i].Assoc, resp.Instances[i].Misses)
+			}
+		}
+	}
 	return resp
 }
 
@@ -307,7 +391,7 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 		root.SetAttr("n", entry.Stats.N)
 		root.SetAttr("n_unique", entry.Stats.NUnique)
 	}
-	key := fmt.Sprintf("explore|%s|d=%d", entry.Digest, req.MaxDepth)
+	key := exploreKey(entry.Digest, req)
 	var res *core.Result
 	cached := false
 	_, lookupSpan := obs.StartSpan(ctx, "lookup")
@@ -324,18 +408,27 @@ func (s *Server) runExplore(ctx context.Context, entry *TraceEntry, budget int, 
 		lookupSpan.End()
 	}
 	if !cached {
-		stripped, mrct, err := entry.Prelude(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if root := obs.CurrentSpan(ctx); root != nil {
-			root.SetAttr("dedup_hit_rate", mrct.DedupHitRate())
-		}
-		opts := core.Options{MaxDepth: req.MaxDepth}
+		opts := core.Options{MaxDepth: req.MaxDepth, SampleRate: req.SampleRate}
 		if req.Parallel {
 			opts.Workers = -1
 		}
-		res, err = core.Explore(ctx, core.Prelude{Stripped: stripped, MRCT: mrct}, opts)
+		var err error
+		if req.SampleRate != 0 {
+			// The sampled engine needs the raw trace, not the memoized
+			// prelude: its stratification plan reads per-address occurrence
+			// masses and its estimate calibrates against the occurrence
+			// counts a stripped prelude no longer carries.
+			res, err = core.Explore(ctx, entry.Trace, opts)
+		} else {
+			stripped, mrct, perr := entry.Prelude(ctx)
+			if perr != nil {
+				return nil, perr
+			}
+			if root := obs.CurrentSpan(ctx); root != nil {
+				root.SetAttr("dedup_hit_rate", mrct.DedupHitRate())
+			}
+			res, err = core.Explore(ctx, core.Prelude{Stripped: stripped, MRCT: mrct}, opts)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -677,3 +677,82 @@ func TestTraceDigestFormatIndependent(t *testing.T) {
 		t.Fatal("different traces share a digest")
 	}
 }
+
+func TestServerSampledExplore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A sliding-window trace: ~23k unique addresses, so a 0.5 rate clears
+	// the MinUnique floor (s_min = 8192) and the exploration is genuinely
+	// approximate, while the short reuse distances (and the max_depth cap
+	// in the requests) keep the exact baseline sub-second.
+	rng := rand.New(rand.NewSource(11))
+	tr := trace.New(72000)
+	for i := 0; i < 72000; i++ {
+		kind := trace.DataRead
+		if i%7 == 0 {
+			kind = trace.DataWrite
+		}
+		tr.Append(trace.Ref{Addr: uint32(i/3 + rng.Intn(256)), Kind: kind})
+	}
+	var din bytes.Buffer
+	if err := trace.WriteText(&din, tr); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := uploadTrace(t, ts, din.Bytes())
+
+	var exact exploreResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/explore",
+		[]byte(`{"trace":"`+info.Digest+`","k":100,"max_depth":256}`), &exact); code != http.StatusOK {
+		t.Fatalf("exact explore: code %d", code)
+	}
+	if exact.Sample != nil {
+		t.Fatal("exact exploration carries a sample summary")
+	}
+
+	var sampled exploreResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/explore?sample=0.5",
+		[]byte(`{"trace":"`+info.Digest+`","k":100,"max_depth":256}`), &sampled); code != http.StatusOK {
+		t.Fatalf("sampled explore: code %d", code)
+	}
+	if sampled.Sample == nil {
+		t.Fatal("sampled exploration has no sample summary")
+	}
+	if sampled.Sample.Exact {
+		t.Fatalf("rate 0.5 over %d uniques should not degenerate to exact", info.NUnique)
+	}
+	if sampled.Sample.Mode != "postlude" || sampled.Sample.Confidence != 0.95 {
+		t.Errorf("sample summary = %+v", sampled.Sample)
+	}
+	if sampled.Sample.KeptRefs+sampled.Sample.DroppedRefs != int64(info.N) {
+		t.Errorf("kept %d + dropped %d != N %d",
+			sampled.Sample.KeptRefs, sampled.Sample.DroppedRefs, info.N)
+	}
+	// Instances carry confidence bounds bracketing the estimate, and the
+	// estimates track the exact engine's picks on the same budget rows.
+	if len(sampled.Instances) != len(exact.Instances) {
+		t.Fatalf("sampled emitted %d instances, exact %d", len(sampled.Instances), len(exact.Instances))
+	}
+	for i, ins := range sampled.Instances {
+		if ins.MissesLo > ins.Misses || ins.MissesHi < ins.Misses {
+			t.Errorf("instance %d: CI [%d, %d] does not bracket %d", i, ins.MissesLo, ins.MissesHi, ins.Misses)
+		}
+	}
+
+	// The sampled profile memoizes under its own key: re-asking is a cache
+	// hit, and the exact profile above was never displaced.
+	var again exploreResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/explore",
+		[]byte(`{"trace":"`+info.Digest+`","k":100,"max_depth":256,"sample_rate":0.5}`), &again); code != http.StatusOK {
+		t.Fatalf("repeat sampled explore: code %d", code)
+	}
+	if !again.Cached {
+		t.Error("repeated sampled exploration missed the result cache")
+	}
+	if again.Sample == nil || again.Sample.EffectiveRate != sampled.Sample.EffectiveRate {
+		t.Errorf("cached sample summary differs: %+v vs %+v", again.Sample, sampled.Sample)
+	}
+	for i, ins := range again.Instances {
+		if ins != sampled.Instances[i] {
+			t.Errorf("cached instance %d = %+v, want %+v", i, ins, sampled.Instances[i])
+		}
+	}
+}

@@ -293,3 +293,81 @@ func TestErrorEnvelopeFallsBackToRawBody(t *testing.T) {
 		t.Fatal("raw body should land in Message")
 	}
 }
+
+func TestExploreSampleRatePassThrough(t *testing.T) {
+	// The client forwards sample_rate on the wire and decodes the sample
+	// summary and per-instance confidence bounds from the response.
+	var gotBody map[string]any
+	cl, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&gotBody); err != nil {
+			t.Errorf("decoding request body: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{
+			"trace":"abc","k":5,"max_misses":100,
+			"instances":[{"depth":8,"assoc":2,"size_words":16,"misses":40,"misses_se":2.5,"misses_lo":35,"misses_hi":45}],
+			"table":"",
+			"sample":{"mode":"postlude","requested_rate":0.1,"effective_rate":0.25,"confidence":0.95,"kept_refs":250,"dropped_refs":750}
+		}`)
+	}))
+	k := 5
+	resp, err := cl.Explore(context.Background(), ExploreRequest{Trace: "abc", K: &k, SampleRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := gotBody["sample_rate"].(float64); !ok || got != 0.1 {
+		t.Errorf("request carried sample_rate %v, want 0.1", gotBody["sample_rate"])
+	}
+	if resp.Sample == nil || resp.Sample.EffectiveRate != 0.25 || resp.Sample.Confidence != 0.95 {
+		t.Fatalf("sample summary = %+v", resp.Sample)
+	}
+	ins := resp.Instances[0]
+	if ins.MissesSE != 2.5 || ins.MissesLo != 35 || ins.MissesHi != 45 {
+		t.Errorf("instance interval = %+v", ins)
+	}
+}
+
+func TestExploreSampleRateOmittedWhenZero(t *testing.T) {
+	// An exact request must not mention sample_rate at all: older servers
+	// reject unknown-but-present fields only implicitly, and the zero value
+	// must keep the exact semantics byte-for-byte.
+	var raw []byte
+	cl, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, r.ContentLength)
+		r.Body.Read(b)
+		raw = b
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"trace":"abc","k":5,"max_misses":100,"instances":[],"table":""}`)
+	}))
+	k := 5
+	resp, err := cl.Explore(context.Background(), ExploreRequest{Trace: "abc", K: &k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := m["sample_rate"]; present {
+		t.Errorf("exact request serialized sample_rate: %s", raw)
+	}
+	if resp.Sample != nil {
+		t.Errorf("exact response decoded a sample summary: %+v", resp.Sample)
+	}
+}
+
+func TestInvalidSampleRateSentinel(t *testing.T) {
+	var calls atomic.Int32
+	cl, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeEnvelope(w, http.StatusBadRequest, "invalid_sample_rate", "rate 7 outside (0, 1]")
+	}))
+	k := 5
+	_, err := cl.Explore(context.Background(), ExploreRequest{Trace: "abc", K: &k, SampleRate: 7})
+	if !errors.Is(err, ErrInvalidSampleRate) {
+		t.Fatalf("errors.Is(%v, ErrInvalidSampleRate) = false", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (client mistakes are not retried)", got)
+	}
+}

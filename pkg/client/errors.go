@@ -17,17 +17,18 @@ func (c apiCode) Error() string { return "cachedse: " + string(c) }
 //	_, err := c.GetTrace(ctx, digest)
 //	if errors.Is(err, client.ErrTraceNotFound) { ... }
 var (
-	ErrBadRequest       error = apiCode("bad_request")
-	ErrPayloadTooLarge  error = apiCode("payload_too_large")
-	ErrTraceNotFound    error = apiCode("trace_not_found")
-	ErrJobNotFound      error = apiCode("job_not_found")
-	ErrTraceBusy        error = apiCode("trace_busy")
-	ErrQueueFull        error = apiCode("queue_full")
-	ErrOverloaded       error = apiCode("overloaded")
-	ErrDeadlineExceeded error = apiCode("deadline_exceeded")
-	ErrCanceled         error = apiCode("canceled")
-	ErrUnavailable      error = apiCode("unavailable")
-	ErrInternal         error = apiCode("internal")
+	ErrBadRequest        error = apiCode("bad_request")
+	ErrPayloadTooLarge   error = apiCode("payload_too_large")
+	ErrTraceNotFound     error = apiCode("trace_not_found")
+	ErrJobNotFound       error = apiCode("job_not_found")
+	ErrTraceBusy         error = apiCode("trace_busy")
+	ErrQueueFull         error = apiCode("queue_full")
+	ErrOverloaded        error = apiCode("overloaded")
+	ErrInvalidSampleRate error = apiCode("invalid_sample_rate")
+	ErrDeadlineExceeded  error = apiCode("deadline_exceeded")
+	ErrCanceled          error = apiCode("canceled")
+	ErrUnavailable       error = apiCode("unavailable")
+	ErrInternal          error = apiCode("internal")
 )
 
 // APIError is a non-2xx response from the service, carrying the HTTP

@@ -27,12 +27,19 @@ type ListOptions struct {
 	Kind   string // "instr", "data" or "mixed"; empty lists all
 }
 
-// Instance is one emitted (depth, assoc) cache configuration.
+// Instance is one emitted (depth, assoc) cache configuration. The
+// MissesSE/MissesLo/MissesHi interval fields are present only on sampled
+// (approximate) explorations that did not degenerate to exact.
 type Instance struct {
 	Depth     int `json:"depth"`
 	Assoc     int `json:"assoc"`
 	SizeWords int `json:"size_words"`
 	Misses    int `json:"misses"`
+	// MissesSE is the standard error of the estimated miss count;
+	// MissesLo/MissesHi bracket it at SampleInfo.Confidence.
+	MissesSE float64 `json:"misses_se,omitempty"`
+	MissesLo int     `json:"misses_lo,omitempty"`
+	MissesHi int     `json:"misses_hi,omitempty"`
 }
 
 // ExploreRequest asks for the set of cache instances meeting a miss
@@ -46,20 +53,41 @@ type ExploreRequest struct {
 	Pareto   bool     `json:"pareto,omitempty"`
 	Parallel bool     `json:"parallel,omitempty"`
 	Verify   bool     `json:"verify,omitempty"`
+	// SampleRate, when non-zero, asks for a spatially-sampled approximate
+	// exploration at that rate (0 < rate <= 1). Rates outside the range
+	// fail with ErrInvalidSampleRate; combining with Verify is rejected.
+	SampleRate float64 `json:"sample_rate,omitempty"`
+}
+
+// SampleInfo summarises the sampling estimate of an approximate
+// exploration: the rates used, the measured kept/dropped reference
+// totals, and the confidence level of the per-instance intervals.
+type SampleInfo struct {
+	Mode          string  `json:"mode"`
+	RequestedRate float64 `json:"requested_rate"`
+	EffectiveRate float64 `json:"effective_rate"`
+	Confidence    float64 `json:"confidence"`
+	KeptRefs      int64   `json:"kept_refs"`
+	DroppedRefs   int64   `json:"dropped_refs"`
+	// Exact marks a sampled request that degenerated to the exact engine
+	// (rate 1, or the server's unique-count floor clamped it).
+	Exact bool `json:"exact,omitempty"`
 }
 
 // ExploreResponse is the exploration's answer. Degraded marks an answer
 // served from cached results while the server was saturated — exact, but
-// any requested verification was skipped.
+// any requested verification was skipped. Sample is present iff the
+// exploration was sampled.
 type ExploreResponse struct {
-	Trace     string     `json:"trace"`
-	K         int        `json:"k"`
-	MaxMisses int        `json:"max_misses"`
-	Instances []Instance `json:"instances"`
-	Table     string     `json:"table"`
-	Cached    bool       `json:"cached"`
-	Verified  bool       `json:"verified,omitempty"`
-	Degraded  bool       `json:"degraded,omitempty"`
+	Trace     string      `json:"trace"`
+	K         int         `json:"k"`
+	MaxMisses int         `json:"max_misses"`
+	Instances []Instance  `json:"instances"`
+	Table     string      `json:"table"`
+	Cached    bool        `json:"cached"`
+	Verified  bool        `json:"verified,omitempty"`
+	Degraded  bool        `json:"degraded,omitempty"`
+	Sample    *SampleInfo `json:"sample,omitempty"`
 }
 
 // SimulateRequest runs one concrete cache configuration over a trace.

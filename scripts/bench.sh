@@ -44,7 +44,7 @@ while [ $# -gt 0 ]; do
 done
 
 benchtime=${BENCHTIME:-3x}
-pattern=${PATTERN:-'^(BenchmarkTable31|BenchmarkTable32|BenchmarkFigure4|BenchmarkAblationMRCTBuild|BenchmarkAblationParallelExplore|BenchmarkMicroIntersect|BenchmarkMicroMRCTDedup)$'}
+pattern=${PATTERN:-'^(BenchmarkTable31|BenchmarkTable32|BenchmarkFigure4|BenchmarkSampledExplore|BenchmarkAblationMRCTBuild|BenchmarkAblationParallelExplore|BenchmarkMicroIntersect|BenchmarkMicroMRCTDedup)$'}
 
 raw="$out.txt"
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" . | tee "$raw"
