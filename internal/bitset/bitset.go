@@ -96,6 +96,27 @@ func (s *Set) Clear() {
 	}
 }
 
+// Reset empties the set and re-sizes it to capacity n, reusing the word
+// storage when it is large enough. It is the reuse hook for pooled sets:
+// a freelist can hand the same Set to explorations over different
+// identifier universes without allocating, and the set always comes back
+// empty.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	w := (n + wordBits - 1) / wordBits
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n}

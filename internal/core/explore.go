@@ -36,6 +36,9 @@ type Options struct {
 	// Workers sets the postlude parallelism: 0 or 1 runs the serial
 	// depth-first postlude, n > 1 fans the postlude out over n
 	// work-stealing workers, and any negative value uses GOMAXPROCS.
+	// Requests beyond GOMAXPROCS are clamped to it — extra workers on a
+	// saturated machine only add queue and merge overhead (the negative
+	// scaling BENCH_core.json's parallel ablation used to record).
 	// Results are bit-identical at every setting.
 	Workers int
 	// Engine selects the postlude formulation. EngineAuto (the zero
@@ -85,13 +88,17 @@ func (e Engine) String() string {
 }
 
 // workerCount resolves Options.Workers: 0 and 1 are serial, negative is
-// GOMAXPROCS, anything else is taken literally.
+// GOMAXPROCS, anything else is clamped to GOMAXPROCS.
 func (o Options) workerCount() int {
+	max := runtime.GOMAXPROCS(0)
 	if o.Workers < 0 {
-		return runtime.GOMAXPROCS(0)
+		return max
 	}
 	if o.Workers == 0 {
 		return 1
+	}
+	if o.Workers > max {
+		return max
 	}
 	return o.Workers
 }
@@ -234,43 +241,60 @@ func Explore(ctx context.Context, src Source, opts Options) (*Result, error) {
 	if opts.SampleRate != 0 {
 		return exploreSampled(ctx, src, opts)
 	}
-	s, m, err := resolveSource(ctx, src)
+	sc := sharedScratch.Get(scratchHint(src))
+	defer sharedScratch.Put(sc)
+	s, m, err := resolveSource(ctx, src, sc)
 	if err != nil {
 		return nil, err
 	}
-	return runPostlude(ctx, s, m, opts)
+	return runPostlude(ctx, s, m, opts, sc)
 }
 
 // runPostlude dispatches the resolved (stripped, MRCT) pair to the
-// configured postlude engine. Both the exact and the sampled path funnel
+// configured postlude engine, drawing working memory from sc (nil gets a
+// private throwaway scratch). Both the exact and the sampled path funnel
 // through here, so engine selection and the postlude failpoint behave
 // identically in both modes.
-func runPostlude(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+func runPostlude(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, sc *Scratch) (*Result, error) {
 	if err := faultinject.Hit("core.postlude"); err != nil {
 		return nil, err
+	}
+	if sc == nil {
+		sc = &Scratch{}
 	}
 	workers := opts.workerCount()
 	switch opts.Engine {
 	case EngineAuto, EngineDFS:
 		if workers > 1 {
-			return exploreParallel(ctx, s, m, opts, workers)
+			return exploreParallel(ctx, s, m, opts, workers, sc)
 		}
-		return exploreDFS(ctx, s, m, opts)
+		return exploreDFS(ctx, s, m, opts, sc)
 	case EngineBCAT:
-		if workers > 1 {
+		// Reject on the requested worker count, not the resolved one:
+		// GOMAXPROCS clamping must not make Workers=8 mean something
+		// different on a one-core host than on an eight-core one.
+		if opts.Workers > 1 || workers > 1 {
 			return nil, fmt.Errorf("core: the %s engine is serial; it rejects Workers = %d", opts.Engine, opts.Workers)
 		}
-		return exploreBCAT(ctx, s, BuildBCAT(s, 0), m, opts)
+		sc.resetSets()
+		return exploreBCAT(ctx, s, buildBCATAlloc(s, 0, sc.newSet), m, opts, sc)
 	default:
 		return nil, fmt.Errorf("core: unknown engine %s", opts.Engine)
 	}
 }
 
 // stripWithSpan wraps the prelude's strip pass in a "strip" span when
-// ctx carries a recorder; otherwise it is trace.Strip.
-func stripWithSpan(ctx context.Context, t *trace.Trace) *trace.Stripped {
+// ctx carries a recorder; otherwise it is trace.StripInto over sc's
+// pooled stripped form (sc nil falls back to a fresh Strip).
+func stripWithSpan(ctx context.Context, t *trace.Trace, sc *Scratch) *trace.Stripped {
 	_, span := obs.StartSpan(ctx, "strip")
-	s := trace.Strip(t)
+	var s *trace.Stripped
+	if sc != nil {
+		s = trace.StripInto(t, &sc.stripped)
+		sc.note(s.N())
+	} else {
+		s = trace.Strip(t)
+	}
 	if span != nil {
 		span.SetAttr("n", s.N())
 		span.SetAttr("n_unique", s.NUnique())
@@ -304,10 +328,15 @@ func (c *ctxCheck) stop() bool {
 // (§2.4): the BCAT is never materialised; the recursion carries only the
 // current root-to-leaf path of row sets, accumulating every level's
 // distance histogram on the way down. The DFS checks ctx every few row
-// sets.
-func exploreDFS(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (*Result, error) {
+// sets. All row sets and zero/one planes come from sc's freelist: only
+// one (left, right) pair per level is ever live, so the whole walk reuses
+// O(levels) pooled sets and allocates nothing once the scratch is warm.
+func exploreDFS(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, sc *Scratch) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if sc == nil {
+		sc = &Scratch{}
 	}
 	levels, err := levelCount(s, opts)
 	if err != nil {
@@ -320,9 +349,11 @@ func exploreDFS(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (
 		endPostludeSpan(span, "dfs", r, nil, nil)
 		return r, nil
 	}
-	zo := s.ZeroOneSets(levels)
+	sc.resetSets()
+	zo := s.ZeroOneSetsAlloc(levels, sc.newSet)
+	lefts, rights := sc.dfsPairs(levels + 1)
 
-	root := bitset.New(s.NUnique())
+	root := sc.newSet(s.NUnique())
 	for id := 0; id < s.NUnique(); id++ {
 		root.Add(id)
 	}
@@ -354,8 +385,14 @@ func exploreDFS(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options) (
 			// this or any deeper depth (Algorithm 1's stop criterion).
 			return
 		}
-		left := bitset.New(set.Cap())
-		right := bitset.New(set.Cap())
+		// One (left, right) pair per level serves the whole walk: when the
+		// DFS returns to this level the previous children are dead, and
+		// And overwrites every word, so no clearing is needed either.
+		left, right := lefts[level], rights[level]
+		if left == nil {
+			left, right = sc.newSet(set.Cap()), sc.newSet(set.Cap())
+			lefts[level], rights[level] = left, right
+		}
 		left.And(set, zo[level].Zero)
 		right.And(set, zo[level].One)
 		visit(left, level+1)
@@ -417,7 +454,10 @@ func endPostludeSpan(span *obs.Span, algorithm string, r *Result, lvlRows []int,
 // exploreBCAT runs Algorithm 3 over a materialised BCAT, the literal
 // formulation of the paper. It must produce exactly the same Result as
 // the DFS; that variant is preferred for its linear space.
-func exploreBCAT(ctx context.Context, s *trace.Stripped, t *BCAT, m *MRCT, opts Options) (*Result, error) {
+func exploreBCAT(ctx context.Context, s *trace.Stripped, t *BCAT, m *MRCT, opts Options, sc *Scratch) (*Result, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	levels, err := levelCount(s, opts)
 	if err != nil {
 		return nil, err
@@ -427,8 +467,11 @@ func exploreBCAT(ctx context.Context, s *trace.Stripped, t *BCAT, m *MRCT, opts 
 	}
 	r := newResult(s, m, levels)
 	if s.NUnique() > 0 {
-		// Depth 1: the single row holding every unique reference.
-		root := bitset.New(s.NUnique())
+		// Depth 1: the single row holding every unique reference. The set
+		// comes from the same freelist the tree was built from — the
+		// cursor was reset before BuildBCAT, not here, so the tree's sets
+		// stay live.
+		root := sc.newSet(s.NUnique())
 		for id := 0; id < s.NUnique(); id++ {
 			root.Add(id)
 		}
@@ -478,7 +521,13 @@ func accumulate(lr *LevelResult, set *bitset.Set, m *MRCT) {
 // through the hybrid kernel: packed word-wise AND+popcount for dense
 // conflict sets, the sparse element-probe kernel otherwise.
 func accumulateRange(lr *LevelResult, set *bitset.Set, m *MRCT, lo, hi int) {
-	hist := lr.Hist
+	accumulateRangeHist(lr.Hist, set, m, lo, hi)
+}
+
+// accumulateRangeHist is accumulateRange into a bare histogram slice (the
+// parallel workers' private histograms live in a flat pooled buffer, not
+// in LevelResults).
+func accumulateRangeHist(hist []int, set *bitset.Set, m *MRCT, lo, hi int) {
 	set.ForEachRange(lo, hi, func(e int) bool {
 		for _, o := range m.occ[e] {
 			var d int

@@ -146,11 +146,6 @@ func packThreshold(nunique int) int {
 	return words
 }
 
-// arenaBlock is the allocation granularity for deduped conflict-set
-// storage: one backing slice serves many sets, so the per-set allocation
-// in the old build disappears and the sets pack contiguously.
-const arenaBlock = 1 << 15
-
 // BuildMRCT builds the conflict table in a single pass using a global LRU
 // stack, the hash-table formulation §2.4 recommends over the literal double
 // loop of Algorithm 2. When reference u is re-accessed at stack position p,
@@ -165,49 +160,96 @@ func BuildMRCT(s *trace.Stripped) *MRCT {
 // the trace checks ctx every few thousand references and returns ctx.Err()
 // once it is done.
 //
+// The returned table is caller-owned: it is built through a throwaway
+// scratch, so it stays valid indefinitely (a Prelude can retain it across
+// explorations). The engine's internal path instead reuses a pooled
+// scratch via buildMRCT, whose output lives only until the scratch is
+// recycled.
+func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
+	m := &MRCT{}
+	if err := buildMRCT(ctx, s, &Scratch{}, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// buildMRCT builds the conflict table into m using sc's reusable buffers.
+//
 // Deduplication is by commutative 64-bit hash of the (unsorted) stack
 // prefix, verified against the stored candidates with an epoch-stamp
 // membership check; the full sort of a conflict set happens only when it
 // turns out to be a set never seen before. Repeat-dominated traces
 // therefore sort each distinct window once instead of once per occurrence.
-func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
+// Candidates sharing a hash are chained newest-first through dedupNext;
+// at most one candidate can pass the stamp check, so chain order cannot
+// affect the result.
+//
+// All of m's storage — sparse sets, packed bit-vectors, occurrence runs —
+// is carved from sc's arenas. A pooled caller must treat m as invalidated
+// once sc is reused; BuildMRCTContext passes a fresh scratch precisely so
+// its output has no such lifetime.
+func buildMRCT(ctx context.Context, s *trace.Stripped, sc *Scratch, m *MRCT) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	_, span := obs.StartSpan(ctx, "mrct")
 	nu := s.NUnique()
-	m := &MRCT{
-		nunique: nu,
-		occ:     make([][]occurrence, nu),
+	sc.note(s.N())
+	sc.i32.reset()
+	sc.bs.Reset()
+	m.nunique = nu
+	m.maxCard = 0
+	m.sets = m.sets[:0]
+	m.packed = m.packed[:0]
+	if cap(m.occ) < nu {
+		m.occ = make([][]occurrence, nu)
+	}
+	m.occ = m.occ[:nu]
+	for i := range m.occ {
+		m.occ[i] = nil
 	}
 	thresh := packThreshold(nu)
-	// dedup maps the commutative hash to the candidate set indices sharing
-	// it; genuine collisions are resolved by the stamp check below.
-	dedup := make(map[uint64][]int32)
-	// perID collects set indices per id before run-length encoding.
-	perID := make([][]int32, nu)
-	// idHash[v] caches hashID(v); stamp/epoch implement O(|C|) set
-	// equality against an unsorted candidate window.
-	idHash := make([]uint64, nu)
-	for v := range idHash {
-		idHash[v] = hashID(uint64(v))
+	// dedupHead maps the commutative hash to the newest candidate set
+	// index; older candidates chain through dedupNext. Genuine collisions
+	// are resolved by the stamp check below.
+	if sc.dedupHead == nil {
+		sc.dedupHead = make(map[uint64]int32)
+	} else {
+		clear(sc.dedupHead)
 	}
-	stamp := make([]uint64, nu)
-	epoch := uint64(0)
+	dedupHead := sc.dedupHead
+	dedupNext := sc.dedupNext[:0]
+	// idHash[v] caches hashID(v) — a pure function of v, so the cache only
+	// ever extends; stamp/epoch implement O(|C|) set equality against an
+	// unsorted candidate window. The epoch is monotone across builds, so
+	// stamps never need clearing between pooled runs.
+	for v := len(sc.idHash); v < nu; v++ {
+		sc.idHash = append(sc.idHash, hashID(uint64(v)))
+	}
+	idHash := sc.idHash
+	if len(sc.stamp) < nu {
+		sc.stamp = append(sc.stamp, make([]uint64, nu-len(sc.stamp))...)
+	}
+	stamp := sc.stamp
 	// pos[id] is id's position in the LRU stack (-1 when cold), so the
 	// linear stack search of the old build is gone; move-to-front already
 	// shifts the prefix, and the positions update in the same loop.
-	pos := make([]int32, nu)
+	if cap(sc.pos) < nu {
+		sc.pos = make([]int32, nu)
+	}
+	pos := sc.pos[:nu]
 	for i := range pos {
 		pos[i] = -1
 	}
-	var arena []int32
+	// pairs records (id, set index) per non-cold occurrence; one global
+	// sort at the end replaces the per-id slices of the old build.
+	pairs := sc.pairs[:0]
 
-	stack := make([]int, 0, 1024) // identifiers, most recent first
+	stack := sc.stack[:0] // identifiers, most recent first
 	for i, id := range s.IDs {
 		if i&4095 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		p := pos[id]
@@ -225,7 +267,8 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 		}
 		// Conflict set = stack prefix above id. Hash it commutatively and
 		// stamp its members in one pass; no sort needed for lookup.
-		epoch++
+		sc.epoch++
+		epoch := sc.epoch
 		var hsum, hxor uint64
 		for _, v := range stack[:p] {
 			h := idHash[v]
@@ -235,34 +278,28 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 		}
 		key := hashID(hsum ^ (hxor << 1) ^ uint64(p))
 		idx := int32(-1)
-		for _, cand := range dedup[key] {
-			cs := m.sets[cand]
-			if len(cs) != int(p) {
-				continue
-			}
-			match := true
-			for _, v := range cs {
-				if stamp[v] != epoch {
-					match = false
+		if head, ok := dedupHead[key]; ok {
+			for cand := head; cand >= 0; cand = dedupNext[cand] {
+				cs := m.sets[cand]
+				if len(cs) != int(p) {
+					continue
+				}
+				match := true
+				for _, v := range cs {
+					if stamp[v] != epoch {
+						match = false
+						break
+					}
+				}
+				if match {
+					idx = cand
 					break
 				}
-			}
-			if match {
-				idx = cand
-				break
 			}
 		}
 		if idx < 0 {
 			// First sighting: sort once, copy into the arena, maybe pack.
-			if cap(arena)-len(arena) < int(p) {
-				size := arenaBlock
-				if int(p) > size {
-					size = int(p)
-				}
-				arena = make([]int32, 0, size)
-			}
-			cp := arena[len(arena) : len(arena)+int(p)]
-			arena = arena[:len(arena)+int(p)]
+			cp := sc.i32.alloc(int(p))
 			for k, v := range stack[:p] {
 				cp[k] = int32(v)
 			}
@@ -271,7 +308,7 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 			m.sets = append(m.sets, cp)
 			var pk *bitset.Set
 			if len(cp) >= thresh {
-				pk = bitset.New(nu)
+				pk = sc.bs.New(nu)
 				for _, v := range cp {
 					pk.Add(int(v))
 				}
@@ -280,9 +317,14 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 			if int(p) > m.maxCard {
 				m.maxCard = int(p)
 			}
-			dedup[key] = append(dedup[key], idx)
+			if head, ok := dedupHead[key]; ok {
+				dedupNext = append(dedupNext, head)
+			} else {
+				dedupNext = append(dedupNext, -1)
+			}
+			dedupHead[key] = idx
 		}
-		perID[id] = append(perID[id], idx)
+		pairs = append(pairs, uint64(id)<<32|uint64(uint32(idx)))
 		// Move to front.
 		copy(stack[1:p+1], stack[:p])
 		for _, v := range stack[1 : p+1] {
@@ -291,26 +333,43 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 		stack[0] = id
 		pos[id] = 0
 	}
+	sc.stack = stack[:0]
+	sc.dedupNext = dedupNext
 
-	// Run-length encode per id, preserving nothing about order (the
-	// postlude only needs multiplicities).
-	for id, idxs := range perID {
-		if len(idxs) == 0 {
-			m.occ[id] = nil
-			continue
+	// Sort (id, set) pairs and run-length encode into occurrence runs
+	// carved from one exactly-sized buffer — occ[id] order per id is by
+	// set index, the same as the old per-id sort produced.
+	slices.Sort(pairs)
+	runs := 0
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
 		}
-		slices.Sort(idxs)
-		var occs []occurrence
-		for i := 0; i < len(idxs); {
+		runs++
+		i = j
+	}
+	occBuf := sc.occBuf[:0]
+	if cap(occBuf) < runs {
+		// Pre-size before carving: a mid-fill growth would strand the
+		// occ[id] slices already handed out on the old backing array.
+		occBuf = make([]occurrence, 0, runs)
+	}
+	for i := 0; i < len(pairs); {
+		id := int(pairs[i] >> 32)
+		start := len(occBuf)
+		for i < len(pairs) && int(pairs[i]>>32) == id {
 			j := i
-			for j < len(idxs) && idxs[j] == idxs[i] {
+			for j < len(pairs) && pairs[j] == pairs[i] {
 				j++
 			}
-			occs = append(occs, occurrence{set: idxs[i], count: int32(j - i)})
+			occBuf = append(occBuf, occurrence{set: int32(uint32(pairs[i])), count: int32(j - i)})
 			i = j
 		}
-		m.occ[id] = occs
+		m.occ[id] = occBuf[start:len(occBuf):len(occBuf)]
 	}
+	sc.occBuf = occBuf
+	sc.pairs = pairs[:0]
 	if span != nil {
 		span.SetAttr("n", s.N())
 		span.SetAttr("n_unique", nu)
@@ -321,7 +380,7 @@ func BuildMRCTContext(ctx context.Context, s *trace.Stripped) (*MRCT, error) {
 		span.SetAttr("packed_sets", m.PackedSets())
 		span.End()
 	}
-	return m, nil
+	return nil
 }
 
 // DedupHitRate is the fraction of non-cold occurrences whose conflict

@@ -91,6 +91,7 @@ func TestExploreContextRecordsPhaseSpans(t *testing.T) {
 // phase taxonomy: a split span (the BCAT walk) ahead of the postlude, and
 // level children carrying row counts but no per-level timing.
 func TestExploreParallelContextRecordsSplitSpan(t *testing.T) {
+	raiseGOMAXPROCS(t, 4)
 	tr := obsTestTrace(4_000, 1<<7)
 	rec := obs.NewRecorder(0)
 	ctx := obs.WithRecorder(context.Background(), rec)

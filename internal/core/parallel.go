@@ -46,10 +46,14 @@ const chunkIDs = 256
 // splitWork performs the BCAT split once, appending a work item (or
 // several chunks for large rows) for every node the sequential DFS would
 // visit. Returns the items and the row-set count per level, or ctx's
-// error if cancelled mid-walk.
-func splitWork(s *trace.Stripped, levels int, chk *ctxCheck) ([]workItem, []int, error) {
-	zo := s.ZeroOneSets(levels)
-	items := make([]workItem, 0, 4*s.NUnique()/chunkIDs+levels+1)
+// error if cancelled mid-walk. Row sets come from sc's freelist — unlike
+// the DFS, every set stays live until the workers drain the items, so the
+// freelist holds the whole tree's sets at once; the item slice itself is
+// also pooled.
+func splitWork(s *trace.Stripped, levels int, chk *ctxCheck, sc *Scratch) ([]workItem, []int, error) {
+	sc.resetSets()
+	zo := s.ZeroOneSetsAlloc(levels, sc.newSet)
+	items := sc.items[:0]
 	lvlRows := make([]int, levels+1)
 	enqueue := func(set *bitset.Set, level int) {
 		lvlRows[level]++
@@ -75,18 +79,19 @@ func splitWork(s *trace.Stripped, levels int, chk *ctxCheck) ([]workItem, []int,
 		if level >= levels || set.Count() < 2 {
 			return
 		}
-		left := bitset.New(set.Cap())
-		right := bitset.New(set.Cap())
+		left := sc.newSet(set.Cap())
+		right := sc.newSet(set.Cap())
 		left.And(set, zo[level].Zero)
 		right.And(set, zo[level].One)
 		visit(left, level+1)
 		visit(right, level+1)
 	}
-	root := bitset.New(s.NUnique())
+	root := sc.newSet(s.NUnique())
 	for id := 0; id < s.NUnique(); id++ {
 		root.Add(id)
 	}
 	visit(root, 0)
+	sc.items = items[:0]
 	if chk.err != nil {
 		return nil, nil, chk.err
 	}
@@ -111,22 +116,28 @@ func (q *stealQueue) pop() (workItem, bool) {
 
 // exploreParallel is the work-stealing postlude. workers has already been
 // resolved (> 1) by Explore; tiny traces still fall back to the serial
-// DFS, whose output is bit-identical.
-func exploreParallel(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, workers int) (*Result, error) {
+// DFS, whose output is bit-identical. The split sets, item queues and the
+// workers' private histograms all come from sc; workers touch disjoint
+// scratch regions, so the pool contract (one exploration per Scratch)
+// holds across the fan-out.
+func exploreParallel(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, workers int, sc *Scratch) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if sc == nil {
+		sc = &Scratch{}
 	}
 	levels, err := levelCount(s, opts)
 	if err != nil {
 		return nil, err
 	}
 	if workers == 1 || s.NUnique() < 2*workers || levels == 0 {
-		return exploreDFS(ctx, s, m, opts)
+		return exploreDFS(ctx, s, m, opts, sc)
 	}
 	r := newResult(s, m, levels)
 
 	_, splitSpan := obs.StartSpan(ctx, "split")
-	items, lvlRows, err := splitWork(s, levels, &ctxCheck{ctx: ctx, every: 64})
+	items, lvlRows, err := splitWork(s, levels, &ctxCheck{ctx: ctx, every: 64}, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -140,14 +151,29 @@ func exploreParallel(ctx context.Context, s *trace.Stripped, m *MRCT, opts Optio
 	span.SetAttr("items", len(items))
 	// Deal items round-robin so each queue sees a slice of every level —
 	// neighbouring chunks of the same hot row land on different workers.
-	queues := make([]*stealQueue, workers)
-	for w := range queues {
-		queues[w] = &stealQueue{items: make([]workItem, 0, len(items)/workers+1)}
+	// Queue structs and their item storage persist in the scratch; only
+	// the atomic cursors are rewound.
+	for len(sc.queues) < workers {
+		sc.queues = append(sc.queues, &stealQueue{})
+		sc.qitems = append(sc.qitems, nil)
+	}
+	queues := sc.queues[:workers]
+	for w, q := range queues {
+		q.items = sc.qitems[w][:0]
+		q.next.Store(0)
 	}
 	for i, it := range items {
 		q := queues[i%workers]
 		q.items = append(q.items, it)
 	}
+	for w, q := range queues {
+		sc.qitems[w] = q.items
+	}
+
+	// Private per-worker histograms ride one flat pooled buffer: worker w
+	// owns rows [w*(levels+1), (w+1)*(levels+1)), each m.maxCard+1 wide.
+	histLen := m.maxCard + 1
+	private := sc.ints(workers * (levels + 1) * histLen)
 
 	var (
 		wg sync.WaitGroup
@@ -157,10 +183,7 @@ func exploreParallel(ctx context.Context, s *trace.Stripped, m *MRCT, opts Optio
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			private := make([]*LevelResult, levels+1)
-			for i := range private {
-				private[i] = newLevelResult(i, m)
-			}
+			mine := private[w*(levels+1)*histLen : (w+1)*(levels+1)*histLen]
 			chk := &ctxCheck{ctx: ctx, every: 16}
 			// Drain the own queue, then steal: visit every queue starting
 			// from our own until all are empty.
@@ -174,12 +197,13 @@ func exploreParallel(ctx context.Context, s *trace.Stripped, m *MRCT, opts Optio
 					if chk.stop() {
 						return
 					}
-					accumulateRange(private[it.level], it.set, m, int(it.lo), int(it.hi))
+					hist := mine[int(it.level)*histLen : (int(it.level)+1)*histLen]
+					accumulateRangeHist(hist, it.set, m, int(it.lo), int(it.hi))
 				}
 			}
 			mu.Lock()
-			for i, p := range private {
-				mergeHist(r.Levels[i], p.Hist)
+			for i := 0; i <= levels; i++ {
+				mergeHist(r.Levels[i], mine[i*histLen:(i+1)*histLen])
 			}
 			mu.Unlock()
 		}(w)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -14,6 +15,20 @@ import (
 func workersOpt(opts Options, workers int) Options {
 	opts.Workers = workers
 	return opts
+}
+
+// raiseGOMAXPROCS lifts GOMAXPROCS to at least n for the duration of the
+// test. Options.Workers clamps to GOMAXPROCS, so on a small CI host a
+// test that wants the work-stealing path actually exercised (not the
+// serial fallback the clamp would pick) must raise the ceiling first.
+func raiseGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev >= n {
+		return
+	}
+	runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
 }
 
 func resultsIdentical(a, b *Result) bool {
@@ -39,6 +54,7 @@ func resultsIdentical(a, b *Result) bool {
 }
 
 func TestExploreParallelPaperExample(t *testing.T) {
+	raiseGOMAXPROCS(t, 16)
 	seq, err := Explore(context.Background(), paperex.Trace(), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +99,7 @@ func TestExploreParallelBadOptions(t *testing.T) {
 // Property: parallel and sequential exploration agree on random traces for
 // every worker count.
 func TestQuickParallelMatchesSequential(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
 	f := func(bs []uint8, workersRaw uint8) bool {
 		tr := trace.New(0)
 		for _, b := range bs {
@@ -105,6 +122,7 @@ func TestQuickParallelMatchesSequential(t *testing.T) {
 
 // Determinism under scheduling: repeated parallel runs are identical.
 func TestExploreParallelDeterministic(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
 	rng := rand.New(rand.NewSource(99))
 	tr := trace.New(0)
 	for i := 0; i < 5000; i++ {

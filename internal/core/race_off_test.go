@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count gates skip under it: instrumentation allocates on its
+// own schedule and would make the gate flaky for no signal.
+const raceEnabled = false

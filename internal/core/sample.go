@@ -39,17 +39,19 @@ func exploreSampled(ctx context.Context, src Source, opts Options) (*Result, err
 	if err := faultinject.Hit("core.sample"); err != nil {
 		return nil, err
 	}
+	sc := sharedScratch.Get(scratchHint(src))
+	defer sharedScratch.Put(sc)
 	switch v := src.(type) {
 	case *trace.Trace:
 		if v == nil {
 			return nil, fmt.Errorf("core: Explore given a nil *trace.Trace")
 		}
-		return explorePostludeSampled(ctx, v, cfg, opts)
+		return explorePostludeSampled(ctx, v, cfg, opts, sc)
 	case trace.RefReader:
 		if v == nil {
 			return nil, fmt.Errorf("core: Explore given a nil trace.RefReader")
 		}
-		return exploreStreamSampled(ctx, v, cfg, opts)
+		return exploreStreamSampled(ctx, v, cfg, opts, sc)
 	case Prelude:
 		return nil, fmt.Errorf("core: sampled exploration needs a raw reference source, not a pre-built Prelude")
 	case nil:
@@ -63,8 +65,8 @@ func exploreSampled(ctx context.Context, src Source, opts Options) (*Result, err
 // postlude (sampling.ModePostlude), stratified so that heavy addresses —
 // whose all-or-nothing inclusion would dominate the estimator's variance
 // — are certainty units while the flat remainder is hash-sampled.
-func explorePostludeSampled(ctx context.Context, tr *trace.Trace, cfg sampling.Config, opts Options) (*Result, error) {
-	s := stripWithSpan(ctx, tr)
+func explorePostludeSampled(ctx context.Context, tr *trace.Trace, cfg sampling.Config, opts Options, sc *Scratch) (*Result, error) {
+	s := stripWithSpan(ctx, tr, sc)
 	eff := cfg.EffectiveRate(s.NUnique())
 	seed := cfg.SeedValue()
 
@@ -88,11 +90,11 @@ func explorePostludeSampled(ctx context.Context, tr *trace.Trace, cfg sampling.C
 	if eff >= 1 {
 		// Degenerate exact run: the full postlude, with the estimate
 		// attached so callers still see rate/CI metadata (all zero-width).
-		_, m, err := buildPreludeMRCT(ctx, s)
+		_, m, err := buildPreludeMRCT(ctx, s, sc)
 		if err != nil {
 			return nil, err
 		}
-		res, err := runPostlude(ctx, s, m, opts)
+		res, err := runPostlude(ctx, s, m, opts, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +143,7 @@ func explorePostludeSampled(ctx context.Context, tr *trace.Trace, cfg sampling.C
 		span.End()
 	}
 
-	_, m, err := buildPreludeMRCT(ctx, s)
+	_, m, err := buildPreludeMRCT(ctx, s, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +152,7 @@ func explorePostludeSampled(ctx context.Context, tr *trace.Trace, cfg sampling.C
 	levels := 0
 	if certUnique > 0 {
 		view, cm := m.FilterOcc(cert)
-		certRes, err := runPostlude(ctx, s, view, opts)
+		certRes, err := runPostlude(ctx, s, view, opts, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +162,7 @@ func explorePostludeSampled(ctx context.Context, tr *trace.Trace, cfg sampling.C
 	}
 	{
 		view, sm := m.FilterOcc(keepSamp)
-		sampRes, err := runPostlude(ctx, s, view, opts)
+		sampRes, err := runPostlude(ctx, s, view, opts, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +189,7 @@ func explorePostludeSampled(ctx context.Context, tr *trace.Trace, cfg sampling.C
 
 // exploreStreamSampled thins the reference stream before the prelude
 // (sampling.ModeStream).
-func exploreStreamSampled(ctx context.Context, rr trace.RefReader, cfg sampling.Config, opts Options) (*Result, error) {
+func exploreStreamSampled(ctx context.Context, rr trace.RefReader, cfg sampling.Config, opts Options, sc *Scratch) (*Result, error) {
 	// A blind stream's unique count is unknown up front, so the MinUnique
 	// floor cannot engage and the requested rate is used as-is.
 	eff := cfg.EffectiveRate(0)
@@ -197,7 +199,7 @@ func exploreStreamSampled(ctx context.Context, rr trace.RefReader, cfg sampling.
 	// as the strip pass pulls references through, so kept/dropped totals
 	// are only final once the strip completes.
 	_, span := obs.StartSpan(ctx, "sample")
-	s, err := stripReaderWithSpan(ctx, filter)
+	s, err := stripReaderWithSpan(ctx, filter, sc)
 	if span != nil {
 		span.SetAttr("mode", sampling.ModeStream)
 		span.SetAttr("requested_rate", cfg.Rate)
@@ -210,11 +212,11 @@ func exploreStreamSampled(ctx context.Context, rr trace.RefReader, cfg sampling.
 		return nil, err
 	}
 
-	_, m, err := buildPreludeMRCT(ctx, s)
+	_, m, err := buildPreludeMRCT(ctx, s, sc)
 	if err != nil {
 		return nil, err
 	}
-	sampled, err := runPostlude(ctx, s, m, opts)
+	sampled, err := runPostlude(ctx, s, m, opts, sc)
 	if err != nil {
 		return nil, err
 	}

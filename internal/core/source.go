@@ -32,9 +32,11 @@ type Prelude struct {
 
 // resolveSource normalises a Source into the (stripped, MRCT) pair the
 // postlude consumes, running whatever part of the prelude the shape still
-// needs. Phase boundaries carry failpoints (core.strip, core.mrct) so the
-// chaos suite can fail an exploration between phases.
-func resolveSource(ctx context.Context, src Source) (*trace.Stripped, *MRCT, error) {
+// needs against sc's pooled buffers (a Prelude source bypasses sc — its
+// structures are caller-owned and outlive the scratch). Phase boundaries
+// carry failpoints (core.strip, core.mrct) so the chaos suite can fail an
+// exploration between phases.
+func resolveSource(ctx context.Context, src Source, sc *Scratch) (*trace.Stripped, *MRCT, error) {
 	switch v := src.(type) {
 	case *trace.Trace:
 		if v == nil {
@@ -43,8 +45,8 @@ func resolveSource(ctx context.Context, src Source) (*trace.Stripped, *MRCT, err
 		if err := faultinject.Hit("core.strip"); err != nil {
 			return nil, nil, err
 		}
-		s := stripWithSpan(ctx, v)
-		return buildPreludeMRCT(ctx, s)
+		s := stripWithSpan(ctx, v, sc)
+		return buildPreludeMRCT(ctx, s, sc)
 	case Prelude:
 		if v.Stripped == nil || v.MRCT == nil {
 			return nil, nil, fmt.Errorf("core: Prelude needs both Stripped and MRCT (got %v, %v)", v.Stripped != nil, v.MRCT != nil)
@@ -57,11 +59,11 @@ func resolveSource(ctx context.Context, src Source) (*trace.Stripped, *MRCT, err
 		if err := faultinject.Hit("core.strip"); err != nil {
 			return nil, nil, err
 		}
-		s, err := stripReaderWithSpan(ctx, v)
+		s, err := stripReaderWithSpan(ctx, v, sc)
 		if err != nil {
 			return nil, nil, err
 		}
-		return buildPreludeMRCT(ctx, s)
+		return buildPreludeMRCT(ctx, s, sc)
 	case nil:
 		return nil, nil, fmt.Errorf("core: Explore given a nil Source")
 	default:
@@ -69,14 +71,22 @@ func resolveSource(ctx context.Context, src Source) (*trace.Stripped, *MRCT, err
 	}
 }
 
-// buildPreludeMRCT finishes the prelude from a stripped trace.
-func buildPreludeMRCT(ctx context.Context, s *trace.Stripped) (*trace.Stripped, *MRCT, error) {
+// buildPreludeMRCT finishes the prelude from a stripped trace. With a
+// scratch the conflict table is the pooled one (valid until the scratch
+// is reused); without, a fresh caller-owned table.
+func buildPreludeMRCT(ctx context.Context, s *trace.Stripped, sc *Scratch) (*trace.Stripped, *MRCT, error) {
 	if err := faultinject.Hit("core.mrct"); err != nil {
 		return nil, nil, err
 	}
-	m, err := BuildMRCTContext(ctx, s)
-	if err != nil {
+	if sc == nil {
+		m, err := BuildMRCTContext(ctx, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, m, nil
+	}
+	if err := buildMRCT(ctx, s, sc, &sc.mrct); err != nil {
 		return nil, nil, err
 	}
-	return s, m, nil
+	return s, &sc.mrct, nil
 }

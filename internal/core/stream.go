@@ -11,11 +11,20 @@ import (
 // stream inside a "strip" span when ctx carries a recorder. The stream is
 // consumed to completion; only the stripped form and one decoder block
 // are ever resident, never the full reference slice.
-func stripReaderWithSpan(ctx context.Context, rr trace.RefReader) (*trace.Stripped, error) {
+func stripReaderWithSpan(ctx context.Context, rr trace.RefReader, sc *Scratch) (*trace.Stripped, error) {
 	_, span := obs.StartSpan(ctx, "strip")
-	s, err := trace.StripReader(rr)
+	var s *trace.Stripped
+	var err error
+	if sc != nil {
+		s, err = trace.StripReaderInto(rr, &sc.stripped)
+	} else {
+		s, err = trace.StripReader(rr)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if sc != nil {
+		sc.note(s.N())
 	}
 	if span != nil {
 		span.SetAttr("n", s.N())

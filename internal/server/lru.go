@@ -1,36 +1,55 @@
 package server
 
 import (
-	"container/list"
 	"sync"
-	"sync/atomic"
 )
 
 // ShardedLRU is a bounded key/value cache split into independently locked
-// shards, each evicting least-recently-used entries past its capacity.
+// shards, each evicting its least-recently-used entry past capacity.
 // Sharding keeps the hot Get path contention-free across concurrent
 // requests (the design cue the service takes from striped caches like
 // GigaCache); the per-shard bound keeps total memory proportional to the
 // configured capacity no matter the workload.
+//
+// Each shard is a flat array of entries plus a small index — no
+// container/list, no per-entry list nodes — with recency tracked by a
+// per-shard logical clock stamped onto entries as they are touched.
+// Within a shard eviction is exact LRU (the minimum stamp); across shards
+// the cache is approximately LRU, since shards age independently. The
+// shard struct is padded to exactly 128 bytes (two 64-byte lines, one on
+// 128-byte-line hardware), so adjacent shards never share a cache line
+// and a lock bounce on one shard cannot false-share into its neighbours;
+// lruShardSizeBytes is pinned by a test.
 type ShardedLRU struct {
-	shards    []lruShard
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	shards []lruShard
 }
 
-const lruShardCount = 16 // power of two; shard = fnv32a(key) & (count-1)
+const (
+	lruShardCount     = 16 // power of two; shard = fnv32a(key) & (count-1)
+	lruShardSizeBytes = 128
+)
 
+// lruShard is one stripe: a mutex, its slice of entries, the key index,
+// the recency clock and the stripe's own counters, padded so the struct
+// fills exactly lruShardSizeBytes. Counters live under the same lock as
+// the data — on the lock-protected path they cost nothing extra, and
+// Stats aggregates them without atomics.
 type lruShard struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
+	mu        sync.Mutex
+	index     map[string]int32 // key -> entries position
+	entries   []lruEntry
+	tick      uint64 // logical clock; touched entries take the next stamp
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	capacity  int32
+	_         [lruShardSizeBytes - 76]byte
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	tick uint64
 }
 
 // NewShardedLRU returns a cache holding at most capacity entries spread
@@ -43,11 +62,8 @@ func NewShardedLRU(capacity int) *ShardedLRU {
 	}
 	c := &ShardedLRU{shards: make([]lruShard, lruShardCount)}
 	for i := range c.shards {
-		c.shards[i] = lruShard{
-			capacity: per,
-			ll:       list.New(),
-			items:    make(map[string]*list.Element),
-		}
+		c.shards[i].capacity = int32(per)
+		c.shards[i].index = make(map[string]int32)
 	}
 	return c
 }
@@ -70,37 +86,53 @@ func fnv32a(s string) uint32 {
 func (c *ShardedLRU) Get(key string) (any, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	el, ok := s.items[key]
-	if ok {
-		s.ll.MoveToFront(el)
-	}
-	s.mu.Unlock()
+	pos, ok := s.index[key]
 	if !ok {
-		c.misses.Add(1)
+		s.misses++
+		s.mu.Unlock()
 		return nil, false
 	}
-	c.hits.Add(1)
-	return el.Value.(*lruEntry).val, true
+	s.tick++
+	s.entries[pos].tick = s.tick
+	v := s.entries[pos].val
+	s.hits++
+	s.mu.Unlock()
+	return v, true
 }
 
 // Put inserts or refreshes key, evicting the shard's least recently used
-// entry if it is over capacity.
+// entry if the shard is full.
 func (c *ShardedLRU) Put(key string, val any) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		el.Value.(*lruEntry).val = val
-		s.ll.MoveToFront(el)
+	s.tick++
+	if pos, ok := s.index[key]; ok {
+		s.entries[pos].val = val
+		s.entries[pos].tick = s.tick
 		return
 	}
-	s.items[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
-	if s.ll.Len() > s.capacity {
-		oldest := s.ll.Back()
-		s.ll.Remove(oldest)
-		delete(s.items, oldest.Value.(*lruEntry).key)
-		c.evictions.Add(1)
+	if len(s.entries) < int(s.capacity) {
+		s.index[key] = int32(len(s.entries))
+		s.entries = append(s.entries, lruEntry{key: key, val: val, tick: s.tick})
+		return
 	}
+	// Full: reuse the slot of the stalest entry. The scan is O(capacity/
+	// shards) over a flat array the shard just touched — for the cache
+	// sizes the service runs (hundreds to a few thousand entries across 16
+	// shards) that is a handful of resident lines, cheaper than the
+	// pointer-chasing and two allocations per insert the old
+	// container/list form paid.
+	victim := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].tick < s.entries[victim].tick {
+			victim = i
+		}
+	}
+	delete(s.index, s.entries[victim].key)
+	s.index[key] = int32(victim)
+	s.entries[victim] = lruEntry{key: key, val: val, tick: s.tick}
+	s.evictions++
 }
 
 // Len returns the number of cached entries across all shards.
@@ -109,7 +141,7 @@ func (c *ShardedLRU) Len() int {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += s.ll.Len()
+		n += len(s.entries)
 		s.mu.Unlock()
 	}
 	return n
@@ -117,5 +149,13 @@ func (c *ShardedLRU) Len() int {
 
 // Stats returns cumulative hit, miss and eviction counts.
 func (c *ShardedLRU) Stats() (hits, misses, evictions int64) {
-	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += int64(s.hits)
+		misses += int64(s.misses)
+		evictions += int64(s.evictions)
+		s.mu.Unlock()
+	}
+	return hits, misses, evictions
 }

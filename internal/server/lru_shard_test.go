@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"unsafe"
+)
+
+// The shard struct is sized to exactly two 64-byte cache lines so the
+// shard array never false-shares a line between neighbouring locks. Any
+// field change must rebalance the pad; this pin makes forgetting that a
+// test failure instead of a silent perf regression.
+func TestLRUShardCacheLineSized(t *testing.T) {
+	if got := unsafe.Sizeof(lruShard{}); got != lruShardSizeBytes {
+		t.Fatalf("unsafe.Sizeof(lruShard{}) = %d, want %d", got, lruShardSizeBytes)
+	}
+	if lruShardCount&(lruShardCount-1) != 0 {
+		t.Fatalf("lruShardCount = %d, want a power of two", lruShardCount)
+	}
+}
+
+// Filling a shard past capacity many times over must keep exact-LRU
+// eviction order: the survivor set is always the most recently touched
+// capacity-many keys of that shard.
+func TestLRUShardExactOrderUnderChurn(t *testing.T) {
+	const slots = 4
+	c := NewShardedLRU(slots * lruShardCount)
+	keys := sameShardKeys(32)
+	for _, k := range keys {
+		c.Put(k, k)
+	}
+	// The last `slots` inserted keys survive, nothing else.
+	for i, k := range keys {
+		_, ok := c.Get(k)
+		if want := i >= len(keys)-slots; ok != want {
+			t.Fatalf("key %d present = %v, want %v", i, ok, want)
+		}
+	}
+	survivors := keys[len(keys)-slots:]
+	// Touch survivors in reverse, then overflow by one: the least
+	// recently touched (the last of the reversed order) must go.
+	for i := len(survivors) - 1; i >= 0; i-- {
+		c.Get(survivors[i])
+	}
+	c.Put(keys[0], "back")
+	if _, ok := c.Get(survivors[len(survivors)-1]); ok {
+		t.Fatal("least recently touched survivor not evicted")
+	}
+	for _, k := range survivors[:len(survivors)-1] {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("recently touched key %q evicted", k)
+		}
+	}
+}
+
+// Eviction reuses slots in place: Len never exceeds the configured
+// capacity no matter the churn.
+func TestLRUShardBounded(t *testing.T) {
+	c := NewShardedLRU(lruShardCount * 2)
+	for i := 0; i < 10_000; i++ {
+		c.Put(fmt.Sprintf("churn-%d", i), i)
+		if n := c.Len(); n > lruShardCount*2 {
+			t.Fatalf("Len = %d exceeds capacity %d", n, lruShardCount*2)
+		}
+	}
+}

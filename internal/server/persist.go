@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/trace"
+	"github.com/example/cachedse/internal/tracestore"
 )
 
 // Persistence: when Config.StoreDir is set, the server writes every upload
@@ -41,19 +43,11 @@ func (s *Server) warmStart() {
 	if s.persist == nil {
 		return
 	}
+	var arena trace.Arena // one decode at a time: block scratch is shared
 	for _, e := range s.persist.List(traceKeyPrefix) {
-		data, err := s.persist.Get(e.Key)
+		tr, err := s.loadPersistedTrace(e.Key, &arena)
 		if err != nil {
 			s.cfg.Logger.Warn("dropping persisted entry", "key", e.Key, "err", err)
-			_, _ = s.persist.Delete(e.Key)
-			continue
-		}
-		tr, err := trace.Decode(bytes.NewReader(data), trace.Limits{
-			MaxRefs:  s.cfg.MaxRefs,
-			MaxBytes: s.cfg.MaxUploadBytes,
-		})
-		if err != nil {
-			s.cfg.Logger.Warn("dropping undecodable entry", "key", e.Key, "err", err)
 			_, _ = s.persist.Delete(e.Key)
 			continue
 		}
@@ -134,21 +128,35 @@ func (s *Server) lookupTrace(digest string) (*TraceEntry, bool) {
 	if s.persist == nil {
 		return nil, false
 	}
-	data, err := s.persist.Get(traceKeyPrefix + digest)
+	tr, err := s.loadPersistedTrace(traceKeyPrefix+digest, nil)
 	if err != nil {
-		return nil, false
-	}
-	tr, err := trace.Decode(bytes.NewReader(data), trace.Limits{
-		MaxRefs:  s.cfg.MaxRefs,
-		MaxBytes: s.cfg.MaxUploadBytes,
-	})
-	if err != nil {
-		s.cfg.Logger.Warn("dropping undecodable entry", "key", traceKeyPrefix+digest, "err", err)
-		_, _ = s.persist.Delete(traceKeyPrefix + digest)
+		if !errors.Is(err, tracestore.ErrNotFound) {
+			s.cfg.Logger.Warn("dropping undecodable entry", "key", traceKeyPrefix+digest, "err", err)
+			_, _ = s.persist.Delete(traceKeyPrefix + digest)
+		}
 		return nil, false
 	}
 	e, _ := s.store.Add(tr)
 	return e, true
+}
+
+// loadPersistedTrace reads one persisted trace through a verified,
+// preferably memory-mapped view: the stored ctz1 bytes are decoded
+// straight out of the page cache (DecodeBytes slices block payloads
+// zero-copy), so reviving an evicted trace costs the decoded references
+// and nothing else. Platforms or filesystems without mmap degrade
+// transparently to a heap read inside OpenMapped. A non-nil arena lends
+// the decoder reusable block scratch across consecutive loads.
+func (s *Server) loadPersistedTrace(key string, a *trace.Arena) (*trace.Trace, error) {
+	m, err := s.persist.OpenMapped(key)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	return trace.DecodeBytes(m.Bytes(), trace.Limits{
+		MaxRefs:  s.cfg.MaxRefs,
+		MaxBytes: s.cfg.MaxUploadBytes,
+	}, a)
 }
 
 // loadResult read-throughs a result the LRU evicted but disk still holds.

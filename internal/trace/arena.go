@@ -1,0 +1,26 @@
+package trace
+
+// Arena is the reusable scratch of a block-at-a-time ctz1 decode: the
+// fixed-capacity reference block the decoder fills and (in reader mode)
+// the payload buffer it reads frames into. A decoder attached with
+// CTZ1Decoder.DecodeInto grows these once to the stream's block size and
+// every later decode through the same arena allocates nothing — the
+// pooled data plane keeps one Arena per job slot and replays stored
+// traces through it. In bytes mode (NewCTZ1BytesDecoder) payloads are
+// zero-copy slices of the image, so only the reference block is arena
+// storage.
+//
+// An Arena must serve at most one live decoder at a time; it is not safe
+// for concurrent use.
+type Arena struct {
+	block   []Ref
+	payload []byte
+}
+
+// Reset drops the association with any previous decode. The buffers are
+// kept for reuse; this only exists so a pool can hand out arenas in a
+// known state.
+func (a *Arena) Reset() {
+	a.block = a.block[:0]
+	a.payload = a.payload[:0]
+}

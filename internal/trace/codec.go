@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -292,4 +293,23 @@ func Decode(r io.Reader, lim Limits) (*Trace, error) {
 	}
 	// Anything else — including inputs shorter than the magic — is text.
 	return readText(br, lim.MaxRefs)
+}
+
+// DecodeBytes is Decode over an in-memory image. For ctz1 input it uses
+// the zero-copy bytes decoder, so a memory-mapped stored trace decodes
+// without its bytes ever landing on the heap; the other formats wrap the
+// slice in a reader and take the streaming path. The optional arena, when
+// non-nil, supplies the ctz1 decoder's block scratch (see DecodeInto).
+func DecodeBytes(data []byte, lim Limits, a *Arena) (*Trace, error) {
+	if len(data) >= len(ctz1Magic) && [4]byte(data[:4]) == ctz1Magic {
+		d, err := NewCTZ1BytesDecoder(data, lim)
+		if err != nil {
+			return nil, err
+		}
+		if a != nil {
+			d.DecodeInto(a)
+		}
+		return readAll(d)
+	}
+	return Decode(bytes.NewReader(data), lim)
 }

@@ -256,8 +256,14 @@ func WriteCTZ1(w io.Writer, t *Trace) error {
 // implements RefReader, so it plugs straight into the streaming prelude
 // (StripReader) without a *Trace in between.
 type CTZ1Decoder struct {
-	br      *bufio.Reader
-	lim     Limits
+	br  *bufio.Reader
+	lim Limits
+	// data/off are the bytes-mode source: when data is non-nil the decoder
+	// reads framing out of it directly and slices block payloads zero-copy
+	// (the mmap path — trace bytes never transit the heap). br is nil then.
+	data    []byte
+	off     int
+	arena   *Arena
 	block   []Ref // decoded current block
 	pos     int
 	idx     int // block index, for errors
@@ -277,28 +283,105 @@ func NewCTZ1Decoder(r io.Reader, lim Limits) (*CTZ1Decoder, error) {
 		br = bufio.NewReader(r)
 	}
 	d := &CTZ1Decoder{br: br, lim: lim, idx: -1}
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, corruptf(-1, "reading magic: %v", err)
-	}
-	if magic != ctz1Magic {
-		return nil, corruptf(-1, "bad magic %q", magic[:])
-	}
-	version, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, corruptf(-1, "reading version: %v", err)
-	}
-	if version != ctz1Version {
-		return nil, corruptf(-1, "unsupported version %d", version)
-	}
-	blockCap, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, corruptf(-1, "reading block size: %v", err)
-	}
-	if blockCap == 0 || blockCap > ctz1MaxBlock {
-		return nil, corruptf(-1, "implausible block size %d", blockCap)
+	if err := d.readHeader(); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// NewCTZ1BytesDecoder is NewCTZ1Decoder over an in-memory (typically
+// mmap'd) ctz1 image. Block payloads are sliced straight out of data with
+// no copying, so decoding a stored trace touches the page cache and the
+// decoder's fixed scratch, nothing else. The caller must keep data valid
+// (e.g. the mapping open) until the decoder is drained or abandoned.
+// MaxBytes is enforced up front against len(data); MaxRefs during the
+// stream, as in the reader form.
+func NewCTZ1BytesDecoder(data []byte, lim Limits) (*CTZ1Decoder, error) {
+	if lim.MaxBytes > 0 && int64(len(data)) > lim.MaxBytes {
+		return nil, &LimitError{What: "bytes", Limit: lim.MaxBytes}
+	}
+	d := &CTZ1Decoder{data: data, lim: lim, idx: -1}
+	if err := d.readHeader(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// DecodeInto hands the decoder a reusable Arena for its block and payload
+// scratch, so repeated decodes (one arena per worker or per pooled job)
+// stop allocating once the arena has grown to the stream's block size. It
+// must be called before the first Next; the arena must not be shared by
+// two live decoders. Returns d for chaining.
+func (d *CTZ1Decoder) DecodeInto(a *Arena) *CTZ1Decoder {
+	d.arena = a
+	d.block, d.pos = a.block[:0], 0
+	if d.data == nil {
+		d.payload = a.payload[:0]
+	}
+	return d
+}
+
+// readHeader validates the magic, version and block-size header fields.
+func (d *CTZ1Decoder) readHeader() error {
+	magic, err := d.readN(4)
+	if err != nil || string(magic) != string(ctz1Magic[:]) {
+		if err != nil {
+			return corruptf(-1, "reading magic: %v", err)
+		}
+		return corruptf(-1, "bad magic %q", magic)
+	}
+	version, err := d.readUvarint()
+	if err != nil {
+		return corruptf(-1, "reading version: %v", err)
+	}
+	if version != ctz1Version {
+		return corruptf(-1, "unsupported version %d", version)
+	}
+	blockCap, err := d.readUvarint()
+	if err != nil {
+		return corruptf(-1, "reading block size: %v", err)
+	}
+	if blockCap == 0 || blockCap > ctz1MaxBlock {
+		return corruptf(-1, "implausible block size %d", blockCap)
+	}
+	return nil
+}
+
+// readUvarint reads one uvarint from the active source.
+func (d *CTZ1Decoder) readUvarint() (uint64, error) {
+	if d.data != nil {
+		v, n := binary.Uvarint(d.data[d.off:])
+		if n <= 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		d.off += n
+		return v, nil
+	}
+	return binary.ReadUvarint(d.br)
+}
+
+// readN returns the next n bytes: a zero-copy slice of the data image in
+// bytes mode, a read into scratch (valid until the next readN) otherwise.
+func (d *CTZ1Decoder) readN(n int) ([]byte, error) {
+	if d.data != nil {
+		if len(d.data)-d.off < n {
+			return nil, io.ErrUnexpectedEOF
+		}
+		b := d.data[d.off : d.off+n]
+		d.off += n
+		return b, nil
+	}
+	if cap(d.payload) < n {
+		d.payload = make([]byte, n)
+		if d.arena != nil {
+			d.arena.payload = d.payload
+		}
+	}
+	d.payload = d.payload[:n]
+	if _, err := io.ReadFull(d.br, d.payload); err != nil {
+		return nil, err
+	}
+	return d.payload, nil
 }
 
 // Next returns the next reference, io.EOF after the last one, or a typed
@@ -326,13 +409,13 @@ func (d *CTZ1Decoder) Next() (Ref, error) {
 // done).
 func (d *CTZ1Decoder) readBlock() error {
 	d.idx++
-	payloadLen, err := binary.ReadUvarint(d.br)
+	payloadLen, err := d.readUvarint()
 	if err != nil {
 		return d.truncated(err, "reading block length")
 	}
 	if payloadLen == 0 {
 		// Terminator: the declared total must match what was streamed.
-		declared, err := binary.ReadUvarint(d.br)
+		declared, err := d.readUvarint()
 		if err != nil {
 			return d.truncated(err, "reading trailer")
 		}
@@ -348,18 +431,37 @@ func (d *CTZ1Decoder) readBlock() error {
 	if payloadLen > ctz1MaxBlock*(binary.MaxVarintLen64+1) {
 		return corruptf(d.idx, "implausible payload length %d", payloadLen)
 	}
-	if cap(d.payload) < int(payloadLen) {
-		d.payload = make([]byte, payloadLen)
+	var want uint64
+	if d.data != nil {
+		// Bytes mode: the payload is a zero-copy window into the image.
+		if uint64(len(d.data)-d.off) < payloadLen {
+			return d.truncated(io.ErrUnexpectedEOF, "reading payload")
+		}
+		d.payload = d.data[d.off : d.off+int(payloadLen)]
+		d.off += int(payloadLen)
+		sum, err := d.readN(8)
+		if err != nil {
+			return d.truncated(err, "reading checksum")
+		}
+		want = binary.LittleEndian.Uint64(sum)
+	} else {
+		if cap(d.payload) < int(payloadLen) {
+			d.payload = make([]byte, payloadLen)
+			if d.arena != nil {
+				d.arena.payload = d.payload
+			}
+		}
+		d.payload = d.payload[:payloadLen]
+		if _, err := io.ReadFull(d.br, d.payload); err != nil {
+			return d.truncated(err, "reading payload")
+		}
+		var sum [8]byte
+		if _, err := io.ReadFull(d.br, sum[:]); err != nil {
+			return d.truncated(err, "reading checksum")
+		}
+		want = binary.LittleEndian.Uint64(sum[:])
 	}
-	d.payload = d.payload[:payloadLen]
-	if _, err := io.ReadFull(d.br, d.payload); err != nil {
-		return d.truncated(err, "reading payload")
-	}
-	var sum [8]byte
-	if _, err := io.ReadFull(d.br, sum[:]); err != nil {
-		return d.truncated(err, "reading checksum")
-	}
-	if got, want := xxh64(d.payload), binary.LittleEndian.Uint64(sum[:]); got != want {
+	if got := xxh64(d.payload); got != want {
 		return corruptf(d.idx, "checksum mismatch: computed %016x, stored %016x", got, want)
 	}
 	return d.parsePayload()
@@ -389,6 +491,9 @@ func (d *CTZ1Decoder) parsePayload() error {
 	}
 	if cap(d.block) < int(nrefs) {
 		d.block = make([]Ref, nrefs)
+		if d.arena != nil {
+			d.arena.block = d.block
+		}
 	}
 	d.block = d.block[:nrefs]
 	d.pos = 0

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func encodeCTZ1(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCTZ1(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func randomTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := New(n)
+	for i := 0; i < n; i++ {
+		tr.Append(Ref{Addr: rng.Uint32() >> 4, Kind: Kind(rng.Intn(3))})
+	}
+	return tr
+}
+
+func TestCTZ1BytesDecoderMatchesStream(t *testing.T) {
+	tr := randomTrace(3, 10_000)
+	data := encodeCTZ1(t, tr)
+	ds, err := NewCTZ1Decoder(bytes.NewReader(data), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewCTZ1BytesDecoder(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		rs, errS := ds.Next()
+		rb, errB := db.Next()
+		if (errS == nil) != (errB == nil) {
+			t.Fatalf("ref %d: stream err %v, bytes err %v", i, errS, errB)
+		}
+		if errS != nil {
+			if errS != io.EOF || errB != io.EOF {
+				t.Fatalf("ref %d: %v / %v", i, errS, errB)
+			}
+			break
+		}
+		if rs != rb {
+			t.Fatalf("ref %d: stream %+v, bytes %+v", i, rs, rb)
+		}
+	}
+}
+
+func TestCTZ1BytesDecoderMaxBytes(t *testing.T) {
+	data := encodeCTZ1(t, randomTrace(5, 1000))
+	_, err := NewCTZ1BytesDecoder(data, Limits{MaxBytes: int64(len(data)) - 1})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "bytes" {
+		t.Fatalf("err = %v, want *LimitError{What: bytes}", err)
+	}
+	if _, err := NewCTZ1BytesDecoder(data, Limits{MaxBytes: int64(len(data))}); err != nil {
+		t.Fatalf("exact-size input rejected: %v", err)
+	}
+}
+
+// One arena serves many sequential decodes, in both modes, without state
+// from one stream leaking into the next.
+func TestCTZ1ArenaReuseAcrossDecodes(t *testing.T) {
+	var arena Arena
+	for i, n := range []int{9000, 50, 4096, 1, 12_000} {
+		tr := randomTrace(int64(20+i), n)
+		data := encodeCTZ1(t, tr)
+
+		db, err := NewCTZ1BytesDecoder(data, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := readAll(db.DecodeInto(&arena))
+		if err != nil {
+			t.Fatalf("decode %d (bytes): %v", i, err)
+		}
+		if !tracesEqual(got, tr) {
+			t.Fatalf("decode %d (bytes): trace differs", i)
+		}
+		arena.Reset()
+
+		ds, err := NewCTZ1Decoder(bytes.NewReader(data), Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = readAll(ds.DecodeInto(&arena))
+		if err != nil {
+			t.Fatalf("decode %d (stream): %v", i, err)
+		}
+		if !tracesEqual(got, tr) {
+			t.Fatalf("decode %d (stream): trace differs", i)
+		}
+		arena.Reset()
+	}
+}
+
+func TestDecodeBytesAllFormats(t *testing.T) {
+	tr := randomTrace(9, 2000)
+	var arena Arena
+	encoders := map[string]func(*testing.T) []byte{
+		"ctz1": func(t *testing.T) []byte { return encodeCTZ1(t, tr) },
+		"ctr": func(t *testing.T) []byte {
+			var buf bytes.Buffer
+			if err := WriteBinary(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+		"din": func(t *testing.T) []byte {
+			var buf bytes.Buffer
+			if err := WriteText(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+	}
+	for name, enc := range encoders {
+		got, err := DecodeBytes(enc(t), Limits{}, &arena)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !tracesEqual(got, tr) {
+			t.Fatalf("%s: decoded trace differs", name)
+		}
+	}
+}
+
+// A corrupt image through the bytes decoder must fail typed, exactly as
+// the streaming decoder does.
+func TestCTZ1BytesDecoderCorrupt(t *testing.T) {
+	data := encodeCTZ1(t, randomTrace(31, 5000))
+	for pos := 4; pos < len(data); pos += 101 {
+		mut := bytes.Clone(data)
+		mut[pos] ^= 0xff
+		d, err := NewCTZ1BytesDecoder(mut, Limits{})
+		if err == nil {
+			_, err = readAll(d)
+		}
+		if err == nil {
+			continue // mutation landed somewhere self-consistent? not for ctz1: checksummed
+		}
+		var ce *CorruptError
+		var le *LimitError
+		if !errors.As(err, &ce) && !errors.As(err, &le) {
+			t.Fatalf("pos %d: untyped error %T %v", pos, err, err)
+		}
+	}
+}

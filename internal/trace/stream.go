@@ -36,7 +36,17 @@ func (r *Reader) Next() (Ref, error) {
 // themselves are allocated — the O(N) identifier sequence and the O(N')
 // unique-address table — never the raw trace.
 func StripReader(rr RefReader) (*Stripped, error) {
-	s := &Stripped{index: make(map[uint32]int)}
+	return StripReaderInto(rr, nil)
+}
+
+// StripReaderInto is StripReader writing into a reusable Stripped, the
+// streaming twin of StripInto: s is Reset and its storage reused; nil
+// allocates fresh.
+func StripReaderInto(rr RefReader, s *Stripped) (*Stripped, error) {
+	if s == nil {
+		s = &Stripped{}
+	}
+	s.Reset()
 	for {
 		r, err := rr.Next()
 		if err == io.EOF {

@@ -26,10 +26,19 @@ type Stripped struct {
 // Strip reduces a trace of N references to its N' unique references using a
 // hash table, the O(N) formulation recommended in §2.4 over sorting.
 func Strip(t *Trace) *Stripped {
-	s := &Stripped{
-		IDs:   make([]int, 0, t.Len()),
-		index: make(map[uint32]int),
+	return StripInto(t, nil)
+}
+
+// StripInto is Strip writing into a reusable Stripped: s is Reset and its
+// identifier/unique/index storage reused, so a pooled caller strips trace
+// after trace without allocating once the buffers have grown to the
+// workload's size. A nil s allocates a fresh one (StripInto(t, nil) is
+// exactly Strip).
+func StripInto(t *Trace, s *Stripped) *Stripped {
+	if s == nil {
+		s = &Stripped{IDs: make([]int, 0, t.Len())}
 	}
+	s.Reset()
 	for _, r := range t.Refs {
 		id, ok := s.index[r.Addr]
 		if !ok {
@@ -40,6 +49,18 @@ func Strip(t *Trace) *Stripped {
 		s.IDs = append(s.IDs, id)
 	}
 	return s
+}
+
+// Reset empties the stripped form for reuse, keeping the capacity of the
+// identifier sequence, the unique-address table and the index map.
+func (s *Stripped) Reset() {
+	s.Unique = s.Unique[:0]
+	s.IDs = s.IDs[:0]
+	if s.index == nil {
+		s.index = make(map[uint32]int)
+	} else {
+		clear(s.index)
+	}
 }
 
 // N returns the original trace length.
@@ -88,13 +109,22 @@ type ZeroOne struct {
 // zero or negative, AddrBits() is used; bits may exceed AddrBits, in which
 // case the extra planes have every identifier in Zero.
 func (s *Stripped) ZeroOneSets(bits int) []ZeroOne {
+	return s.ZeroOneSetsAlloc(bits, bitset.New)
+}
+
+// ZeroOneSetsAlloc is ZeroOneSets with the bit-vector allocator injected:
+// newSet(n) must return an empty set of capacity n. Pooled engines pass a
+// freelist allocator so the 2·bits sets of every exploration are recycled
+// instead of handed to the garbage collector; newSet(n) may therefore
+// return storage whose lifetime is managed by the caller.
+func (s *Stripped) ZeroOneSetsAlloc(bits int, newSet func(n int) *bitset.Set) []ZeroOne {
 	if bits <= 0 {
 		bits = s.AddrBits()
 	}
 	n := s.NUnique()
 	out := make([]ZeroOne, bits)
 	for b := range out {
-		out[b] = ZeroOne{Zero: bitset.New(n), One: bitset.New(n)}
+		out[b] = ZeroOne{Zero: newSet(n), One: newSet(n)}
 	}
 	for id, addr := range s.Unique {
 		for b := 0; b < bits; b++ {

@@ -1,0 +1,162 @@
+package tracestore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/example/cachedse/internal/faultinject"
+	"github.com/example/cachedse/internal/obs"
+)
+
+// NoMmapEnv, when set to a non-empty value, forces OpenMapped onto the
+// read-file fallback even where mmap is available. It exists for
+// operational escape (a filesystem whose mappings misbehave) and so the
+// fallback path stays exercised in CI rather than rotting untested.
+const NoMmapEnv = "CACHEDSE_NO_MMAP"
+
+// MappedObject is a verified, read-only view of one stored object's
+// bytes. When the platform allows it the view is a memory mapping of the
+// object file — the bytes never transit the Go heap, and a decoder
+// slicing them (trace.NewCTZ1BytesDecoder) reads straight from the page
+// cache. Otherwise it is a plain heap copy with the same interface.
+//
+// The view stays valid even if the key is Deleted while open: on Unix an
+// unlinked-but-mapped file keeps its pages until the mapping goes. Close
+// releases the mapping (or the copy) and is idempotent; using Bytes after
+// Close is a caller bug, as with any mmap.
+type MappedObject struct {
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Bytes returns the object's verified contents. The slice must not be
+// written to (the pages may be mapped read-only — a write faults) and
+// must not be used after Close.
+func (m *MappedObject) Bytes() []byte { return m.data }
+
+// Size returns the object's byte length.
+func (m *MappedObject) Size() int64 { return int64(len(m.data)) }
+
+// Mapped reports whether the view is a true memory mapping (false on the
+// read-file fallback).
+func (m *MappedObject) Mapped() bool { return m.mapped }
+
+// ReadAt implements io.ReaderAt over the view, so callers written against
+// file-like access work unchanged on either path.
+func (m *MappedObject) ReadAt(p []byte, off int64) (int, error) {
+	if m.closed {
+		return 0, fmt.Errorf("tracestore: read of closed mapped object")
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("tracestore: negative offset %d", off)
+	}
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close releases the mapping (a no-op for the fallback copy beyond
+// dropping the reference). Safe to call more than once.
+func (m *MappedObject) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	data := m.data
+	m.data = nil
+	if m.mapped {
+		return munmapFile(data)
+	}
+	return nil
+}
+
+// OpenMapped returns the object bytes for key as a MappedObject, verified
+// against the content digest exactly like Get — a damaged object yields a
+// *CorruptObjectError, never silently wrong bytes. Where the platform
+// supports it (and NoMmapEnv is unset) the bytes are memory-mapped rather
+// than read onto the heap; when mapping is unavailable or fails, the call
+// degrades to a heap read with identical semantics, so callers need no
+// platform awareness. The caller owns the returned object and must Close
+// it when done with the bytes.
+func (s *Store) OpenMapped(key string) (*MappedObject, error) {
+	return s.openMappedSpan(key, nil)
+}
+
+// openMappedSpan is OpenMapped with an optional parent span; digest
+// verification is recorded beneath it as a "store.verify" child.
+func (s *Store) openMappedSpan(key string, span *obs.Span) (*MappedObject, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err := faultinject.Hit("tracestore.get"); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	m, err := s.openObject(e)
+	if err != nil {
+		return nil, &CorruptObjectError{Key: key, Object: e.Object, Reason: err.Error()}
+	}
+	vstart := time.Now()
+	sum := sha256.Sum256(m.data)
+	got := digestOf(sum[:])
+	span.Child("store.verify", vstart, time.Since(vstart),
+		obs.Attr{Key: "bytes", Value: len(m.data)},
+		obs.Attr{Key: "mapped", Value: m.mapped},
+		obs.Attr{Key: "ok", Value: got == e.Object})
+	if got != e.Object {
+		_ = m.Close()
+		return nil, &CorruptObjectError{
+			Key: key, Object: e.Object,
+			Reason: fmt.Sprintf("content hashes to %s", got),
+		}
+	}
+	return m, nil
+}
+
+// openObject produces the raw (not yet verified) view of an object file,
+// preferring a memory mapping and falling back to a heap read.
+func (s *Store) openObject(e Entry) (*MappedObject, error) {
+	path := s.objectPath(e.Object)
+	if os.Getenv(NoMmapEnv) == "" {
+		if data, err := mmapPath(path); err == nil {
+			return &MappedObject{data: data, mapped: true}, nil
+		}
+		// Any mapping failure — platform without mmap, an empty object
+		// (zero-length mappings are invalid), a filesystem that refuses —
+		// degrades to the plain read below.
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedObject{data: data}, nil
+}
+
+// mmapPath maps the whole file at path read-only.
+func mmapPath(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 || fi.Size() > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("tracestore: unmappable size %d", fi.Size())
+	}
+	// The fd can close immediately after: the mapping keeps the pages.
+	return mmapFile(f, int(fi.Size()))
+}

@@ -1,0 +1,254 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+func TestOpenMappedRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payload = "mmap me if you can"
+	mustPut(t, s, "trace/m", payload)
+	m, err := s.OpenMapped("trace/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got := string(m.Bytes()); got != payload {
+		t.Fatalf("Bytes = %q, want %q", got, payload)
+	}
+	if m.Size() != int64(len(payload)) {
+		t.Fatalf("Size = %d, want %d", m.Size(), len(payload))
+	}
+	if runtime.GOOS == "linux" && !m.Mapped() {
+		t.Fatal("expected a true mapping on linux")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMappedReadAt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "k", "0123456789")
+	m, err := s.OpenMapped("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	buf := make([]byte, 4)
+	if n, err := m.ReadAt(buf, 3); err != nil || string(buf[:n]) != "3456" {
+		t.Fatalf("ReadAt(3) = %q, %v", buf[:n], err)
+	}
+	if n, err := m.ReadAt(buf, 8); err != io.EOF || string(buf[:n]) != "89" {
+		t.Fatalf("ReadAt(8) = %q, %v; want short read + EOF", buf[:n], err)
+	}
+	if _, err := m.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("ReadAt(10) err = %v, want EOF", err)
+	}
+	if _, err := m.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	_ = m.Close()
+	if _, err := m.ReadAt(buf, 0); err == nil {
+		t.Fatal("read after Close accepted")
+	}
+}
+
+func TestOpenMappedMissingKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenMapped("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOpenMappedCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustPut(t, s, "trace/x", "original bytes of some length")
+	if err := os.WriteFile(s.objectPath(e.Object), []byte("tampered bytes of some length"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.OpenMapped("trace/x")
+	var ce *CorruptObjectError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptObjectError", err)
+	}
+}
+
+// The env toggle must force the heap-read fallback with identical
+// semantics, mapping included in the degraded direction only.
+func TestOpenMappedNoMmapFallback(t *testing.T) {
+	t.Setenv(NoMmapEnv, "1")
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "k", "fallback bytes")
+	m, err := s.OpenMapped("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Fatal("Mapped() = true with fallback forced")
+	}
+	if string(m.Bytes()) != "fallback bytes" {
+		t.Fatalf("Bytes = %q", m.Bytes())
+	}
+}
+
+// A mapping taken before Delete stays readable: the unlinked object's
+// pages live until the mapping closes.
+func TestOpenMappedSurvivesDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "k", "bytes that outlive the key")
+	m, err := s.OpenMapped("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if had, err := s.Delete("k"); err != nil || !had {
+		t.Fatalf("Delete = %v, %v", had, err)
+	}
+	if string(m.Bytes()) != "bytes that outlive the key" {
+		t.Fatalf("Bytes after delete = %q", m.Bytes())
+	}
+}
+
+// validCTZ1 encodes a small trace as ctz1 bytes for the fuzz corpus.
+func validCTZ1(tb testing.TB) []byte {
+	tb.Helper()
+	tr := trace.New(0)
+	for i := 0; i < 300; i++ {
+		tr.Append(trace.Ref{Addr: uint32(i%7) * 64, Kind: trace.Kind(i % 3)})
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCTZ1(&buf, tr); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzMappedCTZ1 stores arbitrary (often corrupted-ctz1) bytes — the
+// store digest is computed over those exact bytes, so the store-level
+// verification passes and the damage reaches the decoder — then decodes
+// through the mmap'd zero-copy path. The contract under fuzz: a clean
+// decode or a typed *trace.CorruptError / *trace.LimitError, never a
+// panic and never a silent half-result.
+func FuzzMappedCTZ1(f *testing.F) {
+	valid := validCTZ1(f)
+	f.Add(valid)
+	f.Add([]byte("CTZ1"))
+	f.Add([]byte{})
+	for i := 0; i < len(valid); i += 37 {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x5a
+		f.Add(mut)
+	}
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put("trace/fuzz", bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.OpenMapped("trace/fuzz")
+		if err != nil {
+			t.Fatalf("OpenMapped over freshly put bytes: %v", err)
+		}
+		defer m.Close()
+		d, err := trace.NewCTZ1BytesDecoder(m.Bytes(), trace.Limits{MaxRefs: 1 << 16})
+		if err == nil {
+			var arena trace.Arena
+			d.DecodeInto(&arena)
+			for {
+				if _, err = d.Next(); err != nil {
+					break
+				}
+			}
+			if err == io.EOF {
+				err = nil
+			}
+		}
+		if err != nil {
+			var ce *trace.CorruptError
+			var le *trace.LimitError
+			if !errors.As(err, &ce) && !errors.As(err, &le) {
+				t.Fatalf("untyped decode error: %T %v", err, err)
+			}
+		}
+	})
+}
+
+func TestFuzzMappedCTZ1Seeds(t *testing.T) {
+	// Run the fuzz body over its seed corpus as a plain test, so the
+	// corrupt-block / truncation / valid cases are covered in every `go
+	// test` run, not only under -fuzz.
+	valid := validCTZ1(t)
+	cases := [][]byte{valid, []byte("CTZ1"), {}, valid[:len(valid)/2]}
+	for i := 0; i < len(valid); i += 37 {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x5a
+		cases = append(cases, mut)
+	}
+	for i, data := range cases {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put("trace/fuzz", bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.OpenMapped("trace/fuzz")
+		if err != nil {
+			t.Fatalf("case %d: OpenMapped: %v", i, err)
+		}
+		d, derr := trace.NewCTZ1BytesDecoder(m.Bytes(), trace.Limits{MaxRefs: 1 << 16})
+		err = derr
+		if err == nil {
+			for {
+				if _, err = d.Next(); err != nil {
+					break
+				}
+			}
+			if err == io.EOF {
+				err = nil
+			}
+		}
+		if err != nil {
+			var ce *trace.CorruptError
+			var le *trace.LimitError
+			if !errors.As(err, &ce) && !errors.As(err, &le) {
+				t.Fatalf("case %d: untyped decode error: %T %v", i, err, err)
+			}
+		}
+		_ = m.Close()
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package tracestore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile reports mapping unsupported; OpenMapped degrades to a heap
+// read on platforms without a Unix mmap.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: the kernel serves
+// the bytes straight from the page cache, and unlinking the file later
+// does not invalidate the mapping.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -44,6 +44,25 @@ func (s *Store) GetContext(ctx context.Context, key string) ([]byte, error) {
 	return data, err
 }
 
+// OpenMappedContext is OpenMapped, recorded as a "store.mmap" span with a
+// "store.verify" child covering the content-digest check.
+func (s *Store) OpenMappedContext(ctx context.Context, key string) (*MappedObject, error) {
+	_, span := obs.StartSpan(ctx, "store.mmap")
+	m, err := s.openMappedSpan(key, span)
+	if span != nil {
+		span.SetAttr("key", key)
+		if m != nil {
+			span.SetAttr("bytes", m.Size())
+			span.SetAttr("mapped", m.Mapped())
+		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
+	return m, err
+}
+
 // DeleteContext is Delete, recorded as a "store.delete" span.
 func (s *Store) DeleteContext(ctx context.Context, key string) (bool, error) {
 	_, span := obs.StartSpan(ctx, "store.delete")

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# alloc_smoke.sh — allocation regression gate for the zero-allocation
+# data plane.
+#
+# Two checks:
+#   1. The core package's testing.AllocsPerRun gates: steady-state
+#      Explore (sized and streaming sources) must allocate only the
+#      Result envelope once the scratch pool is warm.
+#   2. A locked allocs/op threshold on BenchmarkTable31/compress, the
+#      largest Table 31 workload. The pre-pooling engine allocated
+#      ~98,000 objects per exploration there; the pooled engine sits
+#      around 25. The threshold (default 500, override via MAX_ALLOCS)
+#      is set far above steady-state noise and far below any pooling
+#      regression, so it trips on the failure mode it exists for.
+#
+# CI runs this as the alloc-smoke job; it is equally runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+max_allocs=${MAX_ALLOCS:-500}
+
+echo "alloc_smoke: AllocsPerRun gates"
+go test ./internal/core -run 'TestAllocsSteadyState' -count=1 -v
+
+echo "alloc_smoke: benchmark threshold (allocs/op <= $max_allocs)"
+out=$(go test -run '^$' -bench 'BenchmarkTable31/compress' -benchtime 3x -benchmem .)
+echo "$out"
+allocs=$(echo "$out" | awk '
+  $1 ~ /^BenchmarkTable31\/compress/ {
+    for (f = 3; f + 1 <= NF; f++) if ($(f + 1) == "allocs/op") { print $f; exit }
+  }')
+[ -n "$allocs" ] ||
+  { echo "alloc_smoke: no allocs/op figure in benchmark output" >&2; exit 1; }
+if [ "$allocs" -gt "$max_allocs" ]; then
+  echo "alloc_smoke: FAIL — $allocs allocs/op exceeds threshold $max_allocs" >&2
+  exit 1
+fi
+echo "alloc_smoke: OK — $allocs allocs/op (threshold $max_allocs)"

@@ -47,18 +47,35 @@ benchtime=${BENCHTIME:-3x}
 pattern=${PATTERN:-'^(BenchmarkTable31|BenchmarkTable32|BenchmarkFigure4|BenchmarkSampledExplore|BenchmarkAblationMRCTBuild|BenchmarkAblationParallelExplore|BenchmarkMicroIntersect|BenchmarkMicroMRCTDedup)$'}
 
 raw="$out.txt"
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" . | tee "$raw"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem . | tee "$raw"
 
+# Each result line carries value/unit pairs: ns/op always, B/op and
+# allocs/op from -benchmem, and the GC panel metrics (gcs/op,
+# gc-pause-ns/op) emitted by measureGC in bench_test.go. The JSON keeps
+# every ns/op sample plus its minimum, and the per-op minimum of each GC
+# panel metric (minimum, as for ns/op, being the most reproducible point
+# statistic on a noisy machine).
 awk -v benchtime="$benchtime" -v count="$count" -v pattern="$pattern" '
+function noteMin(tab, name, v) {
+  if (!((name) in tab) || v + 0 < tab[name] + 0) tab[name] = v
+}
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
-$1 ~ /^Benchmark/ && $4 == "ns/op" {
+$1 ~ /^Benchmark/ && $3 ~ /^[0-9]/ {
   name = $1
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-  if (!(name in samples)) { order[++n] = name; min[name] = $3 }
-  samples[name] = samples[name] (samples[name] ? "," : "") $3
-  if ($3 + 0 < min[name] + 0) min[name] = $3
+  for (f = 3; f + 1 <= NF; f += 2) {
+    v = $f; unit = $(f + 1)
+    if (unit == "ns/op") {
+      if (!(name in samples)) { order[++n] = name; min[name] = v }
+      samples[name] = samples[name] (samples[name] ? "," : "") v
+      if (v + 0 < min[name] + 0) min[name] = v
+    } else if (unit == "B/op")            noteMin(bytesop, name, v)
+    else if (unit == "allocs/op")         noteMin(allocs, name, v)
+    else if (unit == "gcs/op")            noteMin(gcs, name, v)
+    else if (unit == "gc-pause-ns/op")    noteMin(gcpause, name, v)
+  }
 }
 END {
   printf "{\n"
@@ -71,8 +88,13 @@ END {
   printf "  \"results\": {\n"
   for (i = 1; i <= n; i++) {
     name = order[i]
-    printf "    \"%s\": {\"ns_per_op_min\": %s, \"ns_per_op\": [%s]}%s\n", \
-      name, min[name], samples[name], (i < n ? "," : "")
+    printf "    \"%s\": {\"ns_per_op_min\": %s, \"ns_per_op\": [%s]", \
+      name, min[name], samples[name]
+    if (name in bytesop) printf ", \"bytes_per_op\": %s", bytesop[name]
+    if (name in allocs)  printf ", \"allocs_per_op\": %s", allocs[name]
+    if (name in gcs)     printf ", \"gcs_per_op\": %s", gcs[name]
+    if (name in gcpause) printf ", \"gc_pause_ns_per_op\": %s", gcpause[name]
+    printf "}%s\n", (i < n ? "," : "")
   }
   printf "  }\n}\n"
 }' "$raw" > "$out"
