@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/example/cachedse/internal/cluster"
 	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/server"
 )
@@ -32,6 +33,10 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", time.Minute, "synchronous request wait cap")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain cap before cancelling jobs")
 	storeDir := fs.String("store", "", "persist traces and results to this directory (survives restarts)")
+	nodeID := fs.String("node-id", "", "this node's cluster member id (empty = single-node)")
+	peers := fs.String("peers", "", "static cluster membership as id=url pairs, e.g. 'a=http://h1:8344,b=http://h2:8344' (must include -node-id)")
+	replicas := fs.Int("replicas", 0, "cluster ownership replicas per trace (0 = default)")
+	peerInflight := fs.Int("peer-inflight", 0, "max concurrent forwarded requests per peer (0 = default)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	faults := fs.String("faults", "", "arm fault injection with this failpoint spec, e.g. 'tracestore.*=error()@0.2;queue.run=delay(5ms)@0.5' (testing only)")
@@ -59,6 +64,21 @@ func cmdServe(args []string) error {
 			"spec", *faults, "seed", *faultSeed)
 	}
 
+	ccfg := cluster.Config{NodeID: *nodeID, Replicas: *replicas, PeerInflight: *peerInflight}
+	if *nodeID != "" {
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		ccfg.Peers = nodes
+		if err := ccfg.Validate(); err != nil {
+			return err
+		}
+		logger.Info("cluster membership", "node", *nodeID, "peers", len(nodes))
+	} else if *peers != "" {
+		return fmt.Errorf("-peers requires -node-id naming this node")
+	}
+
 	srv, err := server.New(server.Config{
 		MaxUploadBytes: *maxUpload,
 		MaxRefs:        *maxRefs,
@@ -69,6 +89,7 @@ func cmdServe(args []string) error {
 		JobTimeout:     *jobTimeout,
 		RequestTimeout: *reqTimeout,
 		StoreDir:       *storeDir,
+		Cluster:        ccfg,
 		Logger:         logger,
 	})
 	if err != nil {

@@ -9,19 +9,27 @@
 // success count. Exit code 0 means: under injected faults, retries hid
 // every transient and no wrong answer escaped.
 //
+// Against a cluster, pass every node in -addrs and requests round-robin
+// across members — exercising the any-node-ingress forwarding path — while
+// the bit-identical check stays exactly as strict as the single-node one.
+//
 // Usage:
 //
 //	chaosload -addr http://127.0.0.1:8344 -n 64 -concurrency 8 -refs 4000
+//	chaosload -addrs http://127.0.0.1:8344,http://127.0.0.1:8345 -n 64
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"reflect"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +40,38 @@ import (
 	"github.com/example/cachedse/pkg/client"
 )
 
+// summary is the -json report: request accounting plus the explore
+// latency distribution, so bench runs can chart tail latency under
+// chaos for single-node vs. cluster topologies.
+type summary struct {
+	Addrs       []string `json:"addrs"`
+	N           int      `json:"n"`
+	Concurrency int      `json:"concurrency"`
+	OK          int64    `json:"ok"`
+	Degraded    int64    `json:"degraded"`
+	Failed      int64    `json:"failed"`
+	DurationMS  float64  `json:"duration_ms"`
+	P50MS       float64  `json:"p50_ms"`
+	P95MS       float64  `json:"p95_ms"`
+	P99MS       float64  `json:"p99_ms"`
+}
+
+// percentile reads the q-quantile from a sorted latency slice using the
+// nearest-rank method — exact for the small sample counts chaosload runs.
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "chaosload:", err)
@@ -41,22 +81,41 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8344", "server base URL")
+	addrs := flag.String("addrs", "", "comma-separated node base URLs; requests round-robin across them (overrides -addr)")
 	n := flag.Int("n", 64, "number of explorations to issue")
 	concurrency := flag.Int("concurrency", 8, "concurrent requests")
 	refs := flag.Int("refs", 4000, "synthetic trace length")
 	seed := flag.Int64("seed", 11, "synthetic trace seed")
 	attempts := flag.Int("attempts", 12, "client retry attempts per request")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+	jsonOut := flag.String("json", "", "write a JSON latency/accounting summary to this file ('-' for stdout)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	c := client.New(*addr, client.WithRetry(client.RetryPolicy{
+	bases := []string{*addr}
+	if *addrs != "" {
+		bases = bases[:0]
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				bases = append(bases, strings.TrimRight(a, "/"))
+			}
+		}
+		if len(bases) == 0 {
+			return fmt.Errorf("-addrs: no usable base URLs")
+		}
+	}
+	retry := client.WithRetry(client.RetryPolicy{
 		MaxAttempts: *attempts,
 		BaseDelay:   10 * time.Millisecond,
 		MaxDelay:    500 * time.Millisecond,
-	}))
+	})
+	clients := make([]*client.Client, len(bases))
+	for i, b := range bases {
+		clients[i] = client.New(b, retry)
+	}
+	c := clients[0]
 
 	// Synthetic trace: loopy with a random tail, same recipe as the
 	// server's tests so behavior is representative.
@@ -90,8 +149,10 @@ func run() error {
 
 	var ok, degraded, failed atomic.Int64
 	var firstErr atomic.Value
+	latencies := make([]time.Duration, *n)
 	sem := make(chan struct{}, *concurrency)
 	var wg sync.WaitGroup
+	start := time.Now()
 	for i := 0; i < *n; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -99,7 +160,9 @@ func run() error {
 			defer wg.Done()
 			defer func() { <-sem }()
 			k := 1 + (i*13)%max(stats.MaxMisses, 2)
-			resp, err := c.Explore(ctx, client.ExploreRequest{Trace: info.Digest, K: &k})
+			t0 := time.Now()
+			resp, err := clients[i%len(clients)].Explore(ctx, client.ExploreRequest{Trace: info.Digest, K: &k})
+			latencies[i] = time.Since(t0)
 			if err != nil {
 				failed.Add(1)
 				firstErr.CompareAndSwap(nil, fmt.Errorf("explore k=%d: %w", k, err))
@@ -131,9 +194,35 @@ func run() error {
 		}(i)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
 
-	fmt.Printf("chaosload: %d ok (%d degraded), %d failed of %d\n",
-		ok.Load(), degraded.Load(), failed.Load(), *n)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sum := summary{
+		Addrs:       bases,
+		N:           *n,
+		Concurrency: *concurrency,
+		OK:          ok.Load(),
+		Degraded:    degraded.Load(),
+		Failed:      failed.Load(),
+		DurationMS:  float64(elapsed) / float64(time.Millisecond),
+		P50MS:       percentile(latencies, 0.50),
+		P95MS:       percentile(latencies, 0.95),
+		P99MS:       percentile(latencies, 0.99),
+	}
+	fmt.Printf("chaosload: %d ok (%d degraded), %d failed of %d across %d node(s); p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		sum.OK, sum.Degraded, sum.Failed, sum.N, len(bases), sum.P50MS, sum.P95MS, sum.P99MS)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
 	if failed.Load() > 0 {
 		return firstErr.Load().(error)
 	}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// healthCooldown is how long an unhealthy peer is skipped before one
+// request is allowed through again to probe it (half-open).
+const healthCooldown = time.Second
+
+// Health is one node's local view of which peers answer. It is passive:
+// there is no probe goroutine — outcomes of real forwards drive the
+// state, and an unhealthy peer gets one trial request per cooldown
+// window until a success marks it healthy again. All methods are safe
+// for concurrent use.
+type Health struct {
+	cooldown time.Duration
+	now      func() time.Time // test hook
+
+	mu    sync.Mutex
+	state map[string]*peerHealth
+}
+
+type peerHealth struct {
+	unhealthy bool
+	lastTrial time.Time // last time a request was let through while unhealthy
+}
+
+// NewHealth returns an empty health view.
+func NewHealth() *Health {
+	return &Health{cooldown: healthCooldown, now: time.Now, state: make(map[string]*peerHealth)}
+}
+
+func (h *Health) peer(id string) *peerHealth {
+	p, ok := h.state[id]
+	if !ok {
+		p = &peerHealth{}
+		h.state[id] = p
+	}
+	return p
+}
+
+// MarkSuccess records a successful exchange with peer id.
+func (h *Health) MarkSuccess(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.peer(id).unhealthy = false
+}
+
+// MarkFailure records a transport-level failure talking to peer id. HTTP
+// error responses do not count — a peer that answers 4xx/5xx is
+// reachable and healthy enough to route to.
+func (h *Health) MarkFailure(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.peer(id).unhealthy = true
+}
+
+// Usable reports whether a request should be sent to peer id right now:
+// healthy peers always, unhealthy ones only once per cooldown window
+// (the trial that can heal them). The trial slot is claimed by the call,
+// so concurrent callers do not stampede a dead peer.
+func (h *Health) Usable(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(id)
+	if !p.unhealthy {
+		return true
+	}
+	if now := h.now(); now.Sub(p.lastTrial) >= h.cooldown {
+		p.lastTrial = now
+		return true
+	}
+	return false
+}
+
+// Healthy reports the current belief about peer id without claiming a
+// trial slot.
+func (h *Health) Healthy(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.peer(id).unhealthy
+}
+
+// Unhealthy returns how many peers are currently believed down.
+func (h *Health) Unhealthy() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, p := range h.state {
+		if p.unhealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Order sorts owners for a forwarding attempt: nodes currently believed
+// healthy keep their rendezvous order and come first; unhealthy ones
+// follow as the failover tail. The input slice is not modified.
+func (h *Health) Order(owners []Node) []Node {
+	out := make([]Node, 0, len(owners))
+	var tail []Node
+	for _, n := range owners {
+		if h.Healthy(n.ID) {
+			out = append(out, n)
+		} else {
+			tail = append(tail, n)
+		}
+	}
+	return append(out, tail...)
+}

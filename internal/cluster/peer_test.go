@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func clusterOf(t *testing.T, self string, urls map[string]string) *Peers {
+	t.Helper()
+	var nodes []Node
+	for id, url := range urls {
+		nodes = append(nodes, Node{ID: id, URL: url})
+	}
+	p, err := New(Config{NodeID: self, Peers: nodes, PeerInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestForwardStampsHopGuard: a forwarded request carries the sender's ID
+// in the hop-guard header and the extra headers the caller supplies.
+func TestForwardStampsHopGuard(t *testing.T) {
+	var got http.Header
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Clone()
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	p := clusterOf(t, "a", map[string]string{"a": "http://self.invalid", "b": ts.URL})
+
+	hdr := http.Header{}
+	hdr.Set("X-Request-ID", "rid-1")
+	resp, err := p.Forward(context.Background(), Node{ID: "b", URL: ts.URL}, http.MethodGet, "/v1/cluster", hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got.Get(ForwardedHeader) != "a" {
+		t.Fatalf("hop guard = %q, want %q", got.Get(ForwardedHeader), "a")
+	}
+	if got.Get("X-Request-ID") != "rid-1" {
+		t.Fatalf("request id not forwarded: %v", got)
+	}
+}
+
+// TestForwardInflightGate: with PeerInflight=1, a second concurrent
+// forward sheds with ErrPeerBusy instead of queueing, and the slot frees
+// when the first response body closes.
+func TestForwardInflightGate(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		io.WriteString(w, "slow")
+	}))
+	defer ts.Close()
+	p := clusterOf(t, "a", map[string]string{"a": "http://self.invalid", "b": ts.URL})
+	peer := Node{ID: "b", URL: ts.URL}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	started := make(chan struct{})
+	var firstErr error
+	var firstResp *http.Response
+	go func() {
+		defer wg.Done()
+		close(started)
+		firstResp, firstErr = p.Forward(context.Background(), peer, http.MethodGet, "/", nil, nil)
+	}()
+	<-started
+	// Wait until the slow request holds the gate slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(p.gates["b"]) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.Forward(context.Background(), peer, http.MethodGet, "/", nil, nil); err == nil || !isPeerBusy(err) {
+		t.Fatalf("second forward err = %v, want ErrPeerBusy", err)
+	}
+	close(release)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	io.Copy(io.Discard, firstResp.Body)
+	firstResp.Body.Close()
+	resp, err := p.Forward(context.Background(), peer, http.MethodGet, "/", nil, nil)
+	if err != nil {
+		t.Fatalf("forward after slot release: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func isPeerBusy(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if err == ErrPeerBusy {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// TestHealthHalfOpen: a failure marks the peer unhealthy; during the
+// cooldown only one trial request per window is let through; a success
+// heals it.
+func TestHealthHalfOpen(t *testing.T) {
+	h := NewHealth()
+	now := time.Unix(1000, 0)
+	h.now = func() time.Time { return now }
+
+	if !h.Usable("b") || !h.Healthy("b") {
+		t.Fatal("fresh peer should be healthy")
+	}
+	h.MarkFailure("b")
+	if h.Healthy("b") {
+		t.Fatal("failed peer still healthy")
+	}
+	if h.Unhealthy() != 1 {
+		t.Fatalf("Unhealthy() = %d, want 1", h.Unhealthy())
+	}
+	// First check after failure: the cooldown window grants one trial.
+	now = now.Add(healthCooldown)
+	if !h.Usable("b") {
+		t.Fatal("trial request not granted after cooldown")
+	}
+	if h.Usable("b") {
+		t.Fatal("second trial granted inside the same window")
+	}
+	h.MarkSuccess("b")
+	if !h.Usable("b") || !h.Healthy("b") || h.Unhealthy() != 0 {
+		t.Fatal("success did not heal the peer")
+	}
+	// Order puts unhealthy nodes last but never drops them.
+	h.MarkFailure("a")
+	got := h.Order([]Node{{ID: "a"}, {ID: "b"}, {ID: "c"}})
+	if len(got) != 3 || got[0].ID != "b" || got[1].ID != "c" || got[2].ID != "a" {
+		t.Fatalf("Order = %v, want healthy first, unhealthy tail", got)
+	}
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: fmt.Sprintf("node-%02d", i), URL: fmt.Sprintf("http://10.0.0.%d:8344", i+1)}
+	}
+	return nodes
+}
+
+// testKeys builds digest-shaped keys (32 hex chars), the strings the ring
+// actually places in production.
+func testKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+// TestRingOwnersDeterministic: the owner set of a key depends only on the
+// membership — not on node order, ring instance, or repetition.
+func TestRingOwnersDeterministic(t *testing.T) {
+	nodes := testNodes(7)
+	r1 := NewRing(nodes)
+	shuffled := make([]Node, len(nodes))
+	copy(shuffled, nodes)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	r2 := NewRing(shuffled)
+	for _, key := range testKeys(500, 1) {
+		a := r1.Owners(key, 2)
+		b := r2.Owners(key, 2)
+		c := r1.Owners(key, 2)
+		if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+			t.Fatalf("owners of %q differ across rings/calls: %v vs %v vs %v", key, a, b, c)
+		}
+		if a[0].ID == a[1].ID {
+			t.Fatalf("owners of %q are not distinct: %v", key, a)
+		}
+		if !r1.IsOwner(key, a[0].ID, 2) || !r1.IsOwner(key, a[1].ID, 2) {
+			t.Fatalf("IsOwner disagrees with Owners for %q", key)
+		}
+	}
+}
+
+// TestRingBalancedDistribution: over every cluster size from 3 to 16, the
+// primary-owner and replica-set loads stay within a chi-square bound of
+// uniform. The keys are fixed-seed, so the statistic is deterministic;
+// the bound is the 99.99% quantile of chi-square with n-1 degrees of
+// freedom (Wilson–Hilferty approximation), far above anything a healthy
+// hash produces.
+func TestRingBalancedDistribution(t *testing.T) {
+	const nKeys = 20000
+	keys := testKeys(nKeys, 42)
+	for n := 3; n <= 16; n++ {
+		ring := NewRing(testNodes(n))
+		primary := make(map[string]int, n)
+		replica := make(map[string]int, n)
+		for _, key := range keys {
+			owners := ring.Owners(key, 2)
+			primary[owners[0].ID]++
+			for _, o := range owners {
+				replica[o.ID]++
+			}
+		}
+		check := func(label string, counts map[string]int, perKey int) {
+			exp := float64(nKeys*perKey) / float64(n)
+			chi2 := 0.0
+			for _, node := range ring.Nodes() {
+				d := float64(counts[node.ID]) - exp
+				chi2 += d * d / exp
+			}
+			// Wilson–Hilferty: chi2_q(df) ~ df*(1 - 2/(9df) + z*sqrt(2/(9df)))^3,
+			// z = 3.72 at the 99.99th percentile.
+			df := float64(n - 1)
+			bound := df * math.Pow(1-2/(9*df)+3.72*math.Sqrt(2/(9*df)), 3)
+			if chi2 > bound {
+				t.Errorf("n=%d %s load: chi2 = %.1f exceeds %.1f (counts %v)", n, label, chi2, bound, counts)
+			}
+		}
+		check("primary", primary, 1)
+		check("replica", replica, 2)
+	}
+}
+
+// TestRingMinimalReassignment: adding or removing one node moves only the
+// keys that node wins or held. Every key whose owner set changes must
+// have the changed node in exactly one of the two sets, and the sets may
+// differ by at most that one member.
+func TestRingMinimalReassignment(t *testing.T) {
+	keys := testKeys(5000, 7)
+	for n := 3; n <= 9; n++ {
+		nodes := testNodes(n + 1)
+		small := NewRing(nodes[:n]) // without the last node
+		big := NewRing(nodes)       // with it
+		joined := nodes[n].ID
+		moved := 0
+		for _, key := range keys {
+			before := ownerSet(small.Owners(key, 2))
+			after := ownerSet(big.Owners(key, 2))
+			if reflect.DeepEqual(before, after) {
+				continue
+			}
+			moved++
+			if !after[joined] {
+				t.Fatalf("n=%d key %q: owners changed %v -> %v without involving joined node %s",
+					n, key, before, after, joined)
+			}
+			// The joined node displaces exactly one previous owner; the
+			// other owner must survive.
+			common := 0
+			for id := range after {
+				if before[id] {
+					common++
+				}
+			}
+			if common != 1 {
+				t.Fatalf("n=%d key %q: join replaced %d owners (%v -> %v), want exactly 1",
+					n, key, 2-common, before, after)
+			}
+		}
+		// A join must take over roughly 2/(n+1) of the replica sets; zero
+		// movement means the new node takes no load at all.
+		if moved == 0 {
+			t.Fatalf("n=%d: join moved no keys; the new node is idle", n)
+		}
+		// And it must not reshuffle the world: bound the moved fraction at
+		// twice the expected share.
+		expected := 2.0 * float64(len(keys)) / float64(n+1)
+		if float64(moved) > 2*expected {
+			t.Fatalf("n=%d: join moved %d keys, want about %.0f (minimal disruption violated)",
+				n, moved, expected)
+		}
+	}
+}
+
+func ownerSet(nodes []Node) map[string]bool {
+	m := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		m[n.ID] = true
+	}
+	return m
+}
+
+// TestParsePeersAndValidate covers the CLI syntax and config validation.
+func TestParsePeersAndValidate(t *testing.T) {
+	nodes, err := ParsePeers("b=http://h2:1/, a=http://h1:1 ,c=http://h3:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{{ID: "a", URL: "http://h1:1"}, {ID: "b", URL: "http://h2:1"}, {ID: "c", URL: "http://h3:1"}}
+	if !reflect.DeepEqual(nodes, want) {
+		t.Fatalf("ParsePeers = %v, want %v", nodes, want)
+	}
+	for _, bad := range []string{"", "a", "a=", "=x", "a=1,a=2"} {
+		ns, err := ParsePeers(bad)
+		if err == nil {
+			err = (Config{NodeID: "a", Peers: ns}).Validate()
+		}
+		if err == nil {
+			t.Errorf("ParsePeers/Validate accepted %q", bad)
+		}
+	}
+	if err := (Config{NodeID: "z", Peers: nodes}).Validate(); err == nil {
+		t.Error("Validate accepted a node id missing from the peer list")
+	}
+	if err := (Config{NodeID: "b", Peers: nodes}).Validate(); err != nil {
+		t.Errorf("Validate rejected a good config: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero Config reports enabled")
+	}
+}

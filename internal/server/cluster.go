@@ -1,0 +1,362 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/example/cachedse/internal/cluster"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// Cluster layer: with Config.Cluster set, every node carries the full
+// static membership and places each trace on its R rendezvous-hash
+// owners. Any node accepts any request; a node that is not an owner of
+// the addressed trace forwards the request to an owner and relays the
+// answer, stamping cluster.ForwardedHeader so the receiver serves
+// locally instead of forwarding again (one hop always suffices — the
+// forwarder already computed the owners). Uploads write through to every
+// owner; reads fail over across owners; a replica that lost or corrupted
+// its copy repairs it from the co-owner on first read via the
+// tracestore fallback. There is no coordinator and no inter-node state
+// beyond each node's passive health view of its peers.
+
+// clusterFetchTimeout bounds one peer object fetch during read-repair
+// (which runs outside any request context).
+const clusterFetchTimeout = 30 * time.Second
+
+// clusterIngress reports whether this request should be routed by the
+// cluster layer: clustering is on and the request arrived from a client,
+// not from a peer (the hop guard).
+func (s *Server) clusterIngress(r *http.Request) bool {
+	return s.peers != nil && r.Header.Get(cluster.ForwardedHeader) == ""
+}
+
+// proxyCompute forwards a compute request (explore / simulate / verify /
+// traces_get) addressed to a trace this node does not own. It reports
+// true when it wrote the response (remote answer or failure); false
+// means the caller serves locally — this node is an owner, the request
+// is already forwarded, or clustering is off.
+func (s *Server) proxyCompute(w http.ResponseWriter, r *http.Request, verb, digest string, body []byte) bool {
+	if !s.clusterIngress(r) || digest == "" || s.peers.IsOwner(digest) {
+		return false
+	}
+	s.forwardToOwners(w, r, verb, digest, body)
+	return true
+}
+
+// forwardToOwners tries the owners of digest in health order, relaying
+// the first usable response. A transport failure, a full peer gate, or a
+// response worth failing over (5xx, 429, 404) moves on to the next
+// owner; the last owner's response is relayed regardless, so a genuine
+// not-found still reads as 404. When no owner produced a response at
+// all, the client gets 503 with a retry hint — the same contract as a
+// closing queue.
+func (s *Server) forwardToOwners(w http.ResponseWriter, r *http.Request, verb, digest string, body []byte) {
+	targets := s.peers.OwnerTargets(digest)
+	sawBusy := false
+	for i, peer := range targets {
+		resp, err := s.peers.Forward(r.Context(), peer, r.Method, r.URL.RequestURI(), proxyHeader(r), body)
+		if err != nil {
+			if errors.Is(err, cluster.ErrPeerBusy) {
+				sawBusy = true
+			} else {
+				s.cfg.Logger.WarnContext(r.Context(), "cluster forward failed",
+					"verb", verb, "peer", peer.ID, "err", err)
+			}
+			continue
+		}
+		s.proxied.With(verb).Inc()
+		last := i == len(targets)-1
+		if !last && (resp.StatusCode >= 500 ||
+			resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusNotFound) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		relayResponse(w, resp)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	if sawBusy {
+		httpError(w, http.StatusTooManyRequests, codeOverloaded,
+			"owners of trace %q are at their forwarding limit; retry shortly", digest)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, codeUnavailable,
+		"no owner of trace %q is reachable", digest)
+}
+
+// uploadWriteThrough replicates an ingress upload to the owners of
+// digest. When this node is itself an owner it replicates to the
+// co-owners best-effort and reports false so the caller stores locally
+// and answers; otherwise the first owner's response is relayed and the
+// remaining owners still receive the bytes. A missed replica is not
+// fatal — read-repair heals it on first read.
+func (s *Server) uploadWriteThrough(w http.ResponseWriter, r *http.Request, digest string, body []byte) (done bool) {
+	selfOwner := s.peers.IsOwner(digest)
+	targets := s.peers.OwnerTargets(digest)
+	relayed := false
+	for _, peer := range targets {
+		resp, err := s.peers.Forward(r.Context(), peer, http.MethodPost, "/v1/traces", proxyHeader(r), body)
+		if err != nil {
+			s.cfg.Logger.WarnContext(r.Context(), "cluster upload replication failed",
+				"peer", peer.ID, "digest", digest, "err", err)
+			continue
+		}
+		s.proxied.With("upload").Inc()
+		if !selfOwner && !relayed && resp.StatusCode < 500 {
+			relayResponse(w, resp)
+			relayed = true
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if selfOwner {
+		return false
+	}
+	if !relayed {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable,
+			"no owner of trace %q accepted the upload", digest)
+	}
+	return true
+}
+
+// clusterDelete fans a trace deletion to every owner (and drops any
+// local copy, owner or not). Busy anywhere wins over deleted; an
+// unreachable owner makes the delete incomplete, which is reported as
+// 503 rather than pretending the replica is gone.
+func (s *Server) clusterDelete(w http.ResponseWriter, r *http.Request, digest string) {
+	removed, busy := s.deleteTraceLocal(digest)
+	unreachable := 0
+	for _, peer := range s.peers.OwnerTargets(digest) {
+		resp, err := s.peers.Forward(r.Context(), peer, http.MethodDelete, r.URL.RequestURI(), proxyHeader(r), nil)
+		if err != nil {
+			unreachable++
+			continue
+		}
+		s.proxied.With("traces_delete").Inc()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			removed = true
+		case http.StatusConflict:
+			busy = true
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	switch {
+	case busy:
+		httpError(w, http.StatusConflict, codeTraceBusy,
+			"trace %q is referenced by a queued or running job; retry when it finishes", digest)
+	case unreachable > 0:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable,
+			"%d owner(s) of trace %q unreachable; replica may survive, retry the delete", unreachable, digest)
+	case removed:
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": digest})
+	default:
+		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", digest)
+	}
+}
+
+// proxyJobMiss scatters a job request this node has no record of to
+// every peer — job IDs carry no placement, so the job may live on
+// whichever node dispatched it. The first non-404 response is relayed.
+func (s *Server) proxyJobMiss(w http.ResponseWriter, r *http.Request) bool {
+	if !s.clusterIngress(r) {
+		return false
+	}
+	var others []cluster.Node
+	for _, n := range s.peers.Nodes() {
+		if n.ID != s.peers.Self().ID {
+			others = append(others, n)
+		}
+	}
+	for _, peer := range s.peers.Health().Order(others) {
+		resp, err := s.peers.Forward(r.Context(), peer, r.Method, r.URL.RequestURI(), proxyHeader(r), nil)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		s.proxied.With("jobs").Inc()
+		relayResponse(w, resp)
+		return true
+	}
+	return false
+}
+
+// proxyHeader selects the request headers worth carrying across a hop:
+// identity and deadline propagation plus content negotiation. The hop
+// guard itself is stamped by Forward.
+func proxyHeader(r *http.Request) http.Header {
+	h := http.Header{}
+	for _, k := range []string{"X-Request-ID", "X-Request-Deadline", "Content-Type", "Accept"} {
+		if v := r.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	return h
+}
+
+// relayResponse copies a peer's answer to the client: status, body and
+// the headers that carry cross-node semantics (degraded reads, job
+// handles, retry hints).
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, k := range []string{"Content-Type", "X-Degraded", "X-Job-ID", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// clusterFallback is the tracestore read-repair hook: a local miss or a
+// digest-verification failure on a trace object fetches the bytes from
+// the co-owner's local store, verifies them against the trace digest the
+// key names, and hands them back for re-persisting. Result objects are
+// never repaired — they are recomputable, and fetching them would trade
+// a cheap recompute for a network hop.
+func (s *Server) clusterFallback(key string) ([]byte, error) {
+	digest, ok := strings.CutPrefix(key, traceKeyPrefix)
+	if !ok {
+		return nil, fmt.Errorf("cluster: key %q is not repairable from peers", key)
+	}
+	data, _, err := s.fetchObjectFromPeers(digest)
+	return data, err
+}
+
+// fetchObjectFromPeers asks each owner peer of digest for its local copy
+// of the trace object, returning the first copy that decodes and hashes
+// back to the digest it claims to be. The peer serves its bytes without
+// consulting its own fallback, so two nodes missing the same object
+// terminate instead of ping-ponging.
+func (s *Server) fetchObjectFromPeers(digest string) ([]byte, *trace.Trace, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), clusterFetchTimeout)
+	defer cancel()
+	path := "/v1/cluster/objects?key=" + url.QueryEscape(traceKeyPrefix+digest)
+	err := fmt.Errorf("cluster: no peer replica of trace %q", digest)
+	for _, peer := range s.peers.OwnerTargets(digest) {
+		resp, ferr := s.peers.Forward(ctx, peer, http.MethodGet, path, nil, nil)
+		if ferr != nil {
+			err = ferr
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			err = fmt.Errorf("cluster: peer %s returned %d for trace %q", peer.ID, resp.StatusCode, digest)
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxUploadBytes+1))
+		resp.Body.Close()
+		if rerr != nil {
+			err = rerr
+			continue
+		}
+		tr, derr := trace.DecodeBytes(data, trace.Limits{
+			MaxRefs:  s.cfg.MaxRefs,
+			MaxBytes: s.cfg.MaxUploadBytes,
+		}, nil)
+		if derr != nil {
+			err = fmt.Errorf("cluster: peer %s copy of %q undecodable: %w", peer.ID, digest, derr)
+			continue
+		}
+		if got := TraceDigest(tr); got != digest {
+			err = fmt.Errorf("cluster: peer %s copy of %q hashes to %s", peer.ID, digest, got)
+			continue
+		}
+		return data, tr, nil
+	}
+	return nil, nil, err
+}
+
+// fetchTraceFromPeers is the in-memory-only cluster read path: with no
+// persistent store there is no tracestore fallback to ride, so
+// lookupTrace pulls the trace from a peer replica directly.
+func (s *Server) fetchTraceFromPeers(digest string) (*trace.Trace, bool) {
+	if s.peers == nil {
+		return nil, false
+	}
+	_, tr, err := s.fetchObjectFromPeers(digest)
+	if err != nil {
+		return nil, false
+	}
+	s.memRepairs.Add(1)
+	return tr, true
+}
+
+// handleCluster reports the node's view of the topology: membership,
+// replication factor and this node's passive health verdict on each
+// peer. With clustering off the response is the degenerate single-node
+// topology, so clients can always ask.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	type nodeJSON struct {
+		ID      string `json:"id"`
+		URL     string `json:"url"`
+		Self    bool   `json:"self"`
+		Healthy bool   `json:"healthy"`
+	}
+	resp := struct {
+		Self     string     `json:"self"`
+		Replicas int        `json:"replicas"`
+		Nodes    []nodeJSON `json:"nodes"`
+	}{Replicas: 1, Nodes: []nodeJSON{}}
+	if s.peers != nil {
+		resp.Self = s.peers.Self().ID
+		resp.Replicas = s.peers.Replicas()
+		for _, n := range s.peers.Nodes() {
+			resp.Nodes = append(resp.Nodes, nodeJSON{
+				ID:      n.ID,
+				URL:     n.URL,
+				Self:    n.ID == s.peers.Self().ID,
+				Healthy: n.ID == s.peers.Self().ID || s.peers.Health().Healthy(n.ID),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterObject serves this node's local copy of one stored
+// object to a peer (the read-repair source). The read is strictly
+// local — no fallback, no forwarding — so repair traffic terminates
+// here. Traces the memory LRU holds but disk does not (persistence off,
+// or a failed persist) are re-encoded on the fly.
+func (s *Server) handleClusterObject(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "missing ?key=")
+		return
+	}
+	if s.persist != nil {
+		if data, err := s.persist.GetLocal(key); err == nil {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+			return
+		}
+	}
+	if digest, ok := strings.CutPrefix(key, traceKeyPrefix); ok {
+		if e, ok := s.store.Get(digest); ok {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if err := trace.WriteCTZ1(w, e.Trace); err != nil {
+				s.cfg.Logger.WarnContext(r.Context(), "encoding trace for peer", "digest", digest, "err", err)
+			}
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, codeTraceNotFound, "no local copy of %q", key)
+}

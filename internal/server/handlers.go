@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/bits"
 	"net/http"
 	"sort"
@@ -42,20 +44,29 @@ func infoOf(e *TraceEntry) traceInfo {
 	}
 }
 
-// handleUpload streams a .din or .ctr body through the size-limited
+// handleUpload reads a .din or .ctr body through the size-limited
 // decoder and registers the trace under its content digest. Uploads are
 // idempotent: re-posting the same trace returns 200 with the existing
-// digest instead of 201.
+// digest instead of 201. The body is buffered rather than streamed so a
+// cluster ingress can replay the exact bytes to each owner replica.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	tr, err := trace.Decode(body, trace.Limits{
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			httpError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge, "%v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	tr, err := trace.Decode(bytes.NewReader(raw), trace.Limits{
 		MaxRefs:  s.cfg.MaxRefs,
 		MaxBytes: s.cfg.MaxUploadBytes,
 	})
 	if err != nil {
 		var limErr *trace.LimitError
-		var maxErr *http.MaxBytesError
-		if errors.As(err, &limErr) || errors.As(err, &maxErr) {
+		if errors.As(err, &limErr) {
 			httpError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge, "%v", err)
 			return
 		}
@@ -64,6 +75,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	if tr.Len() == 0 {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "empty trace")
+		return
+	}
+	if s.clusterIngress(r) && s.uploadWriteThrough(w, r, TraceDigest(tr), raw) {
 		return
 	}
 	entry, existed := s.store.Add(tr)
@@ -145,6 +159,9 @@ func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	if s.proxyCompute(w, r, "traces_get", r.PathValue("digest"), nil) {
+		return
+	}
 	entry, ok := s.lookupTrace(r.PathValue("digest"))
 	if !ok {
 		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", r.PathValue("digest"))
@@ -160,18 +177,12 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 // and the client retries once the job drains.
 func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
-	// The busy check and the removal run atomically against dispatch's
-	// retain: without the shared lock a dispatch could pass its lookup,
-	// lose the race to this removal, and run its job against a trace the
-	// store had already forgotten.
-	removed, idle := s.active.deleteIfIdle(digest, func() bool {
-		removed := s.store.Remove(digest)
-		if s.forgetTrace(digest) {
-			removed = true
-		}
-		return removed
-	})
-	if !idle {
+	if s.clusterIngress(r) {
+		s.clusterDelete(w, r, digest)
+		return
+	}
+	removed, busy := s.deleteTraceLocal(digest)
+	if busy {
 		httpError(w, http.StatusConflict, codeTraceBusy,
 			"trace %q is referenced by a queued or running job; retry when it finishes", digest)
 		return
@@ -181,6 +192,22 @@ func (s *Server) handleDeleteTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": digest})
+}
+
+// deleteTraceLocal removes this node's copy of a trace from memory and
+// disk. The busy check and the removal run atomically against dispatch's
+// retain: without the shared lock a dispatch could pass its lookup, lose
+// the race to this removal, and run its job against a trace the store
+// had already forgotten.
+func (s *Server) deleteTraceLocal(digest string) (removed, busy bool) {
+	removed, idle := s.active.deleteIfIdle(digest, func() bool {
+		removed := s.store.Remove(digest)
+		if s.forgetTrace(digest) {
+			removed = true
+		}
+		return removed
+	})
+	return removed, !idle
 }
 
 // instanceJSON is one emitted (D, A) pair with its derived columns. The
@@ -258,9 +285,17 @@ func budgetFor(e *TraceEntry, k *int, kpct *float64) (int, error) {
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	var req exploreRequest
-	if err := decodeJSON(r, &req); err != nil {
+	raw, err := readBody(r)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	var req exploreRequest
+	if err := decodeJSONBytes(raw, &req); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	if s.proxyCompute(w, r, "explore", req.Trace, raw) {
 		return
 	}
 	entry, ok := s.lookupTrace(req.Trace)
@@ -500,9 +535,17 @@ func replFromName(name string) (cache.Replacement, error) {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req simulateRequest
-	if err := decodeJSON(r, &req); err != nil {
+	raw, err := readBody(r)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	var req simulateRequest
+	if err := decodeJSONBytes(raw, &req); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	if s.proxyCompute(w, r, "simulate", req.Trace, raw) {
 		return
 	}
 	entry, ok := s.lookupTrace(req.Trace)
@@ -599,9 +642,17 @@ type verifyResponse struct {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	var req verifyRequest
-	if err := decodeJSON(r, &req); err != nil {
+	raw, err := readBody(r)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	var req verifyRequest
+	if err := decodeJSONBytes(raw, &req); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	if s.proxyCompute(w, r, "verify", req.Trace, raw) {
 		return
 	}
 	entry, ok := s.lookupTrace(req.Trace)
@@ -770,6 +821,12 @@ const httpStatusClientClosedRequest = 499
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
+		// Job IDs carry no placement: an async job submitted through
+		// another node lives wherever it was dispatched, so a local miss
+		// scatters to the peers before giving up.
+		if s.proxyJobMiss(w, r) {
+			return
+		}
 		httpError(w, http.StatusNotFound, codeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -779,6 +836,9 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
+		if s.proxyJobMiss(w, r) {
+			return
+		}
 		httpError(w, http.StatusNotFound, codeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -792,6 +852,9 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
+		if s.proxyJobMiss(w, r) {
+			return
+		}
 		httpError(w, http.StatusNotFound, codeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}

@@ -126,6 +126,14 @@ func (s *Server) lookupTrace(digest string) (*TraceEntry, bool) {
 		return e, true
 	}
 	if s.persist == nil {
+		// Purely in-memory node in a cluster: the trace may live on a
+		// peer replica (this node joined after the upload, or its LRU
+		// dropped the entry). Disk-backed nodes get the same behavior
+		// through the tracestore's read-repair fallback below.
+		if tr, ok := s.fetchTraceFromPeers(digest); ok {
+			e, _ := s.store.Add(tr)
+			return e, true
+		}
 		return nil, false
 	}
 	tr, err := s.loadPersistedTrace(traceKeyPrefix+digest, nil)

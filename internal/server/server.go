@@ -11,15 +11,19 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"github.com/example/cachedse/internal/cluster"
 	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/tracestore"
@@ -56,6 +60,12 @@ type Config struct {
 	// Logger receives structured server events; every record carries the
 	// request and job IDs found in its context. Nil logs text to stderr.
 	Logger *slog.Logger
+	// Cluster, when its NodeID is set, joins this server to a static
+	// multi-node topology: traces are placed on their rendezvous-hash
+	// owner replicas, non-owner nodes proxy requests to an owner, and
+	// lost or corrupted replicas heal from the co-owner on first read.
+	// The zero value keeps the server single-node.
+	Cluster cluster.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -106,11 +116,16 @@ type Server struct {
 	persist *tracestore.Store // nil when StoreDir is unset
 	active  *activeTraces
 	gates   map[string]chan struct{} // per-endpoint admission gates
+	peers   *cluster.Peers           // nil when clustering is off
 
 	reqTotal      *CounterVec
 	latency       *HistogramVec
 	shedTotal     *CounterVec
 	degradedReads *Counter
+	proxied       *CounterVec
+	// memRepairs counts trace replicas healed from a peer without a
+	// persistent store to ride (the tracestore counts its own repairs).
+	memRepairs atomic.Int64
 }
 
 // New builds a Server ready to serve via Handler. With Config.StoreDir set
@@ -138,6 +153,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.persist = st
+	}
+	peers, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	s.peers = peers
+	if s.peers != nil && s.persist != nil {
+		// Install read-repair before warm start, so a node rebooting with
+		// a corrupted or missing object heals it from the co-owner while
+		// reloading rather than dropping it.
+		s.persist.SetFallback(s.clusterFallback)
 	}
 	s.warmStart()
 	s.registerMetrics()
@@ -194,6 +220,23 @@ func (s *Server) registerMetrics() {
 			}
 			return float64(s.persist.Len())
 		})
+	s.proxied = s.reg.CounterVec("cachedse_cluster_proxied_total",
+		"Requests forwarded to a peer node, by verb (0 unless clustering is on).", "verb")
+	s.reg.CounterFunc("cachedse_cluster_read_repairs_total",
+		"Trace replicas healed from a peer after a local miss or digest mismatch.", func() float64 {
+			n := s.memRepairs.Load()
+			if s.persist != nil {
+				n += s.persist.Repairs()
+			}
+			return float64(n)
+		})
+	s.reg.GaugeFunc("cachedse_cluster_peer_unhealthy",
+		"Peers this node currently considers unreachable.", func() float64 {
+			if s.peers == nil {
+				return 0
+			}
+			return float64(s.peers.Health().Unhealthy())
+		})
 }
 
 func (s *Server) routes() {
@@ -207,6 +250,8 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleGetJob))
 	s.mux.Handle("GET /v1/jobs/{id}/trace", s.instrument("jobs_trace", s.handleJobTrace))
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleCancelJob))
+	s.mux.Handle("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
+	s.mux.Handle("GET /v1/cluster/objects", s.instrument("cluster_objects", s.handleClusterObject))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	// Probes get counted under their own endpoint labels but skip the
 	// latency histogram and the request log: a 1 s kubelet poll would
@@ -359,6 +404,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // decodeJSON strictly parses a small JSON request body into v.
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// readBody buffers a small JSON request body so it can be both decoded
+// locally and replayed verbatim across a cluster hop.
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	return data, nil
+}
+
+// decodeJSONBytes is decodeJSON over an already-buffered body.
+func decodeJSONBytes(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %v", err)

@@ -92,8 +92,22 @@ func (s *Store) OpenMapped(key string) (*MappedObject, error) {
 }
 
 // openMappedSpan is OpenMapped with an optional parent span; digest
-// verification is recorded beneath it as a "store.verify" child.
+// verification is recorded beneath it as a "store.verify" child. A miss
+// or a verification failure consults the read-repair fallback like Get;
+// repaired bytes are served as a heap-backed view.
 func (s *Store) openMappedSpan(key string, span *obs.Span) (*MappedObject, error) {
+	m, err := s.openMappedVerified(key, span)
+	if err != nil {
+		data, rerr := s.repairFrom(key, err)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return &MappedObject{data: data}, nil
+	}
+	return m, nil
+}
+
+func (s *Store) openMappedVerified(key string, span *obs.Span) (*MappedObject, error) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	s.mu.Unlock()

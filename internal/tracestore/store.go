@@ -17,6 +17,7 @@
 package tracestore
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -28,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/example/cachedse/internal/faultinject"
@@ -62,14 +64,66 @@ func (e *CorruptObjectError) Error() string {
 	return fmt.Sprintf("tracestore: object %s (key %q) corrupt: %s", e.Object, e.Key, e.Reason)
 }
 
+// Fallback fetches a key's bytes from somewhere else — in a cluster, the
+// other owner replica — when the local store misses the key or fails its
+// digest verification. A successful fetch is re-persisted under the key
+// (read-repair) and served; a failed fetch surfaces the original local
+// error, so a store without working replicas behaves exactly as before.
+type Fallback func(key string) ([]byte, error)
+
 // Store is the on-disk store. All methods are safe for concurrent use.
 type Store struct {
 	dir string
+
+	fallback atomic.Pointer[Fallback]
+	repairs  atomic.Int64
 
 	mu      sync.Mutex
 	entries map[string]Entry // key -> entry
 	refs    map[string]int   // object digest -> number of keys
 	tmpSeq  int
+}
+
+// SetFallback installs (or, with nil, removes) the read-repair fetch
+// hook consulted by Get and OpenMapped on a miss or a corrupt object.
+func (s *Store) SetFallback(f Fallback) {
+	if f == nil {
+		s.fallback.Store(nil)
+		return
+	}
+	s.fallback.Store(&f)
+}
+
+// Repairs returns how many reads have been healed through the fallback.
+func (s *Store) Repairs() int64 { return s.repairs.Load() }
+
+// repairFrom consults the fallback after a local miss or verification
+// failure. On a successful fetch the bytes are re-persisted under key —
+// repointing a corrupt entry at fresh content, or recreating a missing
+// one — and returned; otherwise the original local error stands.
+func (s *Store) repairFrom(key string, cause error) ([]byte, error) {
+	fp := s.fallback.Load()
+	if fp == nil {
+		return nil, cause
+	}
+	data, err := (*fp)(key)
+	if err != nil {
+		return nil, cause
+	}
+	s.repairs.Add(1)
+	// A corrupt object blocks the re-persist below: Put dedups on the
+	// object path existing, and the damaged file sits at exactly that
+	// path. Unlink it first so the repaired bytes actually land on disk.
+	var ce *CorruptObjectError
+	if errors.As(cause, &ce) {
+		s.mu.Lock()
+		_ = os.Remove(s.objectPath(ce.Object))
+		s.mu.Unlock()
+	}
+	// The bytes are good even if re-persisting them fails; serve them and
+	// let a later read retry the repair.
+	_, _ = s.Put(key, bytes.NewReader(data))
+	return data, nil
 }
 
 const (
@@ -264,14 +318,30 @@ func (s *Store) releaseLocked(digest string) {
 
 // Get returns the object bytes for key, verifying the content digest
 // before handing anything back: a damaged object yields a
-// *CorruptObjectError, never silently wrong bytes.
+// *CorruptObjectError, never silently wrong bytes. With a Fallback
+// installed, a miss or a corrupt object is repaired from it first.
 func (s *Store) Get(key string) ([]byte, error) {
 	return s.getSpan(key, nil)
+}
+
+// GetLocal is Get without the read-repair fallback: strictly what this
+// node holds. It is what a replica serves to its peers — a peer-to-peer
+// fetch must never recurse into another fetch.
+func (s *Store) GetLocal(key string) ([]byte, error) {
+	return s.getVerified(key, nil)
 }
 
 // getSpan is Get with an optional parent span; when one is given the
 // digest verification is recorded beneath it as a "store.verify" child.
 func (s *Store) getSpan(key string, span *obs.Span) ([]byte, error) {
+	data, err := s.getVerified(key, span)
+	if err != nil {
+		return s.repairFrom(key, err)
+	}
+	return data, nil
+}
+
+func (s *Store) getVerified(key string, span *obs.Span) ([]byte, error) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	s.mu.Unlock()

@@ -135,6 +135,24 @@ type VerifyResponse struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// ClusterNode is one member of the cluster topology, as the queried
+// node sees it: Self marks the answering node, Healthy its passive
+// health verdict on the peer (always true for itself).
+type ClusterNode struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Self    bool   `json:"self"`
+	Healthy bool   `json:"healthy"`
+}
+
+// ClusterInfo is GET /v1/cluster: the static membership and replication
+// factor. A single-node server answers with no nodes and replicas 1.
+type ClusterInfo struct {
+	Self     string        `json:"self"`
+	Replicas int           `json:"replicas"`
+	Nodes    []ClusterNode `json:"nodes"`
+}
+
 // JobStatus mirrors the server's job snapshot.
 type JobStatus struct {
 	ID       string     `json:"id"`

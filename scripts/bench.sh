@@ -3,11 +3,18 @@
 # BENCH_core.json snapshot of the engine's performance.
 #
 # Usage:
-#   scripts/bench.sh [-o OUTPUT.json] [-count N]
+#   scripts/bench.sh [-o OUTPUT.json] [-count N] [-chaosload]
 #
 # -count N forwards to `go test -count N`. The default is a single
 # iteration, which keeps the CI smoke run fast; pass -count 3 (or more)
 # when collecting numbers worth comparing.
+#
+# -chaosload appends a service-latency panel: it boots a single-node
+# server and a 3-node cluster on localhost, drives each with the
+# chaosload driver, and records the explore latency distribution
+# (p50/p95/p99) of both topologies under "chaosload" in the JSON — the
+# cluster numbers include the forwarding hop, so the delta is the cost
+# of any-node ingress.
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value     (default 3x)
@@ -26,6 +33,7 @@ cd "$(dirname "$0")/.."
 
 out=BENCH_core.json
 count=${COUNT:-1}
+chaospanel=0
 # getopts is single-character-only, so parse -count (and -o) by hand.
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -38,8 +46,10 @@ while [ $# -gt 0 ]; do
         ''|*[!0-9]*) echo "bench.sh: -count wants a positive integer, got '$2'" >&2; exit 2 ;;
       esac
       count=$2; shift 2 ;;
+    -chaosload)
+      chaospanel=1; shift ;;
     *)
-      echo "usage: scripts/bench.sh [-o OUTPUT.json] [-count N]" >&2; exit 2 ;;
+      echo "usage: scripts/bench.sh [-o OUTPUT.json] [-count N] [-chaosload]" >&2; exit 2 ;;
   esac
 done
 
@@ -98,5 +108,63 @@ END {
   }
   printf "  }\n}\n"
 }' "$raw" > "$out"
+
+# Optional service-latency panel: the same chaosload run against one node
+# and against a 3-node cluster, so the JSON records what the forwarding
+# hop costs at the tail. Kept off the default path — it boots servers.
+if [ "$chaospanel" = 1 ]; then
+  tmp=$(mktemp -d)
+  pids=()
+  panel_cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+  }
+  trap panel_cleanup EXIT
+
+  go build -o "$tmp/cachedse" ./cmd/cachedse
+  go build -o "$tmp/chaosload" ./cmd/chaosload
+  wait_up() {
+    for _ in $(seq 1 100); do
+      curl -sf "$1/healthz" > /dev/null 2>&1 && return 0
+      sleep 0.1
+    done
+    echo "bench.sh: server did not come up on $1" >&2
+    return 1
+  }
+
+  n=${CHAOS_N:-96} conc=${CHAOS_CONCURRENCY:-8} refs=${CHAOS_REFS:-4000}
+
+  # Single node.
+  "$tmp/cachedse" serve -addr 127.0.0.1:18371 -store "$tmp/s1" -workers 2 -queue 16 \
+    > "$tmp/log-single.txt" 2>&1 &
+  pids+=($!)
+  wait_up http://127.0.0.1:18371
+  "$tmp/chaosload" -addr http://127.0.0.1:18371 -n "$n" -concurrency "$conc" \
+    -refs "$refs" -json "$tmp/single.json" >&2
+  kill "${pids[0]}" 2>/dev/null || true
+
+  # Three nodes, requests round-robin across all of them.
+  peers="a=http://127.0.0.1:18372,b=http://127.0.0.1:18373,c=http://127.0.0.1:18374"
+  for i in a:18372 b:18373 c:18374; do
+    id=${i%%:*} port=${i##*:}
+    "$tmp/cachedse" serve -addr "127.0.0.1:$port" -store "$tmp/s-$id" -workers 2 -queue 16 \
+      -node-id "$id" -peers "$peers" > "$tmp/log-$id.txt" 2>&1 &
+    pids+=($!)
+  done
+  wait_up http://127.0.0.1:18372; wait_up http://127.0.0.1:18373; wait_up http://127.0.0.1:18374
+  "$tmp/chaosload" -addrs http://127.0.0.1:18372,http://127.0.0.1:18373,http://127.0.0.1:18374 \
+    -n "$n" -concurrency "$conc" -refs "$refs" -json "$tmp/cluster3.json" >&2
+
+  # Splice the panel into the snapshot before the closing brace.
+  {
+    sed '$d' "$out"
+    printf ',"chaosload": {\n"single_node": '
+    cat "$tmp/single.json"
+    printf ',"cluster_3node": '
+    cat "$tmp/cluster3.json"
+    printf '}\n}\n'
+  } > "$out.merged" && mv "$out.merged" "$out"
+fi
 
 echo "wrote $out (raw output in $raw)" >&2

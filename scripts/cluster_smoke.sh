@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end check of the coordinator-free cluster
+# layer on a 3-node localhost topology.
+#
+# Builds the CLI and the chaosload driver, boots three `cachedse serve`
+# nodes that know each other through -peers, then:
+#
+#   1. drives concurrent explorations round-robin across all three nodes
+#      (any-node ingress: uploads and queries land on non-owners and must
+#      be forwarded) and verifies every answer is bit-identical to the
+#      locally computed analytical ground truth;
+#   2. checks GET /v1/cluster reports the full membership and that the
+#      forwarding counters prove proxying actually happened;
+#   3. kills one replica owner outright, re-runs the load against the
+#      survivors — R=2 ownership must keep every answer exact;
+#   4. corrupts every stored object on the killed node, restarts it, and
+#      verifies read-repair healed it from its peers (repair counter > 0
+#      and the restarted node serves bit-identical answers again).
+#
+# CI runs this as its own job; it is equally runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port_a=${PORT_A:-18361}
+port_b=${PORT_B:-18362}
+port_c=${PORT_C:-18363}
+base_a="http://127.0.0.1:$port_a"
+base_b="http://127.0.0.1:$port_b"
+base_c="http://127.0.0.1:$port_c"
+peers="a=$base_a,b=$base_b,c=$base_c"
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/cachedse" ./cmd/cachedse
+go build -o "$tmp/chaosload" ./cmd/chaosload
+
+start_node() { # id port -> echoes pid
+  local id=$1 port=$2
+  "$tmp/cachedse" serve -addr "127.0.0.1:$port" -store "$tmp/store-$id" \
+    -workers 2 -queue 16 -node-id "$id" -peers "$peers" \
+    > "$tmp/log-$id.txt" 2>&1 &
+  echo $!
+}
+
+wait_up() { # base
+  for _ in $(seq 1 100); do
+    curl -sf "$1/healthz" > /dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "cluster_smoke: node did not come up on $1" >&2
+  return 1
+}
+
+pid_a=$(start_node a "$port_a"); pids+=("$pid_a")
+pid_b=$(start_node b "$port_b"); pids+=("$pid_b")
+pid_c=$(start_node c "$port_c"); pids+=("$pid_c")
+wait_up "$base_a"; wait_up "$base_b"; wait_up "$base_c"
+
+# 1. Any-node ingress, bit-identical answers.
+"$tmp/chaosload" -addrs "$base_a,$base_b,$base_c" -n 36 -concurrency 6 -refs 3000 ||
+  { echo "cluster_smoke: round-robin load failed" >&2; exit 1; }
+
+# 2. Topology and forwarding evidence.
+topo=$(curl -sf "$base_b/v1/cluster")
+echo "$topo" | grep -q '"self": "b"' ||
+  { echo "cluster_smoke: /v1/cluster self wrong: $topo" >&2; exit 1; }
+for id in a b c; do
+  echo "$topo" | grep -q "\"id\": \"$id\"" ||
+    { echo "cluster_smoke: /v1/cluster missing node $id: $topo" >&2; exit 1; }
+done
+proxied=0
+for base in "$base_a" "$base_b" "$base_c"; do
+  v=$(curl -sf "$base/metrics" |
+    awk '/^cachedse_cluster_proxied_total\{/ { s += $2 } END { printf "%d", s }')
+  proxied=$((proxied + v))
+done
+[ "$proxied" -gt 0 ] ||
+  { echo "cluster_smoke: no forwarded requests counted — proxying never happened" >&2; exit 1; }
+echo "cluster_smoke: $proxied requests proxied between nodes"
+
+# 3. Kill a node that actually holds replica data (its object store is
+# non-empty), then the survivors must still answer everything exactly.
+victim="" victim_base="" victim_pid="" victim_port=""
+for id in c b a; do
+  if [ -n "$(ls -A "$tmp/store-$id/objects" 2>/dev/null)" ]; then
+    victim=$id
+    case "$id" in
+      a) victim_base=$base_a victim_pid=$pid_a victim_port=$port_a ;;
+      b) victim_base=$base_b victim_pid=$pid_b victim_port=$port_b ;;
+      c) victim_base=$base_c victim_pid=$pid_c victim_port=$port_c ;;
+    esac
+    break
+  fi
+done
+[ -n "$victim" ] ||
+  { echo "cluster_smoke: no node has persisted objects — write-through broken?" >&2; exit 1; }
+kill -9 "$victim_pid"
+wait "$victim_pid" 2>/dev/null || true
+
+survivors=""
+for pair in "a:$base_a" "b:$base_b" "c:$base_c"; do
+  id=${pair%%:*}
+  [ "$id" = "$victim" ] && continue
+  survivors="$survivors,${pair#*:}"
+done
+survivors=${survivors#,}
+"$tmp/chaosload" -addrs "$survivors" -n 24 -concurrency 6 -refs 3000 ||
+  { echo "cluster_smoke: survivors failed after killing node $victim" >&2; exit 1; }
+echo "cluster_smoke: node $victim killed, survivors stayed bit-identical"
+
+# 4. Corrupt the dead node's stored objects, restart it, and watch
+# read-repair heal it from its peers.
+for f in "$tmp/store-$victim/objects"/*; do
+  printf 'garbage' > "$f"
+done
+victim_pid=$(start_node "$victim" "$victim_port"); pids+=("$victim_pid")
+wait_up "$victim_base"
+repairs=$(curl -sf "$victim_base/metrics" |
+  sed -n 's/^cachedse_cluster_read_repairs_total \([0-9.e+]*\)$/\1/p')
+case "$repairs" in
+  ''|0) echo "cluster_smoke: restarted node shows no read repairs (counter: '${repairs:-missing}')" >&2; exit 1 ;;
+esac
+"$tmp/chaosload" -addrs "$victim_base" -n 12 -concurrency 4 -refs 3000 ||
+  { echo "cluster_smoke: restarted node serves wrong answers after repair" >&2; exit 1; }
+echo "cluster_smoke: node $victim restarted over corrupted store, $repairs objects read-repaired"
+
+echo "cluster_smoke: OK — any-node ingress bit-identical, survived a kill, read-repair healed the restart"
