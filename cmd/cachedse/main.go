@@ -23,8 +23,10 @@
 //	                                   convert a trace to the ctz1 format
 //	cachedse unpack   [-o OUT] [-binary] TRACE
 //	                                   convert a trace back to text/binary
-//	cachedse serve    [-addr HOST:PORT] [-store DIR] [flags]
+//	cachedse serve    [-addr HOST:PORT] [-store DIR] [-profile-dir DIR] [flags]
 //	                                   run the exploration HTTP service
+//	cachedse trace    [-addr URL] [-cluster] [-chrome F] JOB_ID
+//	                                   render a job's (cluster-wide) span tree
 package main
 
 import (
@@ -87,6 +89,8 @@ func main() {
 		err = cmdDedup(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -113,7 +117,7 @@ func usage() {
 
 core:        stats  strip  explore  simulate  verify
 formats:     pack  unpack
-service:     serve
+service:     serve  trace
 extensions:  linesize  policies  energy  bus  hierarchy  dedup  profile`)
 }
 

@@ -38,6 +38,8 @@ func cmdServe(args []string) error {
 	replicas := fs.Int("replicas", 0, "cluster ownership replicas per trace (0 = default)")
 	peerInflight := fs.Int("peer-inflight", 0, "max concurrent forwarded requests per peer (0 = default)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	profileDir := fs.String("profile-dir", "", "continuously capture CPU/heap pprof snapshots into this bounded ring directory (off when empty)")
+	profileInterval := fs.Duration("profile-interval", 0, "mean time between continuous-profiler captures (0 = profiler default)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	faults := fs.String("faults", "", "arm fault injection with this failpoint spec, e.g. 'tracestore.*=error()@0.2;queue.run=delay(5ms)@0.5' (testing only)")
 	faultSeed := fs.Uint64("fault-seed", 1, "deterministic seed for -faults decisions")
@@ -80,17 +82,19 @@ func cmdServe(args []string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		MaxUploadBytes: *maxUpload,
-		MaxRefs:        *maxRefs,
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheEntries,
-		MaxTraces:      *maxTraces,
-		JobTimeout:     *jobTimeout,
-		RequestTimeout: *reqTimeout,
-		StoreDir:       *storeDir,
-		Cluster:        ccfg,
-		Logger:         logger,
+		MaxUploadBytes:  *maxUpload,
+		MaxRefs:         *maxRefs,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		MaxTraces:       *maxTraces,
+		JobTimeout:      *jobTimeout,
+		RequestTimeout:  *reqTimeout,
+		StoreDir:        *storeDir,
+		Cluster:         ccfg,
+		Logger:          logger,
+		ProfileDir:      *profileDir,
+		ProfileInterval: *profileInterval,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/example/cachedse/pkg/client"
+)
+
+// cmdTrace fetches a job's distributed trace from a running server and
+// renders it as an indented duration tree. With -cluster the server
+// stitches every node's fragments (ingress proxy hops, write-through
+// replication, the owner's job phases) into one tree; -chrome
+// additionally exports the spans as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto.
+func cmdTrace(args []string) error {
+	fs := newFlagSet("trace", "trace [-addr URL] [-cluster] [-chrome F] JOB_ID")
+	addr := fs.String("addr", "http://127.0.0.1:8344", "server base URL")
+	clusterWide := fs.Bool("cluster", false, "stitch the cluster-wide trace across all nodes")
+	chrome := fs.String("chrome", "", "also write the spans as Chrome trace-event JSON to this file")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace needs exactly one job id")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr)
+	resp, err := c.JobTrace(ctx, fs.Arg(0), *clusterWide)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job:      %s (%s)\n", resp.Job, resp.State)
+	if resp.TraceID != "" {
+		fmt.Printf("trace id: %s\n", resp.TraceID)
+	}
+	if len(resp.Nodes) > 0 {
+		fmt.Printf("nodes:    %s\n", strings.Join(resp.Nodes, ", "))
+	}
+	if resp.Dropped > 0 {
+		fmt.Printf("dropped:  %d spans over the recorder bound\n", resp.Dropped)
+	}
+	fmt.Println()
+	for _, root := range resp.Spans {
+		printSpanTree(root, 0)
+	}
+	if *chrome != "" {
+		if err := writeChromeTrace(*chrome, resp); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote Chrome trace events to %s (load in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+	return nil
+}
+
+// printSpanTree renders one span and its children, durations aligned
+// after the indented names so a deep tree still scans as a column.
+func printSpanTree(n client.TraceNode, depth int) {
+	label := strings.Repeat("  ", depth) + n.Name
+	if n.Node != "" {
+		label += " @" + n.Node
+	}
+	fmt.Printf("%-44s %12s%s\n", label,
+		time.Duration(n.DurationNS).Round(time.Microsecond), attrSuffix(n.Attrs))
+	for _, c := range n.Children {
+		printSpanTree(c, depth+1)
+	}
+}
+
+// attrSuffix renders a span's attributes sorted by key, compactly enough
+// to ride the tree line.
+func attrSuffix(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, attrs[k])
+	}
+	return "  {" + strings.Join(parts, " ") + "}"
+}
+
+// chromeEvent is one complete ("X") event in the Chrome trace-event
+// format; pid groups spans by recording node, tid keeps the tree's
+// lanes apart.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// writeChromeTrace flattens the span tree into Chrome trace events. Each
+// node of the cluster becomes one "process" (named via metadata events),
+// so a stitched multi-node trace renders as parallel swimlanes.
+func writeChromeTrace(path string, resp client.JobTraceResponse) error {
+	pids := map[string]int{}
+	var events []any
+	pidOf := func(node string) int {
+		if node == "" {
+			node = "local"
+		}
+		if id, ok := pids[node]; ok {
+			return id
+		}
+		id := len(pids) + 1
+		pids[node] = id
+		events = append(events, map[string]any{
+			"name": "process_name", "ph": "M", "pid": id,
+			"args": map[string]any{"name": node},
+		})
+		return id
+	}
+	var walk func(n client.TraceNode, depth int)
+	walk = func(n client.TraceNode, depth int) {
+		events = append(events, chromeEvent{
+			Name: n.Name, Ph: "X",
+			Ts:  float64(n.Start.UnixNano()) / 1e3,
+			Dur: float64(n.DurationNS) / 1e3,
+			Pid: pidOf(n.Node), Tid: 1 + depth,
+			Args: n.Attrs,
+		})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range resp.Spans {
+		walk(root, 0)
+	}
+	data, err := json.MarshalIndent(map[string]any{
+		"traceEvents": events,
+		"otherData":   map[string]any{"trace_id": resp.TraceID, "job": resp.Job},
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

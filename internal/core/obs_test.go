@@ -4,8 +4,10 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/internal/obs/profiler"
 	"github.com/example/cachedse/internal/paperex"
 	"github.com/example/cachedse/internal/trace"
 )
@@ -162,6 +164,33 @@ func BenchmarkExploreObs(b *testing.B) {
 		}
 	})
 	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))
+			if _, err := Explore(ctx, Prelude{Stripped: s, MRCT: m}, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// "on+profiler" adds the continuous profiler on top of full span
+	// recording — the worst-case production configuration. The interval
+	// is compressed so captures actually overlap the measurement window,
+	// but the duty cycle (CPU sampling ~8% of the time) matches the
+	// production default of 5s every 60s; per-capture fixed costs are
+	// therefore overstated here relative to a real 60s interval. The
+	// acceptance bar is within 2% of "off".
+	b.Run("on+profiler", func(b *testing.B) {
+		p, err := profiler.New(profiler.Config{
+			Dir:         b.TempDir(),
+			Interval:    1 * time.Second,
+			CPUDuration: 80 * time.Millisecond,
+			MaxPerKind:  4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Start()
+		defer p.Stop()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))

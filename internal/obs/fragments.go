@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+)
+
+// FragmentStore holds each node's recently finished span fragments keyed
+// by trace ID, so a peer stitching a cluster-wide trace can ask "what
+// did you record for trace X?". It is bounded two ways: at most
+// maxTraces distinct trace IDs (oldest evicted first) and at most
+// maxSpans span records per trace (extras counted as dropped), so a
+// runaway producer cannot grow memory without limit.
+type FragmentStore struct {
+	maxTraces int
+	maxSpans  int
+
+	mu    sync.Mutex
+	order []string // trace IDs, oldest first
+	frags map[string]*Trace
+}
+
+// DefaultMaxFragmentTraces bounds a FragmentStore built with
+// NewFragmentStore(0): enough for every job the queue retains plus the
+// proxy fragments riding the same traces.
+const DefaultMaxFragmentTraces = 512
+
+// NewFragmentStore returns a store retaining at most maxTraces trace
+// fragments (<= 0 uses DefaultMaxFragmentTraces). Per-trace span counts
+// are bounded at DefaultMaxSpans.
+func NewFragmentStore(maxTraces int) *FragmentStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxFragmentTraces
+	}
+	return &FragmentStore{
+		maxTraces: maxTraces,
+		maxSpans:  DefaultMaxSpans,
+		frags:     make(map[string]*Trace),
+	}
+}
+
+// Add appends tr's spans to the fragment stored under tr.TraceID,
+// creating it (and evicting the oldest trace past the bound) on first
+// sight. Duplicate span IDs are dropped, so re-depositing an exported
+// recorder after more spans landed is safe.
+func (fs *FragmentStore) Add(tr Trace) {
+	if tr.TraceID == "" {
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.frags[tr.TraceID]
+	if !ok {
+		f = &Trace{TraceID: tr.TraceID}
+		fs.frags[tr.TraceID] = f
+		fs.order = append(fs.order, tr.TraceID)
+		for len(fs.order) > fs.maxTraces {
+			delete(fs.frags, fs.order[0])
+			fs.order = fs.order[1:]
+		}
+	}
+	seen := make(map[uint64]bool, len(f.Spans))
+	for _, s := range f.Spans {
+		seen[s.ID] = true
+	}
+	f.Dropped += tr.Dropped
+	for _, s := range tr.Spans {
+		if seen[s.ID] {
+			continue
+		}
+		if len(f.Spans) >= fs.maxSpans {
+			f.Dropped++
+			droppedTotal.Add(1)
+			continue
+		}
+		seen[s.ID] = true
+		f.Spans = append(f.Spans, s)
+	}
+}
+
+// Get returns a copy of the fragment recorded under traceID.
+func (fs *FragmentStore) Get(traceID string) (Trace, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.frags[traceID]
+	if !ok {
+		return Trace{}, false
+	}
+	out := Trace{TraceID: f.TraceID, Dropped: f.Dropped, Spans: make([]SpanRecord, len(f.Spans))}
+	copy(out.Spans, f.Spans)
+	return out, true
+}
+
+// Len returns the number of distinct traces currently held.
+func (fs *FragmentStore) Len() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.frags)
+}

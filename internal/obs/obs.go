@@ -30,6 +30,7 @@ const (
 	spanKey
 	requestIDKey
 	jobIDKey
+	remoteCtxKey
 )
 
 // Attr is one span attribute. Values should be small JSON-encodable
@@ -40,11 +41,14 @@ type Attr struct {
 }
 
 // SpanRecord is one finished span as held by the Recorder and emitted to
-// JSON. Parent is 0 for root spans.
+// JSON. Parent is 0 for root spans; in a stitched cluster trace Parent
+// may name a span recorded on another node (the forwarding hop). Node is
+// the cluster member that recorded the span ("" single-node).
 type SpanRecord struct {
 	ID         uint64         `json:"id"`
 	Parent     uint64         `json:"parent,omitempty"`
 	Name       string         `json:"name"`
+	Node       string         `json:"node,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationNS int64          `json:"duration_ns"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
@@ -56,9 +60,12 @@ type SpanRecord struct {
 // without limit.
 type Recorder struct {
 	max    int
+	idBase uint64 // random high 40 bits; low 24 count spans
 	nextID atomic.Uint64
 
 	mu      sync.Mutex
+	traceID TraceID
+	node    string
 	spans   []SpanRecord
 	dropped int
 }
@@ -69,12 +76,46 @@ type Recorder struct {
 const DefaultMaxSpans = 4096
 
 // NewRecorder returns a Recorder holding at most max spans (max <= 0
-// uses DefaultMaxSpans).
+// uses DefaultMaxSpans). The recorder mints a fresh 128-bit trace ID;
+// use SetTraceID to join an existing distributed trace instead.
 func NewRecorder(max int) *Recorder {
 	if max <= 0 {
 		max = DefaultMaxSpans
 	}
-	return &Recorder{max: max}
+	return &Recorder{max: max, idBase: newIDBase(), traceID: NewTraceID()}
+}
+
+// SetTraceID joins the recorder to an existing trace (an honoured
+// inbound traceparent). Call before the first span starts.
+func (r *Recorder) SetTraceID(t TraceID) {
+	if t.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = t
+	r.mu.Unlock()
+}
+
+// TraceID returns the trace the recorder's spans belong to.
+func (r *Recorder) TraceID() TraceID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
+
+// SetNode names the cluster member recording into this recorder; every
+// span record is stamped with it.
+func (r *Recorder) SetNode(node string) {
+	r.mu.Lock()
+	r.node = node
+	r.mu.Unlock()
+}
+
+// newSpanID allocates the next span ID: the recorder's random base plus
+// a sequential counter, so IDs are monotone in allocation order within
+// the recorder and unique across recorders with high probability.
+func (r *Recorder) newSpanID() uint64 {
+	return r.idBase | (r.nextID.Add(1) & 0xFFFFFF)
 }
 
 func (r *Recorder) record(rec SpanRecord) {
@@ -82,9 +123,18 @@ func (r *Recorder) record(rec SpanRecord) {
 	defer r.mu.Unlock()
 	if len(r.spans) >= r.max {
 		r.dropped++
+		droppedTotal.Add(1)
 		return
 	}
+	rec.Node = r.node
 	r.spans = append(r.spans, rec)
+}
+
+// Dropped returns how many spans the recorder's bound has discarded.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Export returns a copy of the recorded spans (in end order) plus the
@@ -92,7 +142,7 @@ func (r *Recorder) record(rec SpanRecord) {
 func (r *Recorder) Export() Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	t := Trace{Spans: make([]SpanRecord, len(r.spans)), Dropped: r.dropped}
+	t := Trace{TraceID: r.traceID.String(), Spans: make([]SpanRecord, len(r.spans)), Dropped: r.dropped}
 	copy(t.Spans, r.spans)
 	return t
 }
@@ -136,7 +186,10 @@ func RecorderFrom(ctx context.Context) *Recorder {
 // When ctx carries no Recorder it returns (ctx, nil) — the nil span's
 // methods all no-op, so instrumented code needs no enabled-checks. The
 // returned context carries the new span as current, parenting any spans
-// started beneath it.
+// started beneath it. A root span (no local parent) under a context that
+// carries a remote SpanContext parents to the remote span instead, which
+// is what stitches one node's fragment beneath the forwarding hop of
+// another node in a cluster-wide trace.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	rec := RecorderFrom(ctx)
 	if rec == nil {
@@ -144,12 +197,14 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	}
 	sp := &Span{
 		rec:   rec,
-		id:    rec.nextID.Add(1),
+		id:    rec.newSpanID(),
 		name:  name,
 		start: time.Now(),
 	}
 	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil {
 		sp.parent = parent.id
+	} else if sc := SpanContextFrom(ctx); sc.Valid() && sc.SpanID != 0 {
+		sp.parent = sc.SpanID
 	}
 	return context.WithValue(ctx, spanKey, sp), sp
 }
@@ -200,6 +255,15 @@ func (s *Span) End() {
 	s.rec.record(rec)
 }
 
+// ID returns the span's globally-unique identifier (0 for a nil span) —
+// the parent an outbound traceparent names.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // Start returns the span's start time (zero for a nil span).
 func (s *Span) Start() time.Time {
 	if s == nil {
@@ -228,7 +292,7 @@ func (s *Span) Child(name string, start time.Time, dur time.Duration, attrs ...A
 		return
 	}
 	s.rec.record(SpanRecord{
-		ID:         s.rec.nextID.Add(1),
+		ID:         s.rec.newSpanID(),
 		Parent:     s.id,
 		Name:       name,
 		Start:      start,
@@ -249,10 +313,53 @@ func attrMap(attrs []Attr) map[string]any {
 }
 
 // Trace is an exported set of span records, the JSON payload of the
-// trace endpoint and of `explore -trace-json`.
+// trace endpoint and of `explore -trace-json`. A stitched cluster trace
+// merges the per-node fragments of one TraceID.
 type Trace struct {
+	TraceID string       `json:"trace_id,omitempty"`
 	Spans   []SpanRecord `json:"spans"`
 	Dropped int          `json:"dropped,omitempty"`
+}
+
+// Merge combines per-node fragments of one distributed trace into a
+// single Trace: spans concatenated with duplicates (same span gathered
+// twice) removed, dropped counts summed, the first non-empty trace ID
+// kept. Tree() over the result stitches the cluster-wide tree via the
+// cross-node parent links.
+func Merge(fragments ...Trace) Trace {
+	var out Trace
+	seen := make(map[uint64]bool)
+	for _, f := range fragments {
+		if out.TraceID == "" {
+			out.TraceID = f.TraceID
+		}
+		out.Dropped += f.Dropped
+		for _, s := range f.Spans {
+			if seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			out.Spans = append(out.Spans, s)
+		}
+	}
+	return out
+}
+
+// Nodes returns the distinct node names appearing in the trace, sorted;
+// single-node spans record "" and are not counted.
+func (t Trace) Nodes() []string {
+	set := make(map[string]bool)
+	for _, s := range t.Spans {
+		if s.Node != "" {
+			set[s.Node] = true
+		}
+	}
+	nodes := make([]string, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
 }
 
 // Node is one span with its children resolved, for nested rendering.

@@ -1,0 +1,299 @@
+// Package profiler is the always-on continuous profiler: a single
+// background goroutine that captures CPU and heap pprof snapshots on a
+// jittered interval into a bounded on-disk ring. The ring keeps the
+// newest MaxPerKind snapshots of each kind and deletes older ones, so a
+// long-lived server's profile history costs a fixed number of files. It
+// is off unless a directory is configured, and while idle between
+// captures it costs one sleeping goroutine.
+//
+// The jitter matters: a fleet of nodes capturing CPU profiles on an
+// exact shared period would alias against periodic load (and against
+// each other); each sleep is drawn uniformly from [0.5, 1.5) x Interval.
+package profiler
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the profiler. Dir is required; everything else defaults.
+type Config struct {
+	// Dir is the snapshot ring directory (created if missing).
+	Dir string
+	// Interval is the mean time between capture rounds (default 60s).
+	Interval time.Duration
+	// CPUDuration is how long each CPU capture samples (default 5s,
+	// clamped to Interval/2 so captures cannot overlap the next round).
+	CPUDuration time.Duration
+	// MaxPerKind bounds the on-disk ring per snapshot kind (default 16).
+	MaxPerKind int
+	// Logger receives capture failures; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 60 * time.Second
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = 5 * time.Second
+	}
+	if c.CPUDuration > c.Interval/2 {
+		c.CPUDuration = c.Interval / 2
+	}
+	if c.MaxPerKind <= 0 {
+		c.MaxPerKind = 16
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Snapshot describes one retained profile file.
+type Snapshot struct {
+	Name  string    `json:"name"` // file name inside the ring directory
+	Kind  string    `json:"kind"` // "cpu" or "heap"
+	Bytes int64     `json:"bytes"`
+	Taken time.Time `json:"taken"`
+}
+
+// Profiler owns the capture loop and the snapshot ring.
+type Profiler struct {
+	cfg  Config
+	seq  atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+
+	// activeCPU names the CPU snapshot currently being captured ("" when
+	// idle) — the cross-link a job span records so "which profile covers
+	// my slow phase" is answerable from the trace alone.
+	activeCPU atomic.Value // string
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// New validates cfg, creates the ring directory and returns a Profiler
+// ready to Start.
+func New(cfg Config) (*Profiler, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("profiler: Dir is required")
+	}
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	p := &Profiler{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	p.activeCPU.Store("")
+	// Seed the sequence past any snapshots a previous process left, so
+	// restarted rings keep sorting newest-last instead of overwriting.
+	if snaps, err := p.Snapshots(); err == nil {
+		var maxSeq uint64
+		for _, s := range snaps {
+			if seq, ok := parseSeq(s.Name); ok && seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+		p.seq.Store(maxSeq)
+	}
+	return p, nil
+}
+
+// Start launches the capture loop. Calling Start twice is a no-op.
+func (p *Profiler) Start() {
+	p.startOnce.Do(func() { go p.loop() })
+}
+
+// Stop halts the loop and waits for an in-flight capture to finish.
+// Safe to call multiple times, and before Start (then it only closes).
+func (p *Profiler) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.startOnce.Do(func() { close(p.done) }) // never started: unblock the wait
+	<-p.done
+}
+
+// ActiveCPUProfile returns the name of the CPU snapshot being captured
+// right now, or "" when idle. Jobs stamp it into their root span so a
+// slow trace links straight to the profile that sampled it.
+func (p *Profiler) ActiveCPUProfile() string {
+	s, _ := p.activeCPU.Load().(string)
+	return s
+}
+
+// Dir returns the ring directory.
+func (p *Profiler) Dir() string { return p.cfg.Dir }
+
+func (p *Profiler) loop() {
+	defer close(p.done)
+	for {
+		// Jittered sleep: uniform in [0.5, 1.5) x Interval.
+		d := time.Duration((0.5 + rand.Float64()) * float64(p.cfg.Interval))
+		t := time.NewTimer(d)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.captureOnce()
+	}
+}
+
+// captureOnce records one CPU snapshot (sampling for CPUDuration) and
+// one heap snapshot, then prunes the ring. Failures are logged and the
+// loop carries on — a full disk must not take the service down.
+func (p *Profiler) captureOnce() {
+	seq := p.seq.Add(1)
+	stamp := time.Now().UTC().Format("20060102T150405")
+	cpuName := fmt.Sprintf("cpu-%06d-%s.pprof", seq, stamp)
+	if err := p.captureCPU(cpuName); err != nil {
+		p.cfg.Logger.Warn("profiler: cpu capture failed", "err", err)
+	}
+	heapName := fmt.Sprintf("heap-%06d-%s.pprof", seq, stamp)
+	if err := p.captureHeap(heapName); err != nil {
+		p.cfg.Logger.Warn("profiler: heap capture failed", "err", err)
+	}
+	if err := p.prune(); err != nil {
+		p.cfg.Logger.Warn("profiler: ring prune failed", "err", err)
+	}
+}
+
+func (p *Profiler) captureCPU(name string) error {
+	f, err := os.Create(filepath.Join(p.cfg.Dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is running (e.g. -cpuprofile); skip this
+		// round rather than fight over the singleton profiler.
+		os.Remove(f.Name())
+		return err
+	}
+	p.activeCPU.Store(name)
+	t := time.NewTimer(p.cfg.CPUDuration)
+	select {
+	case <-p.stop:
+		t.Stop()
+	case <-t.C:
+	}
+	pprof.StopCPUProfile()
+	p.activeCPU.Store("")
+	return nil
+}
+
+func (p *Profiler) captureHeap(name string) error {
+	f, err := os.Create(filepath.Join(p.cfg.Dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// The "heap" profile with no forced GC: live objects as the runtime
+	// last saw them, cheap enough for an always-on loop.
+	return pprof.Lookup("heap").WriteTo(f, 0)
+}
+
+// prune deletes the oldest snapshots past MaxPerKind for each kind.
+func (p *Profiler) prune() error {
+	snaps, err := p.Snapshots()
+	if err != nil {
+		return err
+	}
+	byKind := map[string][]Snapshot{}
+	for _, s := range snaps {
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+	}
+	for _, list := range byKind {
+		// Snapshots sorts name-ascending and names embed the sequence, so
+		// the oldest come first.
+		for len(list) > p.cfg.MaxPerKind {
+			if err := os.Remove(filepath.Join(p.cfg.Dir, list[0].Name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			list = list[1:]
+		}
+	}
+	return nil
+}
+
+// Snapshots lists the ring's retained profiles, oldest first.
+func (p *Profiler) Snapshots() ([]Snapshot, error) {
+	ents, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Snapshot
+	for _, e := range ents {
+		kind, ok := kindOf(e.Name())
+		if !ok || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, Snapshot{Name: e.Name(), Kind: kind, Bytes: info.Size(), Taken: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Open serves one snapshot by name. The name must be exactly as listed:
+// anything with a path separator (or that is not a ring file) is
+// rejected, so the endpoint serving these cannot be walked out of the
+// ring directory.
+func (p *Profiler) Open(name string) (io.ReadCloser, error) {
+	if _, ok := kindOf(name); !ok || name != filepath.Base(name) {
+		return nil, fmt.Errorf("profiler: %q is not a snapshot name", name)
+	}
+	return os.Open(filepath.Join(p.cfg.Dir, name))
+}
+
+// kindOf classifies a ring file name.
+func kindOf(name string) (string, bool) {
+	if !strings.HasSuffix(name, ".pprof") {
+		return "", false
+	}
+	switch {
+	case strings.HasPrefix(name, "cpu-"):
+		return "cpu", true
+	case strings.HasPrefix(name, "heap-"):
+		return "heap", true
+	}
+	return "", false
+}
+
+// parseSeq extracts the zero-padded sequence from "kind-SEQ-stamp.pprof".
+func parseSeq(name string) (uint64, bool) {
+	parts := strings.SplitN(name, "-", 3)
+	if len(parts) != 3 {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(parts[1], "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// CaptureNow runs one capture round synchronously (tests and the smoke
+// script use it to avoid waiting out an interval). It is safe alongside
+// the loop: the pprof CPU singleton makes concurrent captures fail soft.
+func (p *Profiler) CaptureNow() { p.captureOnce() }
+
+// GC runs a garbage collection; exposed so callers capturing a heap
+// snapshot for precise live-set numbers can force one first (the loop
+// itself never does — an always-on profiler must not drive GC).
+func GC() { runtime.GC() }

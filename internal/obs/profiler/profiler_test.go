@@ -1,0 +1,165 @@
+package profiler
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Dir:         t.TempDir(),
+		Interval:    time.Hour, // loop never fires on its own in tests
+		CPUDuration: 20 * time.Millisecond,
+		MaxPerKind:  2,
+	}
+}
+
+func TestCaptureAndRing(t *testing.T) {
+	p, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.CaptureNow()
+	}
+	snaps, err := p.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range snaps {
+		counts[s.Kind]++
+		if s.Bytes == 0 && s.Kind == "heap" {
+			t.Errorf("heap snapshot %s is empty", s.Name)
+		}
+	}
+	// 3 rounds with MaxPerKind=2: the ring must have pruned to 2 each.
+	if counts["cpu"] != 2 || counts["heap"] != 2 {
+		t.Fatalf("ring counts = %v, want cpu:2 heap:2", counts)
+	}
+	// The survivors are the newest (highest sequence).
+	for _, s := range snaps {
+		if seq, ok := parseSeq(s.Name); !ok || seq < 2 {
+			t.Errorf("old snapshot %s survived pruning", s.Name)
+		}
+	}
+}
+
+func TestOpenRejectsNonRingNames(t *testing.T) {
+	p, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CaptureNow()
+	snaps, _ := p.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots captured")
+	}
+	rc, err := p.Open(snaps[0].Name)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", snaps[0].Name, err)
+	}
+	if _, err := io.ReadAll(rc); err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	for _, bad := range []string{"../etc/passwd", "cpu-../../x.pprof", "notes.txt", "cpu-000001.txt", ""} {
+		if _, err := p.Open(bad); err == nil {
+			t.Errorf("Open(%q) succeeded, want rejection", bad)
+		}
+	}
+}
+
+func TestActiveCPUProfileDuringCapture(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.CPUDuration = 150 * time.Millisecond
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { p.CaptureNow(); close(done) }()
+	deadline := time.After(2 * time.Second)
+	var active string
+	for active == "" {
+		select {
+		case <-deadline:
+			t.Fatal("ActiveCPUProfile never became non-empty during capture")
+		default:
+			active = p.ActiveCPUProfile()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !strings.HasPrefix(active, "cpu-") {
+		t.Fatalf("active profile %q does not name a cpu snapshot", active)
+	}
+	<-done
+	if got := p.ActiveCPUProfile(); got != "" {
+		t.Fatalf("ActiveCPUProfile = %q after capture, want empty", got)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Interval = 10 * time.Millisecond
+	cfg.CPUDuration = 5 * time.Millisecond
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Start() // idempotent
+	time.Sleep(60 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	if snaps, _ := p.Snapshots(); len(snaps) == 0 {
+		t.Fatal("loop captured nothing in 60ms at 10ms interval")
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	p, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneCh := make(chan struct{})
+	go func() { p.Stop(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(time.Second):
+		t.Fatal("Stop() without Start() hung")
+	}
+}
+
+func TestSequenceResumesAcrossRestart(t *testing.T) {
+	cfg := testConfig(t)
+	p1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.CaptureNow()
+	p2, err := New(cfg) // same dir: a restarted process
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.CaptureNow()
+	snaps, _ := p2.Snapshots()
+	var maxSeq uint64
+	for _, s := range snaps {
+		if seq, ok := parseSeq(s.Name); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	if maxSeq != 2 {
+		t.Fatalf("max sequence after restart = %d, want 2", maxSeq)
+	}
+}
+
+func TestNewRequiresDir(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with empty Dir succeeded")
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowTail is the bounded slow-request tail sampler: it keeps the N
+// slowest finished span trees per window, plus the previous window's
+// keepers so a scrape right after a window roll still sees the recent
+// tail. Offering is O(N) against the small keeper slice and drops
+// everything faster than the current floor, so the sampler costs nothing
+// on the fast path and bounded memory on the slow one.
+type SlowTail struct {
+	n      int
+	window time.Duration
+	now    func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	winStart time.Time
+	cur      []SlowEntry
+	prev     []SlowEntry
+}
+
+// SlowEntry is one retained slow request: the identifying job, its trace
+// and the root duration the ranking used.
+type SlowEntry struct {
+	Job        string    `json:"job,omitempty"`
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	DurationNS int64     `json:"duration_ns"`
+	Finished   time.Time `json:"finished"`
+	Trace      Trace     `json:"-"`
+}
+
+// Default slow-tail bounds: the 16 slowest trees per 5-minute window.
+const (
+	DefaultSlowKeep   = 16
+	DefaultSlowWindow = 5 * time.Minute
+)
+
+// NewSlowTail returns a sampler keeping the n slowest traces per window
+// (n <= 0 uses DefaultSlowKeep, window <= 0 DefaultSlowWindow).
+func NewSlowTail(n int, window time.Duration) *SlowTail {
+	if n <= 0 {
+		n = DefaultSlowKeep
+	}
+	if window <= 0 {
+		window = DefaultSlowWindow
+	}
+	return &SlowTail{n: n, window: window, now: time.Now}
+}
+
+// rootOf finds the ranking span: the earliest-starting root-ish span
+// (no parent inside the trace itself).
+func rootOf(tr Trace) (SpanRecord, bool) {
+	ids := make(map[uint64]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		ids[s.ID] = true
+	}
+	var root SpanRecord
+	found := false
+	for _, s := range tr.Spans {
+		if ids[s.Parent] {
+			continue
+		}
+		if !found || s.Start.Before(root.Start) {
+			root = s
+			found = true
+		}
+	}
+	return root, found
+}
+
+// Offer considers one finished trace for the slow tail. Traces with no
+// spans are ignored.
+func (st *SlowTail) Offer(job string, tr Trace) {
+	root, ok := rootOf(tr)
+	if !ok {
+		return
+	}
+	now := st.now()
+	entry := SlowEntry{
+		Job: job, TraceID: tr.TraceID, Root: root.Name,
+		DurationNS: root.DurationNS, Finished: now, Trace: tr,
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.winStart.IsZero() {
+		st.winStart = now
+	}
+	for now.Sub(st.winStart) >= st.window {
+		st.prev, st.cur = st.cur, nil
+		st.winStart = st.winStart.Add(st.window)
+		if now.Sub(st.winStart) >= st.window {
+			// More than one idle window elapsed: both windows are stale.
+			st.prev = nil
+			st.winStart = now
+		}
+	}
+	st.cur = append(st.cur, entry)
+	sort.Slice(st.cur, func(i, j int) bool { return st.cur[i].DurationNS > st.cur[j].DurationNS })
+	if len(st.cur) > st.n {
+		st.cur = st.cur[:st.n]
+	}
+}
+
+// Snapshot returns the retained entries (current window first, then the
+// previous one), each window slowest-first.
+func (st *SlowTail) Snapshot() []SlowEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SlowEntry, 0, len(st.cur)+len(st.prev))
+	out = append(out, st.cur...)
+	out = append(out, st.prev...)
+	return out
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Distributed trace context. A trace is identified by a 128-bit trace ID
+// minted at the edge (client SDK or ingress middleware) and carried
+// across every process hop as a W3C-style traceparent header:
+//
+//	traceparent: 00-<32 hex trace id>-<16 hex parent span id>-01
+//
+// Span IDs are 64-bit and globally unique with high probability: each
+// Recorder draws a random 40-bit base and allocates the low 24 bits
+// sequentially, so IDs stay monotone in allocation order within one
+// recorder (the tree tie-breaker) while two nodes' fragments of the same
+// trace cannot collide. Stitching a cluster-wide tree is then pure
+// parent-pointer assembly over the merged span records.
+
+// TraceID is a 128-bit trace identifier, rendered as 32 hex digits.
+type TraceID [16]byte
+
+// IsZero reports whether the trace ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// NewTraceID mints a random 128-bit trace ID. On the (never observed)
+// failure of the system randomness source it falls back to a
+// process-local counter, which still yields process-unique IDs.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		binary.BigEndian.PutUint64(t[8:], fallbackID.Add(1))
+		t[0] = 0xfb // marks the fallback namespace
+	}
+	return t
+}
+
+// ParseTraceID parses 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return t, !t.IsZero()
+}
+
+// SpanContext is the cross-process half of a span: which trace it
+// belongs to and which span is the parent of whatever the receiver does
+// next. SpanID 0 means "no parent" (a trace minted at the edge before
+// any span started).
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a trace.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() }
+
+// Traceparent renders the context in the W3C header form
+// "00-<traceid>-<spanid>-01". The sampled flag is always 01: anything
+// propagated here was worth recording.
+func (sc SpanContext) Traceparent() string {
+	var span [8]byte
+	binary.BigEndian.PutUint64(span[:], sc.SpanID)
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, span[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// ParseTraceparent parses a W3C traceparent header. Unknown versions,
+// malformed fields and the all-zero trace ID all report ok=false — a bad
+// header degrades to "mint a fresh trace", never to an error.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, false
+	}
+	if s[0] != '0' || s[1] != '0' {
+		return sc, false
+	}
+	tid, ok := ParseTraceID(s[3:35])
+	if !ok {
+		return sc, false
+	}
+	var span [8]byte
+	if _, err := hex.Decode(span[:], []byte(s[36:52])); err != nil {
+		return sc, false
+	}
+	sc.TraceID = tid
+	sc.SpanID = binary.BigEndian.Uint64(span[:])
+	return sc, true
+}
+
+// WithSpanContext returns ctx carrying sc as the remote (incoming) span
+// context: the trace every span recorded beneath belongs to, and the
+// parent of the first span started with no local parent.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteCtxKey, sc)
+}
+
+// SpanContextFrom returns the remote span context carried by ctx, or the
+// zero SpanContext.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(remoteCtxKey).(SpanContext)
+	return sc
+}
+
+// Propagate resolves the span context an outbound hop should carry:
+// ctx's trace (the recorder's trace ID when one is installed, else the
+// remote context's) parented at the current span when one is open. The
+// zero SpanContext means nothing worth propagating.
+func Propagate(ctx context.Context) SpanContext {
+	sc := SpanContextFrom(ctx)
+	if rec := RecorderFrom(ctx); rec != nil {
+		sc.TraceID = rec.TraceID()
+	}
+	if sp := CurrentSpan(ctx); sp != nil {
+		sc.SpanID = sp.ID()
+	}
+	return sc
+}
+
+// newIDBase draws the random high bits under which one recorder
+// allocates its span IDs: bits 24..63 random, low 24 bits zero for the
+// sequential counter. The base is forced non-zero so span IDs can never
+// collide with the "no parent" sentinel 0.
+func newIDBase() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return (fallbackID.Add(1) | 1) << 24
+	}
+	base := binary.BigEndian.Uint64(b[:]) &^ 0xFFFFFF
+	if base == 0 {
+		base = 1 << 24
+	}
+	return base
+}
+
+// DroppedTotal returns the process-wide count of spans dropped by
+// bounded recorders — the raw feed of cachedse_obs_spans_dropped_total.
+func DroppedTotal() int64 { return droppedTotal.Load() }
+
+var droppedTotal atomic.Int64

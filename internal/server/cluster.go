@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/example/cachedse/internal/cluster"
+	"github.com/example/cachedse/internal/obs"
 	"github.com/example/cachedse/internal/trace"
 )
 
@@ -59,9 +60,21 @@ func (s *Server) proxyCompute(w http.ResponseWriter, r *http.Request, verb, dige
 // closing queue.
 func (s *Server) forwardToOwners(w http.ResponseWriter, r *http.Request, verb, digest string, body []byte) {
 	targets := s.peers.OwnerTargets(digest)
+	// The hop is a span in the request's distributed trace: the outbound
+	// traceparent names the proxy span, so the owner's job root stitches
+	// under it and the cluster-wide tree shows who forwarded to whom.
+	rec, span, tp := s.proxySpan(r, "proxy")
+	span.SetAttr("verb", verb)
+	span.SetAttr("trace", digest)
+	defer s.finishProxySpan(rec, span)
+	hdr := proxyHeader(r)
+	hdr.Set("traceparent", tp)
 	sawBusy := false
 	for i, peer := range targets {
-		resp, err := s.peers.Forward(r.Context(), peer, r.Method, r.URL.RequestURI(), proxyHeader(r), body)
+		attemptStart := time.Now()
+		resp, err := s.peers.Forward(r.Context(), peer, r.Method, r.URL.RequestURI(), hdr, body)
+		span.Child("forward", attemptStart, time.Since(attemptStart),
+			obs.Attr{Key: "peer", Value: peer.ID}, obs.Attr{Key: "ok", Value: err == nil})
 		if err != nil {
 			if errors.Is(err, cluster.ErrPeerBusy) {
 				sawBusy = true
@@ -102,9 +115,17 @@ func (s *Server) forwardToOwners(w http.ResponseWriter, r *http.Request, verb, d
 func (s *Server) uploadWriteThrough(w http.ResponseWriter, r *http.Request, digest string, body []byte) (done bool) {
 	selfOwner := s.peers.IsOwner(digest)
 	targets := s.peers.OwnerTargets(digest)
+	rec, span, tp := s.proxySpan(r, "replicate")
+	span.SetAttr("trace", digest)
+	defer s.finishProxySpan(rec, span)
+	hdr := proxyHeader(r)
+	hdr.Set("traceparent", tp)
 	relayed := false
 	for _, peer := range targets {
-		resp, err := s.peers.Forward(r.Context(), peer, http.MethodPost, "/v1/traces", proxyHeader(r), body)
+		attemptStart := time.Now()
+		resp, err := s.peers.Forward(r.Context(), peer, http.MethodPost, "/v1/traces", hdr, body)
+		span.Child("forward", attemptStart, time.Since(attemptStart),
+			obs.Attr{Key: "peer", Value: peer.ID}, obs.Attr{Key: "ok", Value: err == nil})
 		if err != nil {
 			s.cfg.Logger.WarnContext(r.Context(), "cluster upload replication failed",
 				"peer", peer.ID, "digest", digest, "err", err)
@@ -199,16 +220,41 @@ func (s *Server) proxyJobMiss(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // proxyHeader selects the request headers worth carrying across a hop:
-// identity and deadline propagation plus content negotiation. The hop
-// guard itself is stamped by Forward.
+// identity, deadline and trace-context propagation plus content
+// negotiation. The hop guard itself is stamped by Forward. Callers that
+// record a proxy span overwrite traceparent with the span's own context,
+// so the receiver parents under the hop rather than the original client.
 func proxyHeader(r *http.Request) http.Header {
 	h := http.Header{}
-	for _, k := range []string{"X-Request-ID", "X-Request-Deadline", "Content-Type", "Accept"} {
+	for _, k := range []string{"X-Request-ID", "X-Request-Deadline", "Content-Type", "Accept", "traceparent"} {
 		if v := r.Header.Get(k); v != "" {
 			h.Set(k, v)
 		}
 	}
 	return h
+}
+
+// proxySpan starts a span for one cluster hop on a short-lived recorder
+// joined to the request's trace. It returns the recorder, the open span
+// and the traceparent value the outbound request should carry (naming
+// the span as the remote side's parent).
+func (s *Server) proxySpan(r *http.Request, name string) (*obs.Recorder, *obs.Span, string) {
+	sc := obs.SpanContextFrom(r.Context())
+	rec := obs.NewRecorder(0)
+	rec.SetNode(s.nodeID)
+	if sc.Valid() {
+		rec.SetTraceID(sc.TraceID)
+	}
+	ctx := obs.WithSpanContext(obs.WithRecorder(r.Context(), rec), sc)
+	ctx, span := obs.StartSpan(ctx, name)
+	return rec, span, obs.Propagate(ctx).Traceparent()
+}
+
+// finishProxySpan ends a hop span and deposits the fragment into the
+// local store, where a peer stitching the trace will find it.
+func (s *Server) finishProxySpan(rec *obs.Recorder, span *obs.Span) {
+	span.End()
+	s.frags.Add(rec.Export())
 }
 
 // relayResponse copies a peer's answer to the client: status, body and

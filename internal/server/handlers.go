@@ -3,11 +3,13 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/bits"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +19,7 @@ import (
 	"github.com/example/cachedse/internal/core"
 	"github.com/example/cachedse/internal/dse"
 	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/internal/obs/profiler"
 	"github.com/example/cachedse/internal/sampling"
 	"github.com/example/cachedse/internal/trace"
 )
@@ -721,8 +724,17 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 	// Every job records its own span tree: a root "job" span wrapping fn,
 	// with the engine phases (prelude, postlude, ...) nesting beneath it.
 	// The recorder rides the job so GET /v1/jobs/{id}/trace can serve the
-	// tree after the fact.
+	// tree after the fact. The recorder joins the request's distributed
+	// trace: it adopts the inbound trace ID (minted by the middleware or
+	// honored from a traceparent hop) and the job root span parents under
+	// the remote caller's span, so a cluster-forwarded job stitches under
+	// the ingress node's proxy span.
 	rec := obs.NewRecorder(0)
+	rec.SetNode(s.nodeID)
+	remote := obs.SpanContextFrom(r.Context())
+	if remote.Valid() {
+		rec.SetTraceID(remote.TraceID)
+	}
 	reqID := obs.RequestID(r.Context())
 	var submitOpts []SubmitOption
 	if dl, ok := r.Context().Deadline(); ok {
@@ -733,12 +745,20 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 	}
 	job, err := s.queue.Submit(kind, func(ctx context.Context) (any, error) {
 		ctx = obs.WithRecorder(ctx, rec)
+		ctx = obs.WithSpanContext(ctx, remote)
 		if reqID != "" {
 			ctx = obs.WithRequestID(ctx, reqID)
 		}
 		ctx, span := obs.StartSpan(ctx, "job")
 		span.SetAttr("kind", kind)
 		span.SetAttr("trace", digest)
+		if s.prof != nil {
+			if name := s.prof.ActiveCPUProfile(); name != "" {
+				// Cross-link the trace to the CPU profile sampling right
+				// now: a slow span names the profile that covers it.
+				span.SetAttr("cpu_profile", name)
+			}
+		}
 		res, err := fn(ctx)
 		if err != nil {
 			span.SetAttr("error", err.Error())
@@ -774,6 +794,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, digest s
 	go func() {
 		<-job.Done()
 		s.active.release(digest)
+		// Deposit the finished tree into the fragment store (the local
+		// shard of cluster-wide stitching) and offer it to the slow tail.
+		tr := rec.Export()
+		s.frags.Add(tr)
+		s.slow.Offer(job.ID(), tr)
 	}()
 	if async {
 		writeJSON(w, http.StatusAccepted, job.Snapshot())
@@ -848,7 +873,10 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 // handleJobTrace serves the job's full span tree in nested form. Spans
 // appear as the job runs, so polling the endpoint on a running job shows
-// the phases completed so far.
+// the phases completed so far. With ?cluster=1 the response is the
+// cluster-wide trace: the job's local spans merged with every node's
+// fragments of the same trace ID (the ingress proxy span, co-owner
+// write-through spans), stitched into one tree by parent pointers.
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
@@ -863,15 +891,135 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeJobNotFound, "job %q has no trace recorded", job.ID())
 		return
 	}
+	if r.URL.Query().Get("cluster") == "1" {
+		tr = s.stitchTrace(r.Context(), tr)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"job":     job.ID(),
-		"state":   job.Snapshot().State,
-		"spans":   tr.Tree(),
-		"dropped": tr.Dropped,
+		"job":      job.ID(),
+		"state":    job.Snapshot().State,
+		"trace_id": tr.TraceID,
+		"nodes":    tr.Nodes(),
+		"spans":    tr.Tree(),
+		"dropped":  tr.Dropped,
 	})
 }
 
+// stitchTrace gathers every cluster member's fragments of tr's trace ID
+// and merges them with the local view. Peer reads are strictly local on
+// the far side (/v1/cluster/spans never forwards), so the scatter
+// terminates in one hop; an unreachable peer just means its fragment is
+// missing from the stitched tree.
+func (s *Server) stitchTrace(ctx context.Context, tr obs.Trace) obs.Trace {
+	fragments := []obs.Trace{tr}
+	if local, ok := s.frags.Get(tr.TraceID); ok {
+		fragments = append(fragments, local)
+	}
+	if s.peers != nil && tr.TraceID != "" {
+		path := "/v1/cluster/spans?trace_id=" + url.QueryEscape(tr.TraceID)
+		for _, peer := range s.peers.Nodes() {
+			if peer.ID == s.peers.Self().ID {
+				continue
+			}
+			resp, err := s.peers.Forward(ctx, peer, http.MethodGet, path, nil, nil)
+			if err != nil {
+				continue
+			}
+			var frag obs.Trace
+			err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&frag)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err == nil {
+				fragments = append(fragments, frag)
+			}
+		}
+	}
+	return obs.Merge(fragments...)
+}
+
+// handleClusterSpans serves this node's local span fragments for one
+// trace ID to a stitching peer. Strictly local: no fallback, no
+// forwarding, so scatter-gather traffic terminates here. An unknown
+// trace ID answers an empty fragment rather than 404 — "this node saw
+// nothing" is a normal part of a stitched trace.
+func (s *Server) handleClusterSpans(w http.ResponseWriter, r *http.Request) {
+	traceID := r.URL.Query().Get("trace_id")
+	if traceID == "" {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "missing ?trace_id=")
+		return
+	}
+	frag, ok := s.frags.Get(traceID)
+	if !ok {
+		frag = obs.Trace{TraceID: traceID}
+	}
+	writeJSON(w, http.StatusOK, frag)
+}
+
+// handleDebugSlow serves the slow-request tail: the N slowest finished
+// span trees of the current and previous sampling windows, slowest
+// first, each naming the trace ID an exemplar or a log line can be
+// joined against.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	entries := s.slow.Snapshot()
+	out := make([]map[string]any, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, map[string]any{
+			"job":         e.Job,
+			"trace_id":    e.TraceID,
+			"root":        e.Root,
+			"duration_ns": e.DurationNS,
+			"finished":    e.Finished,
+			"spans":       e.Trace.Tree(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"slow": out})
+}
+
+// handleDebugProfiles lists the continuous profiler's snapshot ring.
+// With the profiler off the list is empty and enabled=false — a scrape
+// target, not an error.
+func (s *Server) handleDebugProfiles(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"enabled": s.prof != nil, "profiles": []profiler.Snapshot{}}
+	if s.prof != nil {
+		snaps, err := s.prof.Snapshots()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+			return
+		}
+		if snaps != nil {
+			resp["profiles"] = snaps
+		}
+		resp["dir"] = s.prof.Dir()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDebugProfile serves one pprof snapshot by its listed name,
+// consumable directly by `go tool pprof`.
+func (s *Server) handleDebugProfile(w http.ResponseWriter, r *http.Request) {
+	if s.prof == nil {
+		httpError(w, http.StatusNotFound, codeJobNotFound, "continuous profiler is not enabled (-profile-dir)")
+		return
+	}
+	rc, err := s.prof.Open(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, codeJobNotFound, "no profile %q", r.PathValue("name"))
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = io.Copy(w, rc)
+}
+
+// handleMetrics negotiates the exposition format: an Accept header
+// naming application/openmetrics-text gets OpenMetrics with exemplars
+// and the # EOF terminator; everything else gets the classic Prometheus
+// text format, where exemplars would be a syntax error.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }

@@ -70,6 +70,9 @@ type JobStatus struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Result   any        `json:"result,omitempty"`
+	// TraceID names the distributed trace the job's spans belong to —
+	// the join key for exemplars, /v1/debug/slow and cluster stitching.
+	TraceID string `json:"trace_id,omitempty"`
 	// Trace is the condensed span breakdown (phases, wall time, N, N',
 	// dedup hit rate) once the job has produced spans.
 	Trace *obs.Summary `json:"trace,omitempty"`
@@ -109,6 +112,9 @@ func (j *Job) Snapshot() JobStatus {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.Finished = &t
+	}
+	if r := j.recorder.Load(); r != nil {
+		st.TraceID = r.TraceID().String()
 	}
 	switch st.State {
 	case JobDone, JobFailed, JobCanceled:

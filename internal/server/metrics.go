@@ -7,12 +7,16 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // A minimal, dependency-free metrics layer rendering the Prometheus text
 // exposition format. The service registers request counters, per-endpoint
 // latency histograms, job-queue gauges and result-cache counters; anything
-// that scrapes Prometheus endpoints can consume /metrics directly.
+// that scrapes Prometheus endpoints can consume /metrics directly. The
+// registry also renders OpenMetrics (negotiated via Accept), where
+// histogram buckets carry trace-ID exemplars — the link from "p99 is
+// slow" to one concrete slow trace.
 
 // Counter is a monotonically increasing counter.
 type Counter struct{ v atomic.Int64 }
@@ -26,23 +30,46 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Histogram accumulates observations into cumulative le-buckets.
+// exemplar links one bucket's latest observation to the trace that
+// produced it, in the OpenMetrics sense.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      time.Time
+}
+
+// Histogram accumulates observations into cumulative le-buckets. Each
+// bucket remembers the exemplar of its most recent traced observation.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // len(bounds)+1; the last bucket is +Inf
-	sum    float64
-	count  int64
+	mu        sync.Mutex
+	bounds    []float64
+	counts    []int64 // len(bounds)+1; the last bucket is +Inf
+	exemplars []exemplar
+	sum       float64
+	count     int64
 }
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveWithExemplar(v, "")
+}
+
+// ObserveWithExemplar records one observation and, when traceID is
+// non-empty, pins it as the landing bucket's exemplar. Last-write-wins
+// per bucket: the scrape sees the freshest trace at each latency scale.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.count++
 	h.sum += v
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]exemplar, len(h.bounds)+1)
+		}
+		h.exemplars[i] = exemplar{traceID: traceID, value: v, ts: time.Now()}
+	}
 }
 
 // Count returns the number of observations.
@@ -192,9 +219,22 @@ func (hv *HistogramVec) With(labelValues ...string) *Histogram {
 	}).(*Histogram)
 }
 
-// WritePrometheus renders every registered family in the text exposition
-// format, families in registration order, series in creation order.
+// WritePrometheus renders every registered family in the classic text
+// exposition format, families in registration order, series in creation
+// order. Exemplars are omitted — they are invalid in the classic format.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.write(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// the same families, histogram buckets annotated with their trace-ID
+// exemplars ("# {trace_id=...} value timestamp"), terminated by # EOF.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.write(w, true)
+	fmt.Fprint(w, "# EOF\n")
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) {
 	r.mu.Lock()
 	fams := make([]*family, len(r.fams))
 	copy(fams, r.fams)
@@ -203,13 +243,13 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
 		f.mu.Lock()
 		for _, key := range f.order {
-			writeSeries(w, f, key, f.series[key])
+			writeSeries(w, f, key, f.series[key], openMetrics)
 		}
 		f.mu.Unlock()
 	}
 }
 
-func writeSeries(w io.Writer, f *family, key string, m any) {
+func writeSeries(w io.Writer, f *family, key string, m any, openMetrics bool) {
 	suffix := ""
 	if key != "" {
 		suffix = "{" + key + "}"
@@ -224,14 +264,27 @@ func writeSeries(w io.Writer, f *family, key string, m any) {
 		cum := int64(0)
 		for i, bound := range v.bounds {
 			cum += v.counts[i]
-			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, histSuffix(key, fmt.Sprintf("%g", bound)), cum)
+			fmt.Fprintf(w, "%s_bucket%s %d", f.name, histSuffix(key, fmt.Sprintf("%g", bound)), cum)
+			writeExemplar(w, v, i, openMetrics)
 		}
 		cum += v.counts[len(v.bounds)]
-		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, histSuffix(key, "+Inf"), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d", f.name, histSuffix(key, "+Inf"), cum)
+		writeExemplar(w, v, len(v.bounds), openMetrics)
 		fmt.Fprintf(w, "%s_sum%s %g\n", f.name, suffix, v.sum)
 		fmt.Fprintf(w, "%s_count%s %d\n", f.name, suffix, v.count)
 		v.mu.Unlock()
 	}
+}
+
+// writeExemplar finishes one bucket line: in OpenMetrics mode the
+// bucket's exemplar rides the line; otherwise just the newline.
+func writeExemplar(w io.Writer, h *Histogram, i int, openMetrics bool) {
+	if openMetrics && i < len(h.exemplars) && h.exemplars[i].traceID != "" {
+		e := h.exemplars[i]
+		fmt.Fprintf(w, " # {trace_id=\"%s\"} %g %d.%03d", escapeLabel(e.traceID),
+			e.value, e.ts.Unix(), e.ts.Nanosecond()/1e6)
+	}
+	fmt.Fprint(w, "\n")
 }
 
 func histSuffix(key, le string) string {

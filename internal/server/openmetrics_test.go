@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/example/cachedse/internal/trace"
+)
+
+// exemplarRE matches the OpenMetrics exemplar tail this server emits on
+// histogram bucket lines: " # {trace_id="<32 hex>"} <value> <unix.millis>".
+var exemplarRE = regexp.MustCompile(` # \{trace_id="([0-9a-f]{32})"\} [0-9eE+.-]+ [0-9]+\.[0-9]{3}$`)
+
+// scrapeOM fetches /metrics negotiating the OpenMetrics exposition.
+func scrapeOM(t *testing.T, baseURL string) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", baseURL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), resp.Header.Get("Content-Type")
+}
+
+// checkOpenMetrics validates the OpenMetrics exposition: terminated by
+// # EOF, exemplars syntactically well-formed and only on bucket lines,
+// and — with the exemplar tails stripped — the same structural
+// invariants as the classic format. Returns every exemplar trace ID.
+func checkOpenMetrics(t *testing.T, body string) []string {
+	t.Helper()
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition not terminated by # EOF (ends %q)", tail(body, 40))
+	}
+	var ids []string
+	var classic []string
+	for _, line := range strings.Split(strings.TrimSuffix(body, "# EOF\n"), "\n") {
+		if i := strings.Index(line, " # {"); i >= 0 {
+			m := exemplarRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed exemplar tail: %q", line)
+			}
+			if !strings.Contains(line[:i], `le="`) {
+				t.Fatalf("exemplar on a non-bucket line: %q", line)
+			}
+			ids = append(ids, m[1])
+			line = line[:i]
+		}
+		classic = append(classic, line)
+	}
+	checkExposition(t, strings.Join(classic, "\n"))
+	return ids
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// TestOpenMetricsExemplars locks the exemplar contract end to end: the
+// negotiated OpenMetrics scrape carries well-formed exemplars on the
+// request-latency buckets, the exemplar on the explore series names the
+// trace ID of a request the server actually served (last-write-wins),
+// and that trace ID joins against a finished job's recorded span tree.
+// The classic scrape stays exemplar-free — they would be a syntax error
+// there.
+func TestOpenMetricsExemplars(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := testTrace(5_000, 1<<9)
+	var din bytes.Buffer
+	if err := trace.WriteText(&din, tr); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := uploadTrace(t, ts, din.Bytes())
+
+	// Synchronous explores; each response names its trace ID and job ID.
+	served := map[string]bool{}
+	var lastTrace, lastJob string
+	for _, k := range []int{5, 10, 20} {
+		body, _ := json.Marshal(map[string]any{"trace": info.Digest, "k": k})
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/explore", bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("explore k=%d: code %d", k, resp.StatusCode)
+		}
+		lastTrace = resp.Header.Get("X-Trace-ID")
+		lastJob = resp.Header.Get("X-Job-ID")
+		if lastTrace == "" || lastJob == "" {
+			t.Fatalf("explore response missing X-Trace-ID/X-Job-ID (%q, %q)", lastTrace, lastJob)
+		}
+		served[lastTrace] = true
+	}
+
+	body, ctype := scrapeOM(t, ts.URL)
+	if !strings.Contains(ctype, "application/openmetrics-text") {
+		t.Fatalf("negotiated Content-Type = %q", ctype)
+	}
+	ids := checkOpenMetrics(t, body)
+	if len(ids) == 0 {
+		t.Fatal("OpenMetrics exposition carries no exemplars")
+	}
+
+	// Every exemplar on the explore latency series must be a trace ID the
+	// server actually handed out, and the final request's trace ID must be
+	// among them: it was the last write into whichever bucket its latency
+	// landed in.
+	exploreExemplars := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "cachedse_request_duration_seconds_bucket") &&
+			strings.Contains(line, `endpoint="explore"`) {
+			if m := exemplarRE.FindStringSubmatch(line); m != nil {
+				exploreExemplars[m[1]] = true
+			}
+		}
+	}
+	if len(exploreExemplars) == 0 {
+		t.Fatal("explore latency series carries no exemplar")
+	}
+	for id := range exploreExemplars {
+		if !served[id] {
+			t.Fatalf("explore exemplar %q is not a trace ID the server handed out %v", id, served)
+		}
+	}
+	if !exploreExemplars[lastTrace] {
+		t.Fatalf("last request's trace %q missing from explore exemplars %v (last-write-wins per bucket)", lastTrace, exploreExemplars)
+	}
+
+	// Exemplar <-> span correspondence: the trace ID joins against the
+	// finished job's recorded tree.
+	var jt struct {
+		TraceID string `json:"trace_id"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+lastJob+"/trace", nil, &jt); code != http.StatusOK {
+		t.Fatalf("job trace: code %d", code)
+	}
+	if jt.TraceID != lastTrace {
+		t.Fatalf("job trace ID %q != exemplar trace ID %q; the join is broken", jt.TraceID, lastTrace)
+	}
+
+	// The classic exposition must stay exemplar- and EOF-free.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(classic), "# {") || strings.Contains(string(classic), "# EOF") {
+		t.Fatal("classic Prometheus exposition leaked OpenMetrics syntax")
+	}
+}
+
+// TestOpenMetricsConcurrentScrapes hammers the OpenMetrics path while
+// jobs run; under -race this exercises exemplar writes racing scrapes,
+// and every scrape must still parse clean.
+func TestOpenMetricsConcurrentScrapes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := testTrace(5_000, 1<<9)
+	var din bytes.Buffer
+	if err := trace.WriteText(&din, tr); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := uploadTrace(t, ts, din.Bytes())
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		depths := []int{0, 1, 2, 4, 8, 16}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			body, _ := json.Marshal(map[string]any{
+				"trace": info.Digest, "k": 10, "max_depth": depths[i%len(depths)],
+			})
+			doJSON(t, "POST", ts.URL+"/v1/explore", body, nil)
+		}
+	}()
+
+	var swg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			for i := 0; i < 10; i++ {
+				body, _ := scrapeOM(t, ts.URL)
+				checkOpenMetrics(t, body)
+			}
+		}()
+	}
+	swg.Wait()
+	close(done)
+	wg.Wait()
+}

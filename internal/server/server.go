@@ -26,6 +26,7 @@ import (
 	"github.com/example/cachedse/internal/cluster"
 	"github.com/example/cachedse/internal/faultinject"
 	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/internal/obs/profiler"
 	"github.com/example/cachedse/internal/tracestore"
 )
 
@@ -66,6 +67,13 @@ type Config struct {
 	// lost or corrupted replicas heal from the co-owner on first read.
 	// The zero value keeps the server single-node.
 	Cluster cluster.Config
+	// ProfileDir, when non-empty, turns on the continuous profiler: CPU
+	// and heap pprof snapshots captured on a jittered interval into a
+	// bounded ring there, listed and served by /v1/debug/profiles.
+	ProfileDir string
+	// ProfileInterval is the mean time between profile captures (only
+	// meaningful with ProfileDir set; <= 0 uses the profiler's default).
+	ProfileInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +125,15 @@ type Server struct {
 	active  *activeTraces
 	gates   map[string]chan struct{} // per-endpoint admission gates
 	peers   *cluster.Peers           // nil when clustering is off
+	// frags holds this node's finished span fragments by trace ID, the
+	// local shard of cluster-wide trace stitching; slow keeps the N
+	// slowest finished trees per window; prof is the continuous profiler
+	// (nil unless ProfileDir is set).
+	frags *obs.FragmentStore
+	slow  *obs.SlowTail
+	prof  *profiler.Profiler
+	// nodeID names this node in span records ("single" off-cluster).
+	nodeID string
 
 	reqTotal      *CounterVec
 	latency       *HistogramVec
@@ -143,6 +160,24 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		active:  newActiveTraces(),
 		gates:   make(map[string]chan struct{}),
+		frags:   obs.NewFragmentStore(0),
+		slow:    obs.NewSlowTail(0, 0),
+		nodeID:  "single",
+	}
+	if cfg.Cluster.NodeID != "" {
+		s.nodeID = cfg.Cluster.NodeID
+	}
+	if cfg.ProfileDir != "" {
+		p, err := profiler.New(profiler.Config{
+			Dir:      cfg.ProfileDir,
+			Interval: cfg.ProfileInterval,
+			Logger:   cfg.Logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.prof = p
+		s.prof.Start()
 	}
 	for _, ep := range []string{"explore", "simulate", "verify", "traces_upload"} {
 		s.gates[ep] = make(chan struct{}, cfg.EndpointInflight)
@@ -209,6 +244,10 @@ func (s *Server) registerMetrics() {
 		"Requests shed by admission control, by reason (gate, queue_full, deadline).", "reason")
 	s.degradedReads = s.reg.Counter("cachedse_degraded_reads_total",
 		"Requests answered from cached/persisted results because the pool was saturated.")
+	s.reg.CounterFunc("cachedse_obs_spans_dropped_total",
+		"Spans dropped by bounded recorders and fragment stores process-wide.", func() float64 {
+			return float64(obs.DroppedTotal())
+		})
 	s.reg.CounterFunc("cachedse_faults_injected_total",
 		"Faults fired by the failpoint registry (0 unless fault injection is armed).", func() float64 {
 			return float64(faultinject.TotalFires())
@@ -252,6 +291,10 @@ func (s *Server) routes() {
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleCancelJob))
 	s.mux.Handle("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
 	s.mux.Handle("GET /v1/cluster/objects", s.instrument("cluster_objects", s.handleClusterObject))
+	s.mux.Handle("GET /v1/cluster/spans", s.instrument("cluster_spans", s.handleClusterSpans))
+	s.mux.Handle("GET /v1/debug/slow", s.instrument("debug_slow", s.handleDebugSlow))
+	s.mux.Handle("GET /v1/debug/profiles", s.instrument("debug_profiles", s.handleDebugProfiles))
+	s.mux.Handle("GET /v1/debug/profiles/{name}", s.instrument("debug_profiles", s.handleDebugProfile))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	// Probes get counted under their own endpoint labels but skip the
 	// latency histogram and the request log: a 1 s kubelet poll would
@@ -270,6 +313,9 @@ func (s *Server) Metrics() *Registry { return s.reg }
 // deadline running jobs are cancelled instead, and each force-cancelled
 // job is logged with its ID and elapsed runtime.
 func (s *Server) Close(ctx context.Context) error {
+	if s.prof != nil {
+		s.prof.Stop()
+	}
 	err := s.queue.Shutdown(ctx)
 	for _, f := range s.queue.ForceCanceled() {
 		s.cfg.Logger.Warn("job force-cancelled at drain deadline",
@@ -310,11 +356,14 @@ func requestDeadline(r *http.Request, now time.Time) (time.Time, error) {
 }
 
 // instrument wraps a handler with panic recovery, a request counter, a
-// latency histogram, request-ID propagation, deadline propagation,
-// per-endpoint admission and a structured access log. An inbound
-// X-Request-ID is honored (so traces correlate across a proxy); otherwise
-// one is minted. Either way it is echoed in the response header and
-// carried in the request context, where the logger picks it up. An
+// latency histogram, request-ID and trace-context propagation, deadline
+// propagation, per-endpoint admission and a structured access log. An
+// inbound X-Request-ID is honored (so traces correlate across a proxy);
+// otherwise one is minted. Either way it is echoed in the response header
+// and carried in the request context, where the logger picks it up.
+// Likewise a W3C traceparent header: honored when parseable (the request
+// joins the caller's distributed trace), minted fresh otherwise, echoed
+// as X-Trace-ID, and observed as the latency histogram's exemplar. An
 // X-Request-Deadline header (duration or RFC 3339) becomes the request
 // context's deadline, flowing into the job the handler submits.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
@@ -325,7 +374,13 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			reqID = obs.NewID()
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			sc = obs.SpanContext{TraceID: obs.NewTraceID()}
+		}
+		w.Header().Set("X-Trace-ID", sc.TraceID.String())
 		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx = obs.WithSpanContext(ctx, sc)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		logAndCount := func() {
 			if p := recover(); p != nil {
@@ -335,7 +390,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			}
 			elapsed := time.Since(start)
 			s.reqTotal.With(endpoint, fmt.Sprintf("%d", sw.code)).Inc()
-			s.latency.With(endpoint).Observe(elapsed.Seconds())
+			s.latency.With(endpoint).ObserveWithExemplar(elapsed.Seconds(), sc.TraceID.String())
 			s.cfg.Logger.InfoContext(ctx, "request",
 				"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
 				"code", sw.code, "duration", elapsed.String())

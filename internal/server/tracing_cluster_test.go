@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/example/cachedse/internal/obs"
+	"github.com/example/cachedse/pkg/client"
+)
+
+// findSpan walks a client-side span tree for the first span named name,
+// returning it and its parent (nil for a root).
+func findSpan(roots []client.TraceNode, name string) (node, parent *client.TraceNode) {
+	var walk func(n *client.TraceNode, p *client.TraceNode) bool
+	walk = func(n, p *client.TraceNode) bool {
+		if n.Name == name {
+			node, parent = n, p
+			return true
+		}
+		for i := range n.Children {
+			if walk(&n.Children[i], n) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range roots {
+		if walk(&roots[i], nil) {
+			return
+		}
+	}
+	return
+}
+
+// TestClusterStitchedTrace is the tracing acceptance test: one trace ID
+// minted in the client spans the whole request path — ingress on a
+// non-owner node, the proxy hop, and the job on the owner — and the
+// stitched cluster-wide tree nests the owner's job under the ingress
+// proxy span, with per-node phase sums accounting for their span's wall
+// time to within 5%.
+func TestClusterStitchedTrace(t *testing.T) {
+	tc := startTestCluster(t, 3)
+	tr := testTrace(2_000, 1<<9)
+	digest := tc.uploadTestTrace(t, 0, tr)
+
+	// Ingress through the one node that does not own the trace, so the
+	// explore must cross a proxy hop to reach an owner.
+	owners := map[string]bool{}
+	for _, o := range tc.nodes[0].srv.peers.Owners(digest) {
+		owners[o.ID] = true
+	}
+	ingress := -1
+	for i, nd := range tc.nodes {
+		if !owners[nd.id] {
+			ingress = i
+		}
+	}
+	if ingress < 0 {
+		t.Fatalf("every node owns %s; cannot force a proxy hop", digest)
+	}
+
+	// Pin the trace ID client-side (the SDK would otherwise mint its own)
+	// so the test can assert it survives every hop verbatim.
+	sc := obs.SpanContext{TraceID: obs.NewTraceID()}
+	ctx := obs.WithSpanContext(context.Background(), sc)
+	wantTrace := sc.TraceID.String()
+
+	k := 25
+	st, err := tc.client(ingress).ExploreAsync(ctx, client.ExploreRequest{Trace: digest, K: &k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	final, err := tc.client(ingress).WaitJob(wctx, st.ID)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("job finished %q: %s", final.State, final.Error)
+	}
+	if final.TraceID != wantTrace {
+		t.Fatalf("job status trace_id = %q, want the client-minted %q", final.TraceID, wantTrace)
+	}
+
+	// Ask the ingress (which does not hold the job) for the cluster-wide
+	// trace: the request proxies to the owner, which scatters back to the
+	// peers' fragment stores and stitches.
+	resp, err := tc.client(ingress).JobTrace(ctx, st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != wantTrace {
+		t.Fatalf("stitched trace_id = %q, want %q", resp.TraceID, wantTrace)
+	}
+	if len(resp.Nodes) < 2 {
+		t.Fatalf("stitched trace names nodes %v, want spans from >= 2 cluster members", resp.Nodes)
+	}
+
+	proxy, proxyParent := findSpan(resp.Spans, "proxy")
+	if proxy == nil {
+		t.Fatalf("stitched tree has no ingress proxy span: %+v", resp.Spans)
+	}
+	if proxyParent != nil {
+		t.Fatalf("proxy span is not a root (parent %q)", proxyParent.Name)
+	}
+	if proxy.Node != tc.nodes[ingress].id {
+		t.Fatalf("proxy span recorded on %q, want ingress %q", proxy.Node, tc.nodes[ingress].id)
+	}
+	job, jobParent := findSpan(resp.Spans, "job")
+	if job == nil {
+		t.Fatalf("stitched tree has no job span: %+v", resp.Spans)
+	}
+	if jobParent == nil || jobParent.Name != "proxy" {
+		t.Fatal("job span did not stitch under the ingress proxy span")
+	}
+	if !owners[job.Node] {
+		t.Fatalf("job ran on %q, not an owner of %s", job.Node, digest)
+	}
+	if job.Node == proxy.Node {
+		t.Fatal("job and proxy spans recorded on the same node; the hop was not cross-node")
+	}
+
+	// The proxy's forward attempt names the peer it reached and fits
+	// inside the proxy span's wall time.
+	fwd, _ := findSpan(resp.Spans, "forward")
+	if fwd == nil {
+		t.Fatal("proxy span has no forward child")
+	}
+	if peer, _ := fwd.Attrs["peer"].(string); !owners[peer] {
+		t.Fatalf("forward peer = %v, want an owner", fwd.Attrs["peer"])
+	}
+	if fwd.DurationNS <= 0 || fwd.DurationNS > proxy.DurationNS {
+		t.Fatalf("forward %dns does not fit inside proxy %dns", fwd.DurationNS, proxy.DurationNS)
+	}
+
+	// Per-node phase accounting: on the owner, the job's phase children
+	// are contiguous, so their sum must cover the job's wall to within 5%.
+	if len(job.Children) == 0 {
+		t.Fatal("job span has no phase children")
+	}
+	var phaseSum int64
+	for _, p := range job.Children {
+		phaseSum += p.DurationNS
+	}
+	if job.DurationNS <= 0 {
+		t.Fatalf("degenerate job wall %d", job.DurationNS)
+	}
+	if gap := math.Abs(float64(job.DurationNS-phaseSum)) / float64(job.DurationNS); gap > 0.05 {
+		t.Errorf("owner phase sum %dns vs job wall %dns: gap %.1f%% > 5%%", phaseSum, job.DurationNS, 100*gap)
+	}
+}
+
+// TestClusterSpansEndpointLocalOnly locks the stitching fan-out contract:
+// /v1/cluster/spans answers from the local fragment store only — an
+// unknown trace ID is an empty fragment, never a proxied lookup — so the
+// scatter in stitchTrace terminates in one hop.
+func TestClusterSpansEndpointLocalOnly(t *testing.T) {
+	tc := startTestCluster(t, 2)
+	before := tc.sumMetric("cachedse_cluster_proxied_total")
+	var frag obs.Trace
+	id := obs.NewTraceID().String()
+	if code := doJSON(t, "GET", tc.nodes[0].url+"/v1/cluster/spans?trace_id="+id, nil, &frag); code != 200 {
+		t.Fatalf("cluster spans: code %d", code)
+	}
+	if frag.TraceID != id || len(frag.Spans) != 0 {
+		t.Fatalf("unknown trace returned %+v, want empty fragment", frag)
+	}
+	if after := tc.sumMetric("cachedse_cluster_proxied_total"); after != before {
+		t.Fatalf("cluster spans lookup was proxied (%v -> %v)", before, after)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/example/cachedse/internal/cluster"
+	"github.com/example/cachedse/internal/obs"
 )
 
 // RetryPolicy tunes the retry loop. The zero value gets defaults.
@@ -175,6 +176,13 @@ func (c *Client) doRouted(ctx context.Context, bases []string, method, path, con
 	if len(bases) == 0 {
 		bases = []string{c.base}
 	}
+	// Every logical call is one hop of a distributed trace: an ambient
+	// span context on ctx is honored (the caller is already inside a
+	// trace), otherwise a fresh trace ID is minted here at the edge.
+	// Retries share the trace — they are attempts of the same operation.
+	if sc := obs.SpanContextFrom(ctx); !sc.Valid() {
+		ctx = obs.WithSpanContext(ctx, obs.SpanContext{TraceID: obs.NewTraceID()})
+	}
 	var last error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -214,6 +222,9 @@ func (c *Client) once(ctx context.Context, base, method, path, contentType strin
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if sc := obs.Propagate(ctx); sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		// Forward the caller's deadline so the server can shed or bound
@@ -471,6 +482,20 @@ func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
 	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), "", nil, &st)
 	return st, err
+}
+
+// JobTrace fetches a job's recorded span tree. With cluster true the
+// server stitches the cluster-wide trace: every node's fragments of the
+// job's trace ID (ingress proxy hops, write-through replication, the
+// owner's job phases) merged into one tree.
+func (c *Client) JobTrace(ctx context.Context, id string, cluster bool) (JobTraceResponse, error) {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/trace"
+	if cluster {
+		path += "?cluster=1"
+	}
+	var resp JobTraceResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &resp)
+	return resp, err
 }
 
 // WaitJob polls a job until it reaches a terminal state or ctx expires,

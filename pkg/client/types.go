@@ -163,6 +163,33 @@ type JobStatus struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Result   any        `json:"result,omitempty"`
+	// TraceID names the distributed trace the job's spans belong to; pass
+	// it to exemplar-linked dashboards or join it against /v1/debug/slow.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TraceNode is one span in a job's trace tree, as served by
+// GET /v1/jobs/{id}/trace. Node names the cluster member that recorded
+// the span (empty on a single-node server).
+type TraceNode struct {
+	Name       string         `json:"name"`
+	Node       string         `json:"node,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []TraceNode    `json:"children,omitempty"`
+}
+
+// JobTraceResponse is a job's recorded span tree. With cluster stitching
+// requested, Nodes lists every cluster member that contributed spans and
+// the tree crosses node boundaries at forwarding hops.
+type JobTraceResponse struct {
+	Job     string      `json:"job"`
+	State   string      `json:"state"`
+	TraceID string      `json:"trace_id,omitempty"`
+	Nodes   []string    `json:"nodes,omitempty"`
+	Spans   []TraceNode `json:"spans"`
+	Dropped int         `json:"dropped"`
 }
 
 // Terminal reports whether the job has reached a final state.

@@ -9,6 +9,10 @@
 # iteration, which keeps the CI smoke run fast; pass -count 3 (or more)
 # when collecting numbers worth comparing.
 #
+# Always appended: an "obs_overhead" panel interleaving the exploration
+# benchmark with instrumentation off / recorder on / recorder plus the
+# continuous profiler, recording the overhead of each against "off".
+#
 # -chaosload appends a service-latency panel: it boots a single-node
 # server and a 3-node cluster on localhost, drives each with the
 # chaosload driver, and records the explore latency distribution
@@ -108,6 +112,45 @@ END {
   }
   printf "  }\n}\n"
 }' "$raw" > "$out"
+
+# Observability-overhead panel: the engine benchmark with instrumentation
+# off, with a recorder on, and with recorder plus continuous profiler.
+# `go test -count N` repeats the whole set in order, so the three cases
+# interleave (A/B/A/B) and the deltas are robust to machine drift. The
+# overhead percentages come from the per-case ns/op minima; the
+# acceptance bar is on+profiler within 2% of off.
+# OBS_BENCHTIME/OBS_COUNT override the main knobs here: overhead deltas
+# in the low percents need more iterations than the core set's smoke
+# defaults to rise above run-to-run noise.
+obsraw="$out.obs.txt"
+go test -run '^$' -bench '^BenchmarkExploreObs$' -benchtime "${OBS_BENCHTIME:-$benchtime}" \
+  -count "${OBS_COUNT:-$count}" -benchmem ./internal/core | tee "$obsraw"
+awk '
+$1 ~ /^BenchmarkExploreObs\// && $3 ~ /^[0-9]/ {
+  name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkExploreObs\//, "", name)
+  if (!(name in min) || $3 + 0 < min[name] + 0) min[name] = $3
+}
+END {
+  split("off on on+profiler", cases, " ")
+  printf ",\"obs_overhead\": {"
+  sep = ""
+  for (i = 1; i <= 3; i++) {
+    k = cases[i]
+    if (k in min) { printf "%s\"%s_ns_per_op_min\": %s", sep, k, min[k]; sep = ", " }
+  }
+  if ("off" in min && min["off"] + 0 > 0) {
+    if ("on" in min)
+      printf "%s\"recorder_overhead_pct\": %.2f", sep, 100 * (min["on"] - min["off"]) / min["off"]
+    if ("on+profiler" in min)
+      printf ", \"recorder_profiler_overhead_pct\": %.2f", 100 * (min["on+profiler"] - min["off"]) / min["off"]
+  }
+  printf "}\n}\n"
+}' "$obsraw" > "$out.obspanel"
+{
+  sed '$d' "$out"
+  cat "$out.obspanel"
+} > "$out.merged" && mv "$out.merged" "$out"
+rm -f "$out.obspanel"
 
 # Optional service-latency panel: the same chaosload run against one node
 # and against a 3-node cluster, so the JSON records what the forwarding
