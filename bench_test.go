@@ -478,7 +478,7 @@ func BenchmarkAblationLineSize(b *testing.B) {
 // policies").
 func BenchmarkAblationReplacementPolicies(b *testing.B) {
 	s := suite(b)
-	tr := s.Get("ucbqsort").Data
+	tr := s.Get("crc").Data
 	for _, repl := range []cache.Replacement{cache.LRU, cache.FIFO, cache.PLRU, cache.Random} {
 		b.Run(repl.String(), func(b *testing.B) {
 			var misses int
@@ -627,4 +627,51 @@ func BenchmarkSampledExplore(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSpaceExplore measures the design-space evaluator on
+// core.DefaultSpace() — the split-L1 + shared-L2, three-policy space the
+// prune-rate acceptance test locks — with the analytical cuts on
+// (pruned) and off (SpaceOptions.Exhaustive: the identical computation
+// evaluating every candidate cell). The pruned case reports its
+// prune-rate (fraction of candidate cells the A_zero and
+// alpha-threshold cuts skipped); scripts/bench.sh records both timings,
+// their ratio and the rate as the dse_space panel in BENCH_core.json.
+func BenchmarkSpaceExplore(b *testing.B) {
+	run, err := powerstone.Get("crc").Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Interleave the instruction and data streams proportionally, the
+	// same mixed trace the crosscheck and prune-rate tests use.
+	instr, data := run.Instr, run.Data
+	tr := trace.New(instr.Len() + data.Len())
+	for i, d := 0, 0; i < instr.Len() || d < data.Len(); {
+		if d < data.Len() && (i >= instr.Len() || d*instr.Len() <= i*data.Len()) {
+			tr.Append(data.Refs[d])
+			d++
+		} else {
+			tr.Append(instr.Refs[i])
+			i++
+		}
+	}
+	b.Run("pruned", func(b *testing.B) {
+		var front *core.Front
+		for i := 0; i < b.N; i++ {
+			f, err := dse.ExploreSpace(context.Background(), tr, core.DefaultSpace(), dse.SpaceOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			front = f
+		}
+		b.ReportMetric(front.Stats.Rate(), "prune-rate")
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.ExploreSpace(context.Background(), tr, core.DefaultSpace(),
+				dse.SpaceOptions{Exhaustive: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

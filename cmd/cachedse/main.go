@@ -8,13 +8,18 @@
 //	cachedse stats    TRACE            trace statistics (N, N', max misses)
 //	cachedse strip    TRACE            stripped trace (unique refs + ids)
 //	cachedse explore  [-k N | -kpct P] [-maxdepth D] [-workers W] [-verify]
+//	                  [-policy P[,P...]] [-levels 1|2] [-max-assoc A]
+//	                  [-tech T[,T...]] [-front table|csv]
 //	                  [-sample R] [-sample-floor N]
 //	                  [-cpuprofile F] [-memprofile F] [-store DIR]
 //	                  [-trace-json F] [-log-format text|json] TRACE
 //	                                   optimal (D, A) instances for budget K;
 //	                                   -sample R explores a spatial sample and
 //	                                   reports miss estimates with confidence
-//	                                   bounds
+//	                                   bounds; several -policy entries,
+//	                                   -levels 2 or a -tech axis switch to
+//	                                   design-space mode and emit the Pareto
+//	                                   front over (misses, energy, area)
 //	cachedse simulate -depth D -assoc A [-line W] [-repl P] [-store DIR] TRACE
 //	                                   simulate one configuration
 //	cachedse verify   -k N TRACE D:A [D:A ...]
@@ -232,7 +237,7 @@ func cmdStrip(args []string) error {
 }
 
 func cmdExplore(args []string) error {
-	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-sample R] [-sample-floor N] [-cpuprofile F] [-memprofile F] [-store DIR] [-trace-json F] [-log-format text|json] TRACE")
+	fs := newFlagSet("explore", "explore [-k N | -kpct P] [-maxdepth D] [-workers W] [-pareto] [-verify] [-policy P[,P...]] [-levels 1|2] [-max-assoc A] [-tech T[,T...]] [-front table|csv] [-sample R] [-sample-floor N] [-cpuprofile F] [-memprofile F] [-store DIR] [-trace-json F] [-log-format text|json] TRACE")
 	k := fs.Int("k", -1, "miss budget K (absolute)")
 	kpct := fs.Float64("kpct", -1, "miss budget as percent of max misses")
 	maxDepth := fs.Int("maxdepth", 0, "largest cache depth to explore (power of two)")
@@ -241,6 +246,11 @@ func cmdExplore(args []string) error {
 	sample := fs.Float64("sample", 0, "spatial sampling rate in (0, 1] for approximate exploration (0 = exact)")
 	sampleFloor := fs.Int("sample-floor", 0, "minimum expected sampled unique references (0 = default, negative = no floor)")
 	pareto := fs.Bool("pareto", false, "print only the size-Pareto frontier")
+	policy := fs.String("policy", "lru", "replacement policies to explore, comma-separated: lru, fifo, random, plru (more than one switches to design-space mode)")
+	levels := fs.Int("levels", 1, "hierarchy levels: 1 = unified, 2 = split L1I/L1D + shared L2 (design-space mode)")
+	maxAssoc := fs.Int("max-assoc", 0, "largest associativity to explore (0 = default)")
+	tech := fs.String("tech", "", "storage technologies to cost, comma-separated: sram, nvm-hybrid (design-space mode)")
+	frontFmt := fs.String("front", "table", "result rendering: table or csv")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the exploration to this file")
 	storeDir := fs.String("store", "", "read TRACE from this tracestore directory instead of the filesystem")
@@ -256,20 +266,67 @@ func cmdExplore(args []string) error {
 	if err != nil {
 		return err
 	}
+	var pols []core.Policy
+	for _, name := range strings.Split(*policy, ",") {
+		p, perr := core.ParsePolicy(name)
+		if perr != nil {
+			return perr
+		}
+		pols = append(pols, p)
+	}
+	var techs []core.Technology
+	if *tech != "" {
+		for _, name := range strings.Split(*tech, ",") {
+			tc, terr := core.ParseTechnology(name)
+			if terr != nil {
+				return terr
+			}
+			techs = append(techs, tc)
+		}
+	}
+	if *frontFmt != "table" && *frontFmt != "csv" {
+		return fmt.Errorf("unknown -front %q, want table or csv", *frontFmt)
+	}
+	if *levels != 1 && *levels != 2 {
+		return fmt.Errorf("-levels must be 1 (unified) or 2 (split L1I/L1D + shared L2)")
+	}
+	// More than one policy, a second hierarchy level or a technology axis
+	// turns the run into a design-space exploration: the answer is the
+	// Pareto front over (misses, energy, area) rather than a budget-K
+	// instance list.
+	spaceMode := *levels == 2 || len(pols) > 1 || len(techs) > 0
 	tr, err := resolveTrace(*storeDir, fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	st := trace.ComputeStats(tr)
-	budget := *k
-	if budget < 0 && *kpct >= 0 {
-		budget = int(float64(st.MaxMisses) * *kpct / 100)
-	}
-	if budget < 0 {
-		return fmt.Errorf("explore needs -k or -kpct")
-	}
-	if *sample != 0 && *verify {
-		return fmt.Errorf("-verify needs exact miss counts; drop -sample or verify the chosen instances with the verify command")
+	budget := 0
+	if spaceMode {
+		if *verify {
+			return fmt.Errorf("-verify applies to budget exploration; certify a design point with the simulate command instead")
+		}
+		if *sample != 0 {
+			return fmt.Errorf("a design-space exploration is exact end to end; drop -sample")
+		}
+	} else {
+		budget = *k
+		if budget < 0 && *kpct >= 0 {
+			budget = int(float64(st.MaxMisses) * *kpct / 100)
+		}
+		if budget < 0 {
+			return fmt.Errorf("explore needs -k or -kpct")
+		}
+		if *sample != 0 && *verify {
+			return fmt.Errorf("-verify needs exact miss counts; drop -sample or verify the chosen instances with the verify command")
+		}
+		if pols[0] != core.PolicyLRU {
+			if *verify {
+				return fmt.Errorf("-verify certifies LRU instances; for %s simulate the chosen instances with the simulate command and -repl %s", pols[0], pols[0])
+			}
+			if *sample != 0 {
+				return fmt.Errorf("policy %s does not support sampled exploration", pols[0])
+			}
+		}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -296,7 +353,41 @@ func cmdExplore(args []string) error {
 	root.SetAttr("n", st.N)
 	root.SetAttr("n_unique", st.NUnique)
 	start := time.Now()
-	opts := core.Options{MaxDepth: *maxDepth, Workers: *workers, SampleRate: *sample, SampleFloor: *sampleFloor}
+	if spaceMode {
+		sp := core.Space{
+			L1: core.LevelSpace{MaxDepth: *maxDepth, MaxAssoc: *maxAssoc, Policies: pols, Technologies: techs},
+		}
+		if *levels == 2 {
+			sp.Topology = core.TopoSplitL2
+			sp.L2 = core.LevelSpace{MaxAssoc: *maxAssoc, Policies: pols, Technologies: techs}
+		}
+		front, err := dse.ExploreSpace(ctx, tr, sp, dse.SpaceOptions{})
+		if err != nil {
+			return err
+		}
+		root.SetAttr("space", sp.Key())
+		root.End()
+		logger.Info("design-space exploration complete",
+			"trace", fs.Arg(0), "space", sp.Key(), "points", front.Len(),
+			"evaluated", front.Stats.Evaluated, "pruned", front.Stats.Pruned(),
+			"duration", time.Since(start).String())
+		if rec != nil {
+			if err := writeTraceJSON(*traceJSON, fs.Arg(0), rec); err != nil {
+				return err
+			}
+		}
+		tab := dse.FrontTable(front)
+		if *frontFmt == "csv" {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Print(tab.Render())
+		}
+		return nil
+	}
+	opts := core.Options{
+		MaxDepth: *maxDepth, Workers: *workers, SampleRate: *sample,
+		SampleFloor: *sampleFloor, Policy: pols[0], MaxAssoc: *maxAssoc,
+	}
 	if *workers == 0 {
 		// The flag's historical default 0 meant "use every core".
 		opts.Workers = -1
@@ -335,8 +426,16 @@ func cmdExplore(args []string) error {
 			return err
 		}
 	}
+	if pr := r.Prune; pr != nil {
+		fmt.Printf("# %s policy: evaluated %d of %d (depth, assoc) cells; pruned %d dominated + %d past the alpha-threshold\n",
+			pols[0], pr.Evaluated, pr.Candidates, pr.PrunedDominated, pr.PrunedThreshold)
+	}
 	instances, tab := dse.InstanceTable(r, budget, st.MaxMisses, *pareto)
-	fmt.Print(tab.Render())
+	if *frontFmt == "csv" {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Print(tab.Render())
+	}
 	if est := r.Sample; est != nil && !est.Exact() {
 		fmt.Println("Confidence bounds (95%) per instance:")
 		for _, ins := range instances {

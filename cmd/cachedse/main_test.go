@@ -100,6 +100,15 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 		{"strip", func() error { return cmdStrip([]string{"-n", "5", path}) }},
 		{"explore", func() error { return cmdExplore([]string{"-kpct", "10", "-verify", path}) }},
 		{"explore pareto", func() error { return cmdExplore([]string{"-k", "3", "-pareto", path}) }},
+		{"explore fifo", func() error {
+			return cmdExplore([]string{"-k", "3", "-policy", "fifo", "-max-assoc", "2", path})
+		}},
+		{"explore space", func() error {
+			return cmdExplore([]string{"-levels", "2", "-policy", "lru,plru", "-maxdepth", "8", "-max-assoc", "2", path})
+		}},
+		{"explore space csv", func() error {
+			return cmdExplore([]string{"-policy", "lru,fifo", "-tech", "sram,nvm-hybrid", "-front", "csv", "-maxdepth", "8", path})
+		}},
 		{"simulate", func() error { return cmdSimulate([]string{"-depth", "8", "-assoc", "2", path}) }},
 		{"simulate plru wt", func() error {
 			return cmdSimulate([]string{"-depth", "8", "-repl", "plru", "-wt", path})
@@ -171,6 +180,17 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 	}{
 		{"stats no file", func() error { return cmdStats(nil) }},
 		{"explore no budget", func() error { return cmdExplore([]string{path}) }},
+		{"explore bad policy", func() error { return cmdExplore([]string{"-k", "3", "-policy", "mru", path}) }},
+		{"explore bad levels", func() error { return cmdExplore([]string{"-k", "3", "-levels", "3", path}) }},
+		{"explore bad front", func() error { return cmdExplore([]string{"-k", "3", "-front", "xml", path}) }},
+		{"explore bad tech", func() error { return cmdExplore([]string{"-tech", "dram", path}) }},
+		{"explore fifo verify", func() error {
+			return cmdExplore([]string{"-k", "3", "-policy", "fifo", "-verify", path})
+		}},
+		{"explore space verify", func() error { return cmdExplore([]string{"-levels", "2", "-verify", path}) }},
+		{"explore space sampled", func() error {
+			return cmdExplore([]string{"-levels", "2", "-sample", "0.5", path})
+		}},
 		{"simulate bad repl", func() error { return cmdSimulate([]string{"-repl", "zzz", path}) }},
 		{"verify bad instance", func() error { return cmdVerify([]string{"-k", "0", path, "whoops"}) }},
 		{"verify violated", func() error { return cmdVerify([]string{"-k", "0", path, "1:1"}) }},

@@ -193,9 +193,16 @@ func NewCache(cfg Config) (*Cache, error) {
 		c.sets[i] = make([]line, cfg.Assoc)
 	}
 	if cfg.Repl == PLRU {
+		// The implicit tree (node i's children at 2i+1/2i+2) spans the
+		// next power of two above A, so non-power-of-two associativities
+		// need the full heap's worth of bits, not A.
+		bits := 1
+		for bits < cfg.Assoc {
+			bits <<= 1
+		}
 		c.plruBits = make([][]bool, cfg.Depth)
 		for i := range c.plruBits {
-			c.plruBits[i] = make([]bool, cfg.Assoc) // tree bits; A-1 used
+			c.plruBits[i] = make([]bool, bits)
 		}
 	}
 	for ls := cfg.LineWords; ls > 1; ls >>= 1 {

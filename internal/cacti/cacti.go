@@ -47,6 +47,10 @@ type Params struct {
 
 	// EnergyPerBitPJ is dynamic read/write energy per array bit activated.
 	EnergyPerBitPJ float64
+	// WriteEnergyPerBitPJ is dynamic write energy per bit when it differs
+	// from the read energy (asymmetric technologies like NVM). Zero means
+	// symmetric: writes cost EnergyPerBitPJ.
+	WriteEnergyPerBitPJ float64
 	// EnergyComparePJ is energy per tag comparison.
 	EnergyComparePJ float64
 	// EnergyDecodePJPerBit is decoder energy per index bit.
@@ -72,6 +76,31 @@ func DefaultParams() Params {
 		EnergyDecodePJPerBit: 0.4,
 		LeakagePWPerBit:      2.1,
 	}
+}
+
+// ForTechnology scales the SRAM-calibrated coefficients for a different
+// storage technology, keyed by the canonical technology names of
+// core.Technology. "sram" (or empty) returns p unchanged; "nvm-hybrid"
+// models a hybrid STT-MRAM data array with an SRAM tag path, in the
+// spirit of the NVM cache-hierarchy DSE literature (Haque et al.,
+// arXiv:1506.03193): roughly 2x denser, an order of magnitude less
+// leakage, slightly costlier reads and several-fold costlier writes. Miss
+// behaviour is unaffected — the technology axis only moves the
+// energy/area objectives.
+func (p Params) ForTechnology(tech string) (Params, error) {
+	switch tech {
+	case "", "sram":
+		return p, nil
+	case "nvm-hybrid", "nvm", "hybrid":
+		read := p.EnergyPerBitPJ
+		p.AreaPerBitUM2 *= 0.45
+		p.LeakagePWPerBit *= 0.08
+		p.EnergyPerBitPJ = read * 1.15
+		p.WriteEnergyPerBitPJ = read * 3.5
+		p.WireNSPerSqrtBit *= 1.25
+		return p, nil
+	}
+	return Params{}, fmt.Errorf("cacti: unknown technology %q", tech)
 }
 
 // Estimate is the model's output for one configuration.
@@ -141,8 +170,13 @@ func Model(cfg cache.Config, p Params) (Estimate, error) {
 	e.ReadPJ = setBits*p.EnergyPerBitPJ +
 		float64(cfg.Assoc)*p.EnergyComparePJ +
 		float64(log2(cfg.Depth))*p.EnergyDecodePJPerBit
-	// A refill writes one line of data plus its tag.
-	e.RefillPJ = float64(lw*p.WordBits+tagWidth) * p.EnergyPerBitPJ
+	// A refill writes one line of data plus its tag; asymmetric
+	// technologies pay the write coefficient.
+	we := p.WriteEnergyPerBitPJ
+	if we == 0 {
+		we = p.EnergyPerBitPJ
+	}
+	e.RefillPJ = float64(lw*p.WordBits+tagWidth) * we
 
 	e.LeakageMW = totalBits * p.LeakagePWPerBit * 1e-9
 	return e, nil

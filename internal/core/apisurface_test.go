@@ -11,11 +11,11 @@ import (
 )
 
 // TestAPISurfaceOneExploreEntryPoint parses the package source and
-// enforces the unified-API contract: exactly one exported, non-deprecated
-// Explore entry point exists (core.Explore); every other Explore* export
-// carries a "Deprecated:" doc marker pointing callers at it. This is the
-// apidiff gate for the refactor — adding a second live entry point, or
-// silently un-deprecating a legacy wrapper, fails here before review.
+// enforces the finalized v2 contract: exactly one exported Explore entry
+// point exists (core.Explore) and no Deprecated: Explore shims remain —
+// the PR-5 compatibility wrappers were deleted once every caller had
+// migrated to Explore(ctx, src, opts). This is the apidiff gate: adding a
+// second entry point, or reintroducing a shim, fails here before review.
 func TestAPISurfaceOneExploreEntryPoint(t *testing.T) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
@@ -53,14 +53,8 @@ func TestAPISurfaceOneExploreEntryPoint(t *testing.T) {
 	if len(live) != 1 || live[0] != "Explore" {
 		t.Fatalf("non-deprecated Explore entry points = %v, want exactly [Explore]", live)
 	}
-	wantDeprecated := []string{
-		"ExploreBCAT", "ExploreContext", "ExploreLineSizes", "ExploreParallel",
-		"ExploreParallelContext", "ExploreParallelStripped",
-		"ExploreParallelStrippedContext", "ExploreReader", "ExploreReaderContext",
-		"ExploreStripped", "ExploreStrippedContext",
-	}
-	if strings.Join(deprecated, ",") != strings.Join(wantDeprecated, ",") {
-		t.Fatalf("deprecated wrappers changed:\ngot  %v\nwant %v\n(removing one breaks source compatibility; adding one needs a Deprecated: marker and a row here)", deprecated, wantDeprecated)
+	if len(deprecated) != 0 {
+		t.Fatalf("Deprecated: Explore shims = %v, want none (the v2 surface has a single entry point; new options go on core.Options, not on new wrappers)", deprecated)
 	}
 }
 

@@ -25,6 +25,6 @@
 // Explore is the production entry point and uses the depth-first combined
 // formulation of §2.4: BCAT nodes are never materialised beyond the current
 // root-to-leaf path, so space stays linear in the trace. BuildBCAT and
-// ExploreBCAT implement the explicit tree of Algorithms 1 and 3 for
-// inspection, teaching and cross-validation.
+// Options.Engine = EngineBCAT keep the explicit tree of Algorithms 1 and 3
+// available for inspection, teaching and cross-validation.
 package core

@@ -59,6 +59,19 @@ type Options struct {
 	// (sampling.Config.MinUnique): zero means sampling.DefaultMinUnique,
 	// negative disables the floor.
 	SampleFloor int
+	// Policy selects the replacement policy profiled. The zero value
+	// (PolicyLRU) is the analytical path above. Any other policy runs the
+	// one-pass estimator: an LRU exploration first bounds the useful
+	// associativity range per depth (A_zero and the α-threshold), then
+	// internal/onepass sweeps the surviving 1..MaxAssoc cells in one trace
+	// pass per depth. The resulting Levels carry MissByAssoc instead of
+	// Hist, and Result.Prune reports the skipped work. Non-LRU runs need a
+	// *trace.Trace source and exact mode (SampleRate 0).
+	Policy Policy
+	// MaxAssoc caps the associativity axis of a non-LRU run; zero means
+	// DefaultMaxAssoc. Ignored for LRU, whose histogram covers every
+	// associativity at once.
+	MaxAssoc int
 }
 
 // Engine names a postlude formulation.
@@ -118,14 +131,31 @@ type LevelResult struct {
 	Hist []int
 	// AZero is the smallest associativity with zero non-cold misses at
 	// this depth (the paper's A_zero aggregated over the level's nodes).
+	// For a non-LRU profile whose sweep never reaches zero it is one past
+	// the largest swept associativity.
 	AZero int
+	// MissByAssoc holds a non-LRU profile: MissByAssoc[a] is the non-cold
+	// miss count at associativity a (index 0 unused). Nil for LRU runs,
+	// whose misses derive from the histogram tail. The two representations
+	// are mutually exclusive: FIFO/Random/PLRU lack the stack inclusion
+	// property, so their per-associativity counts are not monotone and
+	// cannot be encoded as a tail sum.
+	MissByAssoc []int `json:",omitempty"`
 }
 
-// Misses returns the analytical non-cold miss count of an assoc-way cache
-// at this depth: the histogram tail at and above assoc.
+// Misses returns the non-cold miss count of an assoc-way cache at this
+// depth: the histogram tail at and above assoc for an LRU profile, the
+// swept count for a policy profile (clamped to the largest swept
+// associativity — no inclusion property holds beyond it).
 func (l *LevelResult) Misses(assoc int) int {
 	if assoc < 1 {
 		panic(fmt.Sprintf("core: associativity %d < 1", assoc))
+	}
+	if l.MissByAssoc != nil {
+		if assoc >= len(l.MissByAssoc) {
+			assoc = len(l.MissByAssoc) - 1
+		}
+		return l.MissByAssoc[assoc]
 	}
 	m := 0
 	for d := assoc; d < len(l.Hist); d++ {
@@ -135,10 +165,26 @@ func (l *LevelResult) Misses(assoc int) int {
 }
 
 // MinAssoc returns the smallest associativity whose miss count is at most
-// k — the paper's min_i for this depth.
+// k — the paper's min_i for this depth. On a non-LRU profile misses are
+// not monotone in associativity, so the scan is explicit; if no swept
+// associativity meets the budget, the one with the fewest misses wins
+// (smallest on ties).
 func (l *LevelResult) MinAssoc(k int) int {
 	if k < 0 {
 		k = 0
+	}
+	if l.MissByAssoc != nil {
+		best, bestM := 1, -1
+		for a := 1; a < len(l.MissByAssoc); a++ {
+			m := l.MissByAssoc[a]
+			if m <= k {
+				return a
+			}
+			if bestM < 0 || m < bestM {
+				best, bestM = a, m
+			}
+		}
+		return best
 	}
 	tail := 0
 	for d := len(l.Hist) - 1; d >= 1; d-- {
@@ -165,6 +211,9 @@ type Result struct {
 	// counts in Levels are then rescaled estimates, and Sample derives
 	// their standard errors and confidence intervals.
 	Sample *sampling.Estimate `json:",omitempty"`
+	// Prune tallies the associativity cells the α-threshold cuts skipped
+	// on a non-LRU run (Options.Policy != PolicyLRU); nil otherwise.
+	Prune *PruneStats `json:",omitempty"`
 }
 
 // Level returns the profile for the given depth, or nil if the depth is
@@ -238,6 +287,9 @@ func Explore(ctx context.Context, src Source, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if opts.Policy != PolicyLRU {
+		return explorePolicy(ctx, src, opts)
+	}
 	if opts.SampleRate != 0 {
 		return exploreSampled(ctx, src, opts)
 	}
@@ -274,7 +326,7 @@ func runPostlude(ctx context.Context, s *trace.Stripped, m *MRCT, opts Options, 
 		// GOMAXPROCS clamping must not make Workers=8 mean something
 		// different on a one-core host than on an eight-core one.
 		if opts.Workers > 1 || workers > 1 {
-			return nil, fmt.Errorf("core: the %s engine is serial; it rejects Workers = %d", opts.Engine, opts.Workers)
+			return nil, fmt.Errorf("core: the %s engine rejects Workers = %d: %w", opts.Engine, opts.Workers, ErrEngineSerial)
 		}
 		sc.resetSets()
 		return exploreBCAT(ctx, s, buildBCATAlloc(s, 0, sc.newSet), m, opts, sc)

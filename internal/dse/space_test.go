@@ -1,0 +1,294 @@
+package dse
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/core"
+	"github.com/example/cachedse/internal/powerstone"
+	"github.com/example/cachedse/internal/trace"
+)
+
+// kernelStreams runs a PowerStone kernel once per test binary and caches
+// its streams.
+var kernelCache sync.Map // name -> *powerstone.Result
+
+func kernelStreams(t *testing.T, name string) *powerstone.Result {
+	t.Helper()
+	if r, ok := kernelCache.Load(name); ok {
+		return r.(*powerstone.Result)
+	}
+	b := powerstone.Get(name)
+	if b == nil {
+		t.Fatalf("unknown PowerStone kernel %q", name)
+	}
+	r, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelCache.Store(name, r)
+	return r
+}
+
+// mergeStreams interleaves the split streams proportionally — a
+// deterministic stand-in for the original fetch/data arrival order, good
+// enough to exercise split topologies.
+func mergeStreams(instr, data *trace.Trace) *trace.Trace {
+	ni, nd := instr.Len(), data.Len()
+	out := trace.New(ni + nd)
+	i, d := 0, 0
+	for i < ni || d < nd {
+		if d < nd && (i >= ni || d*ni <= i*nd) {
+			out.Append(data.Refs[d])
+			d++
+		} else {
+			out.Append(instr.Refs[i])
+			i++
+		}
+	}
+	return out
+}
+
+// TestCrossCheckPoliciesPowerStone is the estimator's oracle suite: on
+// every PowerStone kernel, the analytical FIFO/Random/PLRU profiles must
+// agree exactly with the cache simulator, cell for cell, on both the
+// instruction and the data stream. Tolerance is zero — the one-pass
+// estimator replicates the simulator's replacement semantics bit for bit.
+func TestCrossCheckPoliciesPowerStone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every PowerStone kernel")
+	}
+	const maxDepth, maxAssoc = 16, 4
+	policies := []core.Policy{core.PolicyFIFO, core.PolicyRandom, core.PolicyPLRU}
+	for _, name := range powerstone.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := kernelStreams(t, name)
+			for _, stream := range []*trace.Trace{res.Instr, res.Data} {
+				for _, pol := range policies {
+					r, err := core.Explore(context.Background(), stream,
+						core.Options{MaxDepth: maxDepth, Policy: pol, MaxAssoc: maxAssoc})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, l := range r.Levels {
+						for a := 1; a < len(l.MissByAssoc); a++ {
+							cfg := cache.Config{Depth: l.Depth, Assoc: a, Repl: replOf(pol)}
+							sim, err := cache.Simulate(cfg, stream)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if l.MissByAssoc[a] != sim.Misses {
+								t.Errorf("%s %s D=%d A=%d: analytical %d, simulated %d",
+									name, pol, l.Depth, a, l.MissByAssoc[a], sim.Misses)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// spaceFIFOPLRU is the acceptance-criteria space: joint split L1I/L1D +
+// shared L2 with FIFO and PLRU alongside LRU.
+func spaceFIFOPLRU() core.Space {
+	return core.Space{
+		Topology: core.TopoSplitL2,
+		L1: core.LevelSpace{
+			MaxDepth: 32, MaxAssoc: 4,
+			Policies: []core.Policy{core.PolicyLRU, core.PolicyFIFO, core.PolicyPLRU},
+		},
+		L2: core.LevelSpace{
+			MaxDepth: 256, MaxAssoc: 4,
+			Policies: []core.Policy{core.PolicyLRU, core.PolicyFIFO, core.PolicyPLRU},
+		},
+	}
+}
+
+// TestExploreSpaceJointFrontStableAndSound covers three acceptance
+// criteria at once on a joint L1I/L1D+L2 exploration with FIFO and PLRU:
+// the front is bit-stable across runs, every point is non-dominated, and
+// every point's miss count matches a full hierarchy simulation exactly.
+func TestExploreSpaceJointFrontStableAndSound(t *testing.T) {
+	res := kernelStreams(t, "crc")
+	tr := mergeStreams(res.Instr, res.Data)
+	ctx := context.Background()
+	front, err := ExploreSpace(ctx, tr, spaceFIFOPLRU(), SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.Len() == 0 {
+		t.Fatal("empty Pareto front")
+	}
+
+	again, err := ExploreSpace(ctx, tr, spaceFIFOPLRU(), SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(front.Points(), again.Points()) {
+		t.Error("Pareto front is not bit-stable across runs")
+	}
+	if !reflect.DeepEqual(front.Stats, again.Stats) {
+		t.Errorf("prune stats differ across runs: %+v vs %+v", front.Stats, again.Stats)
+	}
+
+	pts := front.Points()
+	for i, p := range pts {
+		for j, q := range pts {
+			if i != j && p.Dominates(q) {
+				t.Fatalf("emitted point %s dominates emitted point %s", p.Key(), q.Key())
+			}
+		}
+	}
+
+	// Certify miss counts against the simulator: replay the exact
+	// hierarchy of each point. Locked tolerance: zero.
+	instr, data := tr.Split()
+	for _, p := range pts {
+		if len(p.Levels) != 3 {
+			t.Fatalf("split+l2 point has %d levels: %s", len(p.Levels), p.Key())
+		}
+		cfgOf := func(lc core.LevelConfig) cache.Config {
+			return cache.Config{Depth: lc.Depth, Assoc: lc.Assoc, LineWords: lc.LineWords, Repl: replOf(lc.Policy)}
+		}
+		filtered, err := FilterThroughSplitL1(tr, cfgOf(p.Levels[0]), cfgOf(p.Levels[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2res, err := cache.Simulate(cfgOf(p.Levels[2]), filtered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Misses != l2res.TotalMisses() {
+			t.Errorf("point %s: analytical misses %d, simulated %d",
+				p.Key(), p.Misses, l2res.TotalMisses())
+		}
+	}
+	_ = instr
+	_ = data
+}
+
+// TestExploreSpaceDefaultPruneRate asserts the α-threshold/A_zero cuts
+// skip at least 30% of the candidate cells on the default space — the
+// analytical payoff the design-space layer exists for.
+func TestExploreSpaceDefaultPruneRate(t *testing.T) {
+	res := kernelStreams(t, "crc")
+	tr := mergeStreams(res.Instr, res.Data)
+	front, err := ExploreSpace(context.Background(), tr, core.DefaultSpace(), SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := front.Stats
+	if s.Candidates == 0 || s.Evaluated+s.Pruned() != s.Candidates {
+		t.Fatalf("prune tally does not partition the grid: %+v", s)
+	}
+	if rate := s.Rate(); rate < 0.30 {
+		t.Errorf("prune rate %.2f < 0.30 on the default space (%+v)", rate, s)
+	} else {
+		t.Logf("default space: %d candidates, %d evaluated, prune rate %.2f",
+			s.Candidates, s.Evaluated, rate)
+	}
+}
+
+// TestExploreSpaceUnifiedTechnologies checks the technology axis: on an
+// identical geometry, the NVM-hybrid variant must trade area against
+// energy rather than silently duplicate SRAM points.
+func TestExploreSpaceUnifiedTechnologies(t *testing.T) {
+	res := kernelStreams(t, "bcnt")
+	space := core.Space{
+		Topology: core.TopoUnified,
+		L1: core.LevelSpace{
+			MaxDepth: 32, MaxAssoc: 4,
+			Policies:     []core.Policy{core.PolicyLRU, core.PolicyFIFO},
+			Technologies: []core.Technology{core.TechSRAM, core.TechNVMHybrid},
+		},
+	}
+	front, err := ExploreSpace(context.Background(), res.Data, space, SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSRAM, sawNVM bool
+	for _, p := range front.Points() {
+		if len(p.Levels) != 1 {
+			t.Fatalf("unified point has %d levels", len(p.Levels))
+		}
+		switch p.Levels[0].Technology {
+		case core.TechSRAM:
+			sawSRAM = true
+		case core.TechNVMHybrid:
+			sawNVM = true
+		}
+	}
+	if !sawSRAM || !sawNVM {
+		t.Errorf("front covers technologies sram=%v nvm=%v, want both on the front", sawSRAM, sawNVM)
+	}
+}
+
+// TestExploreSpaceRejectsInvalid pins validation errors.
+func TestExploreSpaceRejectsInvalid(t *testing.T) {
+	tr := trace.New(0)
+	if _, err := ExploreSpace(context.Background(), tr, core.Space{L1: core.LevelSpace{MaxDepth: 3}}, SpaceOptions{}); err == nil {
+		t.Error("ExploreSpace accepted MaxDepth 3")
+	}
+}
+
+// TestFrontTableRendering smoke-checks the shared renderer.
+func TestFrontTableRendering(t *testing.T) {
+	res := kernelStreams(t, "bcnt")
+	space := core.Space{Topology: core.TopoUnified, L1: core.LevelSpace{MaxDepth: 16, MaxAssoc: 2}}
+	front, err := ExploreSpace(context.Background(), res.Data, space, SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := FrontTable(front)
+	out := tab.Render()
+	if !strings.Contains(out, "Pareto front") || !strings.Contains(out, "Misses") {
+		t.Errorf("front table missing headers:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(tab.CSV()), "\n")); got != front.Len()+1 {
+		t.Errorf("CSV rows = %d, want %d points + header", got, front.Len())
+	}
+}
+
+// TestExploreSpaceExhaustiveAgrees prices the cuts' correctness: the
+// exhaustive evaluation of the same space must evaluate every candidate
+// cell (no pruning), and the pruned front must still reach the same
+// best miss count — the cuts only drop dominated or near-floor cells.
+func TestExploreSpaceExhaustiveAgrees(t *testing.T) {
+	res := kernelStreams(t, "crc")
+	sp := core.Space{L1: core.LevelSpace{
+		MaxDepth: 16, MaxAssoc: 8,
+		Policies: []core.Policy{core.PolicyLRU, core.PolicyFIFO, core.PolicyPLRU},
+	}}
+	pruned, err := ExploreSpace(context.Background(), res.Data, sp, SpaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ExploreSpace(context.Background(), res.Data, sp, SpaceOptions{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := full.Stats; s.Evaluated != s.Candidates || s.Pruned() != 0 {
+		t.Errorf("exhaustive run still pruned: %+v", s)
+	}
+	if full.Stats.Candidates != pruned.Stats.Candidates {
+		t.Errorf("candidate grids differ: exhaustive %d, pruned %d",
+			full.Stats.Candidates, pruned.Stats.Candidates)
+	}
+	if pruned.Stats.Pruned() == 0 {
+		t.Error("pruned run cut nothing, benchmark comparison is vacuous")
+	}
+	pp, fp := pruned.Points(), full.Points()
+	if len(pp) == 0 || len(fp) == 0 {
+		t.Fatalf("empty front: pruned %d, exhaustive %d", len(pp), len(fp))
+	}
+	if pp[0].Misses != fp[0].Misses {
+		t.Errorf("best miss count differs: pruned %d, exhaustive %d",
+			pp[0].Misses, fp[0].Misses)
+	}
+}

@@ -1,0 +1,117 @@
+package onepass
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/example/cachedse/internal/cache"
+	"github.com/example/cachedse/internal/trace"
+)
+
+func synthTrace(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := trace.New(n)
+	for i := 0; i < n; i++ {
+		var addr uint32
+		// Mix a hot working set with cold scans so every policy sees both
+		// reuse and eviction pressure.
+		switch rng.Intn(3) {
+		case 0:
+			addr = uint32(rng.Intn(64))
+		case 1:
+			addr = uint32(rng.Intn(512))
+		default:
+			addr = uint32(rng.Intn(1 << 12))
+		}
+		kind := trace.DataRead
+		switch rng.Intn(4) {
+		case 0:
+			kind = trace.DataWrite
+		case 1:
+			kind = trace.Instr
+		}
+		t.Append(trace.Ref{Addr: addr, Kind: kind})
+	}
+	return t
+}
+
+// TestPolicySweepMatchesSimulator pins the sweep's contract: for every
+// policy, depth, line size and associativity, one pass produces exactly
+// the miss counts the full simulator produces config by config — Random
+// included, because both draw from the same deterministic seed at the
+// same full-set-miss points.
+func TestPolicySweepMatchesSimulator(t *testing.T) {
+	tr := synthTrace(6000, 1)
+	policies := []struct {
+		p ReplPolicy
+		r cache.Replacement
+	}{
+		{ReplLRU, cache.LRU},
+		{ReplFIFO, cache.FIFO},
+		{ReplRandom, cache.Random},
+		{ReplPLRU, cache.PLRU},
+	}
+	const maxAssoc = 5 // odd cap: exercises PLRU's non-power-of-two tree
+	for _, depth := range []int{1, 4, 16, 64} {
+		for _, line := range []int{1, 4} {
+			for _, pol := range policies {
+				sw, err := PolicySweep(tr, depth, maxAssoc, line, pol.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for a := 1; a <= maxAssoc; a++ {
+					cfg := cache.Config{Depth: depth, Assoc: a, LineWords: line, Repl: pol.r}
+					res, err := cache.Simulate(cfg, tr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if sw.MissByAssoc[a] != res.Misses {
+						t.Errorf("%s D=%d A=%d lw=%d: sweep misses %d, simulator %d",
+							pol.p, depth, a, line, sw.MissByAssoc[a], res.Misses)
+					}
+					if sw.Cold != res.ColdMisses {
+						t.Errorf("%s D=%d A=%d lw=%d: sweep cold %d, simulator %d",
+							pol.p, depth, a, line, sw.Cold, res.ColdMisses)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPolicySweepClampsAndValidates covers the accessor clamp and the
+// argument checks.
+func TestPolicySweepClampsAndValidates(t *testing.T) {
+	tr := synthTrace(500, 2)
+	sw, err := PolicySweep(tr, 8, 3, 1, ReplFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sw.Misses(10), sw.MissByAssoc[3]; got != want {
+		t.Errorf("Misses(10) = %d, want clamp to Misses(3) = %d", got, want)
+	}
+	for _, bad := range []struct {
+		depth, maxAssoc, line int
+		p                     ReplPolicy
+	}{
+		{3, 2, 1, ReplFIFO},
+		{8, 0, 1, ReplFIFO},
+		{8, 2, 3, ReplFIFO},
+		{8, 2, 1, ReplPolicy(9)},
+	} {
+		if _, err := PolicySweep(tr, bad.depth, bad.maxAssoc, bad.line, bad.p); err == nil {
+			t.Errorf("PolicySweep(%+v) accepted invalid arguments", bad)
+		}
+	}
+}
+
+// TestPolicySweepEmptyTrace pins the degenerate case.
+func TestPolicySweepEmptyTrace(t *testing.T) {
+	sw, err := PolicySweep(trace.New(0), 4, 2, 1, ReplPLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Accesses != 0 || sw.Cold != 0 || sw.MissByAssoc[1] != 0 || sw.MissByAssoc[2] != 0 {
+		t.Errorf("empty trace sweep = %+v, want all zeros", sw)
+	}
+}

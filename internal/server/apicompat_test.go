@@ -112,6 +112,12 @@ func TestAPICompatGolden(t *testing.T) {
 		// request deterministically degenerates to exact — locking the
 		// sample summary's shape without locking estimator noise.
 		{"explore_sampled", post("/v1/explore?sample=0.5", fmt.Sprintf(`{"trace":%q,"k":5}`, digest)), 200},
+		// A space block switches explore to design-space mode: the pareto,
+		// prune and space blocks are additive to the v1 response shape and
+		// "k" is optional. The tiny unified space keeps the front small and
+		// fully deterministic.
+		{"explore_space", post("/v1/explore", fmt.Sprintf(
+			`{"trace":%q,"space":{"topology":"unified","l1":{"max_depth":16,"max_assoc":2,"policies":["lru","fifo"]}}}`, digest)), 200},
 		{"simulate", post("/v1/simulate", fmt.Sprintf(`{"trace":%q,"depth":8,"assoc":2}`, digest)), 200},
 		{"verify", post("/v1/verify", fmt.Sprintf(`{"trace":%q,"k":5,"instances":[{"depth":8,"assoc":2}]}`, digest)), 200},
 		{"error_trace_not_found", get("/v1/traces/ffffffffffffffffffffffffffffffff"), 404},
@@ -121,6 +127,8 @@ func TestAPICompatGolden(t *testing.T) {
 		{"error_bad_instance", post("/v1/verify", fmt.Sprintf(`{"trace":%q,"k":5,"instances":[{"depth":3,"assoc":1}]}`, digest)), 400},
 		{"error_invalid_sample_rate", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"k":5,"sample_rate":1.5}`, digest)), 400},
 		{"error_sample_verify", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"k":5,"sample_rate":0.5,"verify":true}`, digest)), 400},
+		{"error_invalid_space", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"space":{"topology":"ring"}}`, digest)), 400},
+		{"error_invalid_policy", post("/v1/explore", fmt.Sprintf(`{"trace":%q,"space":{"l1":{"policies":["mru"]}}}`, digest)), 400},
 		{"trace_delete", del("/v1/traces/" + digest), 200},
 	}
 
@@ -170,12 +178,13 @@ func TestErrorCodesLocked(t *testing.T) {
 		codeBadRequest, codePayloadTooLarge, codeTraceNotFound, codeJobNotFound,
 		codeTraceBusy, codeQueueFull, codeOverloaded, codeDeadlineExceeded,
 		codeCanceled, codeUnavailable, codeInternal, codeInvalidSampleRate,
+		codeInvalidSpace, codeInvalidPolicy,
 	}
 	want := []string{
 		"bad_request", "canceled", "deadline_exceeded", "internal",
-		"invalid_sample_rate", "job_not_found", "overloaded",
-		"payload_too_large", "queue_full", "trace_busy", "trace_not_found",
-		"unavailable",
+		"invalid_policy", "invalid_sample_rate", "invalid_space",
+		"job_not_found", "overloaded", "payload_too_large", "queue_full",
+		"trace_busy", "trace_not_found", "unavailable",
 	}
 	sort.Strings(got)
 	if !equalStrings(got, want) {

@@ -19,6 +19,8 @@ const (
 	codeQueueFull         = "queue_full"
 	codeOverloaded        = "overloaded"
 	codeInvalidSampleRate = "invalid_sample_rate"
+	codeInvalidSpace      = "invalid_space"
+	codeInvalidPolicy     = "invalid_policy"
 	codeDeadlineExceeded  = "deadline_exceeded"
 	codeCanceled          = "canceled"
 	codeUnavailable       = "unavailable"

@@ -241,6 +241,11 @@ type exploreRequest struct {
 	// engine at that rate (0 < rate <= 1); the ?sample= query parameter
 	// overrides it.
 	SampleRate float64 `json:"sample_rate,omitempty"`
+	// Space, when present, switches the request to a design-space
+	// exploration: the answer is the Pareto front of the space instead of
+	// the budget-K instance list, "k" becomes optional, and sampling and
+	// verify are rejected (the space evaluator is exact end to end).
+	Space *spaceJSON `json:"space,omitempty"`
 }
 
 // sampleJSON summarises the sampling estimate attached to an approximate
@@ -273,6 +278,12 @@ type exploreResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Sample is present iff the exploration was sampled.
 	Sample *sampleJSON `json:"sample,omitempty"`
+	// Space echoes the canonical key of the explored design space; Pareto
+	// and Prune carry its front and pruning tally. All three are present
+	// iff the request carried a space block (additive to the v1 shape).
+	Space  string            `json:"space,omitempty"`
+	Pareto []paretoPointJSON `json:"pareto,omitempty"`
+	Prune  *pruneJSON        `json:"prune,omitempty"`
 }
 
 // budgetFor resolves the CLI's -k / -kpct convention: an absolute budget
@@ -306,10 +317,24 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeTraceNotFound, "unknown trace %q", req.Trace)
 		return
 	}
-	budget, err := budgetFor(entry, req.K, req.KPct)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
-		return
+	var space *core.Space
+	if req.Space != nil {
+		sp, code, serr := parseSpace(req.Space)
+		if serr != nil {
+			httpError(w, http.StatusBadRequest, code, "%v", serr)
+			return
+		}
+		space = &sp
+	}
+	// A design-space request needs no miss budget: K only selects rows of
+	// the instance view, which a space answer replaces with its front.
+	budget := 0
+	if space == nil || req.K != nil || req.KPct != nil {
+		budget, err = budgetFor(entry, req.K, req.KPct)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+			return
+		}
 	}
 	if req.MaxDepth != 0 && (req.MaxDepth < 1 || req.MaxDepth&(req.MaxDepth-1) != 0) {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "max_depth %d is not a power of two >= 1", req.MaxDepth)
@@ -335,13 +360,37 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if space != nil {
+		if req.SampleRate != 0 {
+			httpError(w, http.StatusBadRequest, codeBadRequest,
+				"a space exploration is exact end to end; drop sample_rate")
+			return
+		}
+		if req.Verify {
+			httpError(w, http.StatusBadRequest, codeBadRequest,
+				"a space exploration has no budget to verify against; simulate chosen points instead")
+			return
+		}
+	}
 	s.dispatch(w, r, "explore", entry.Digest, req.Async, func(ctx context.Context) (any, error) {
+		if space != nil {
+			return s.runExploreSpace(ctx, entry, budget, *space)
+		}
 		return s.runExplore(ctx, entry, budget, req)
 	}, func() (any, bool) {
-		// Degraded read: the worker pool is saturated, but the depth
-		// profile may already be cached (in memory or on disk). K only
-		// selects rows, so the budget-specific answer renders without
-		// pool work.
+		// Degraded read: the worker pool is saturated, but the answer may
+		// already be cached. For a space request that means the memoized
+		// front; otherwise the depth profile (in memory or on disk), which
+		// K merely selects rows of.
+		if space != nil {
+			v, ok := s.results.Get(spaceExploreKey(entry.Digest, *space))
+			if !ok {
+				return nil, false
+			}
+			resp := renderExploreSpace(entry, budget, *space, v.(*core.Front), true)
+			resp.Degraded = true
+			return resp, true
+		}
 		res, ok := s.cachedExplore(r.Context(), exploreKey(entry.Digest, req))
 		if !ok {
 			return nil, false

@@ -371,3 +371,74 @@ func TestInvalidSampleRateSentinel(t *testing.T) {
 		t.Fatalf("server saw %d calls, want 1 (client mistakes are not retried)", got)
 	}
 }
+
+func TestExploreSpacePassThrough(t *testing.T) {
+	// The client forwards the space block on the wire (with no budget
+	// fields when none are set) and decodes the pareto/prune/space answer.
+	var gotBody map[string]any
+	cl, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&gotBody); err != nil {
+			t.Errorf("decoding request body: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{
+			"trace":"abc","k":0,"max_misses":100,"instances":[],"table":"",
+			"space":"split+l2|d=32,a=4,l=1,p=lru+fifo,t=sram|d=256,a=4,l=1,p=lru,t=sram",
+			"pareto":[{"levels":[
+				{"level":"L1I","depth":8,"assoc":2,"line_words":1,"size_words":16,"policy":"fifo","technology":"sram"},
+				{"level":"L1D","depth":8,"assoc":2,"line_words":1,"size_words":16,"policy":"lru","technology":"sram"},
+				{"level":"L2","depth":64,"assoc":4,"line_words":1,"size_words":256,"policy":"lru","technology":"nvm-hybrid"}],
+				"misses":42,"energy_pj":1234.5,"area_um2":678.9}],
+			"prune":{"candidates":96,"evaluated":60,"pruned_dominated":30,"pruned_threshold":6,"rate":0.38}
+		}`)
+	}))
+	resp, err := cl.Explore(context.Background(), ExploreRequest{Trace: "abc", Space: &Space{
+		Topology: "split+l2",
+		L1:       &SpaceLevel{MaxDepth: 32, MaxAssoc: 4, Policies: []string{"lru", "fifo"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := gotBody["k"]; present {
+		t.Errorf("space request serialized a budget: %v", gotBody)
+	}
+	sp, ok := gotBody["space"].(map[string]any)
+	if !ok || sp["topology"] != "split+l2" {
+		t.Fatalf("request carried space %v", gotBody["space"])
+	}
+	if len(resp.Pareto) != 1 || len(resp.Pareto[0].Levels) != 3 {
+		t.Fatalf("pareto = %+v", resp.Pareto)
+	}
+	if p := resp.Pareto[0]; p.Misses != 42 || p.Levels[2].Technology != "nvm-hybrid" {
+		t.Errorf("point = %+v", p)
+	}
+	if resp.Prune == nil || resp.Prune.Candidates != 96 || resp.Prune.Rate != 0.38 {
+		t.Errorf("prune = %+v", resp.Prune)
+	}
+	if resp.Space == "" {
+		t.Error("space echo missing")
+	}
+}
+
+func TestInvalidSpaceAndPolicySentinels(t *testing.T) {
+	for _, tc := range []struct {
+		code string
+		want error
+	}{
+		{"invalid_space", ErrInvalidSpace},
+		{"invalid_policy", ErrInvalidPolicy},
+	} {
+		var calls atomic.Int32
+		cl, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			writeEnvelope(w, http.StatusBadRequest, tc.code, "bad space")
+		}))
+		_, err := cl.Explore(context.Background(), ExploreRequest{Trace: "abc", Space: &Space{}})
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("errors.Is(%v, %v) = false", err, tc.want)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("%s: server saw %d calls, want 1 (client mistakes are not retried)", tc.code, got)
+		}
+	}
+}

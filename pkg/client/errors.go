@@ -25,6 +25,8 @@ var (
 	ErrQueueFull         error = apiCode("queue_full")
 	ErrOverloaded        error = apiCode("overloaded")
 	ErrInvalidSampleRate error = apiCode("invalid_sample_rate")
+	ErrInvalidSpace      error = apiCode("invalid_space")
+	ErrInvalidPolicy     error = apiCode("invalid_policy")
 	ErrDeadlineExceeded  error = apiCode("deadline_exceeded")
 	ErrCanceled          error = apiCode("canceled")
 	ErrUnavailable       error = apiCode("unavailable")

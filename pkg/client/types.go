@@ -44,7 +44,9 @@ type Instance struct {
 
 // ExploreRequest asks for the set of cache instances meeting a miss
 // budget. Exactly one of K / KPct must be set (K counts misses, KPct is
-// a percentage of the trace's maximum).
+// a percentage of the trace's maximum) — unless Space is present, which
+// switches the request to a design-space exploration and makes the
+// budget optional.
 type ExploreRequest struct {
 	Trace    string   `json:"trace"`
 	K        *int     `json:"k,omitempty"`
@@ -57,6 +59,65 @@ type ExploreRequest struct {
 	// exploration at that rate (0 < rate <= 1). Rates outside the range
 	// fail with ErrInvalidSampleRate; combining with Verify is rejected.
 	SampleRate float64 `json:"sample_rate,omitempty"`
+	// Space, when present, asks for a design-space exploration: the
+	// response carries the Pareto front of the space (Pareto/Prune/Space
+	// fields) instead of a budget-K instance list. Unknown policy names
+	// fail with ErrInvalidPolicy, any other shape problem with
+	// ErrInvalidSpace; combining with SampleRate or Verify is rejected.
+	Space *Space `json:"space,omitempty"`
+}
+
+// SpaceLevel describes one cache level's exploration axes in a design
+// space. Every field is optional; zeros take the server defaults.
+type SpaceLevel struct {
+	MaxDepth int `json:"max_depth,omitempty"`
+	MaxAssoc int `json:"max_assoc,omitempty"`
+	// LineWords lists line sizes in words (powers of two).
+	LineWords []int `json:"line_words,omitempty"`
+	// Policies lists replacement policies: "lru", "fifo", "random", "plru".
+	Policies []string `json:"policies,omitempty"`
+	// Technologies lists storage technologies: "sram", "nvm-hybrid".
+	Technologies []string `json:"technologies,omitempty"`
+}
+
+// Space is a declarative cache design space: a topology ("unified",
+// "split" or "split+l2") plus the axes of each level in it. The zero
+// value explores the paper's model — one unified LRU SRAM level.
+type Space struct {
+	Topology string      `json:"topology,omitempty"`
+	L1       *SpaceLevel `json:"l1,omitempty"`
+	// L2 is meaningful only under the "split+l2" topology.
+	L2 *SpaceLevel `json:"l2,omitempty"`
+}
+
+// ParetoLevel is one concrete cache level of a Pareto point.
+type ParetoLevel struct {
+	Level      string `json:"level"`
+	Depth      int    `json:"depth"`
+	Assoc      int    `json:"assoc"`
+	LineWords  int    `json:"line_words"`
+	SizeWords  int    `json:"size_words"`
+	Policy     string `json:"policy"`
+	Technology string `json:"technology"`
+}
+
+// ParetoPoint is one point of an explored space's Pareto front: a full
+// hierarchy configuration and its three objectives.
+type ParetoPoint struct {
+	Levels   []ParetoLevel `json:"levels"`
+	Misses   int           `json:"misses"`
+	EnergyPJ float64       `json:"energy_pj"`
+	AreaUM2  float64       `json:"area_um2"`
+}
+
+// PruneInfo reports how much of a space's candidate grid the server's
+// analytical cuts skipped without evaluating.
+type PruneInfo struct {
+	Candidates      int     `json:"candidates"`
+	Evaluated       int     `json:"evaluated"`
+	PrunedDominated int     `json:"pruned_dominated"`
+	PrunedThreshold int     `json:"pruned_threshold"`
+	Rate            float64 `json:"rate"`
 }
 
 // SampleInfo summarises the sampling estimate of an approximate
@@ -88,6 +149,12 @@ type ExploreResponse struct {
 	Verified  bool        `json:"verified,omitempty"`
 	Degraded  bool        `json:"degraded,omitempty"`
 	Sample    *SampleInfo `json:"sample,omitempty"`
+	// Space echoes the canonical key of the explored design space; Pareto
+	// and Prune carry its front and pruning tally. All three are present
+	// iff the request carried a Space block.
+	Space  string        `json:"space,omitempty"`
+	Pareto []ParetoPoint `json:"pareto,omitempty"`
+	Prune  *PruneInfo    `json:"prune,omitempty"`
 }
 
 // SimulateRequest runs one concrete cache configuration over a trace.

@@ -152,6 +152,38 @@ END {
 } > "$out.merged" && mv "$out.merged" "$out"
 rm -f "$out.obspanel"
 
+# Design-space panel: the default-space evaluation with the analytical
+# cuts on (pruned) and off (exhaustive — the identical computation over
+# every candidate cell). Records both minima, the speedup the cuts buy,
+# and the prune-rate custom metric (fraction of candidate cells the
+# A_zero and alpha-threshold cuts skipped; the acceptance bar, also
+# asserted by TestExploreSpaceDefaultPruneRate, is >= 0.30).
+dseraw="$out.dse.txt"
+go test -run '^$' -bench '^BenchmarkSpaceExplore$' -benchtime "$benchtime" \
+  -count "$count" . | tee "$dseraw"
+awk '
+$1 ~ /^BenchmarkSpaceExplore\// && $3 ~ /^[0-9]/ {
+  name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkSpaceExplore\//, "", name)
+  if (!(name in min) || $3 + 0 < min[name] + 0) min[name] = $3
+  for (f = 3; f + 1 <= NF; f += 2)
+    if ($(f + 1) == "prune-rate") rate = $f
+}
+END {
+  printf ",\"dse_space\": {"
+  sep = ""
+  if ("pruned" in min)     { printf "\"pruned_ns_per_op_min\": %s", min["pruned"]; sep = ", " }
+  if ("exhaustive" in min) { printf "%s\"exhaustive_ns_per_op_min\": %s", sep, min["exhaustive"]; sep = ", " }
+  if ("pruned" in min && "exhaustive" in min && min["pruned"] + 0 > 0)
+    { printf "%s\"speedup_vs_exhaustive\": %.2f", sep, min["exhaustive"] / min["pruned"]; sep = ", " }
+  if (rate != "") printf "%s\"prune_rate\": %s", sep, rate
+  printf "}\n}\n"
+}' "$dseraw" > "$out.dsepanel"
+{
+  sed '$d' "$out"
+  cat "$out.dsepanel"
+} > "$out.merged" && mv "$out.merged" "$out"
+rm -f "$out.dsepanel"
+
 # Optional service-latency panel: the same chaosload run against one node
 # and against a 3-node cluster, so the JSON records what the forwarding
 # hop costs at the tail. Kept off the default path — it boots servers.

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# dse_smoke.sh — design-space exploration end to end through the service.
+#
+# Builds the CLI, starts the service, uploads a deterministic mixed
+# instruction+data trace, and asks POST /v1/explore for a joint
+# split-L1 + shared-L2 space over three replacement policies. The
+# returned Pareto front must byte-match the checked-in golden
+# (scripts/testdata/dse_front.golden) — the evaluator is exact and
+# deterministic, so any drift is a real behaviour change; regenerate
+# the golden by running this script with UPDATE_GOLDEN=1. The pruning
+# tally must partition the candidate grid and prove the analytical
+# cuts actually skipped work, a repeated request must be served from
+# the memo, and the locked invalid_space / invalid_policy error codes
+# must answer shaped requests. CI runs this as the dse-smoke job; it
+# is equally runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=${ADDR:-127.0.0.1:18366}
+base="http://$addr"
+golden=scripts/testdata/dse_front.golden
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/cachedse" ./cmd/cachedse
+
+# A deterministic mixed trace: a loopy instruction stream over two
+# basic blocks plus a strided data stream with a hot core — enough
+# structure that L1I, L1D and L2 all have non-trivial fronts.
+awk 'BEGIN {
+  for (rep = 0; rep < 40; rep++)
+    for (i = 0; i < 60; i++) {
+      printf "2 %x\n", 4096 + (rep % 2) * 64 + i % 48
+      printf "0 %x\n", 8192 + (i * 7) % 173
+      if (i % 6 == 0) printf "1 %x\n", 12288 + i % 29
+    }
+}' > "$tmp/t.din"
+
+"$tmp/cachedse" serve -addr "$addr" -store "$tmp/store" -log-format json &
+pid=$!
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" > /dev/null 2>&1 && break
+  sleep 0.1
+done
+
+digest=$(curl -sf --data-binary @"$tmp/t.din" "$base/v1/traces" |
+  sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' | head -n 1)
+[ -n "$digest" ] || { echo "dse_smoke: upload returned no digest" >&2; exit 1; }
+
+space='{"topology":"split+l2","l1":{"max_depth":16,"max_assoc":8,"policies":["lru","fifo","plru"]},"l2":{"max_depth":64,"max_assoc":8,"policies":["lru","fifo","plru"]}}'
+body="{\"trace\":\"$digest\",\"space\":$space}"
+
+resp=$(curl -sf -X POST -d "$body" "$base/v1/explore")
+
+# The front is everything between "pareto": [ and its closing bracket
+# (the server pretty-prints with two-space indents, so the array closes
+# at indent depth one).
+front() { echo "$1" | sed -n '/^  "pareto": \[$/,/^  \],$/p'; }
+echo "$resp" | grep -q '"pareto":' ||
+  { echo "dse_smoke: space answer has no pareto front: $resp" >&2; exit 1; }
+
+if [ "${UPDATE_GOLDEN:-}" = "1" ]; then
+  mkdir -p "$(dirname "$golden")"
+  front "$resp" > "$golden"
+  echo "dse_smoke: wrote $(wc -l < "$golden") golden lines to $golden"
+fi
+front "$resp" > "$tmp/front"
+diff -u "$golden" "$tmp/front" ||
+  { echo "dse_smoke: Pareto front drifted from $golden (UPDATE_GOLDEN=1 to accept)" >&2; exit 1; }
+
+# The pruning tally must partition the candidate grid and prove the
+# analytical cuts skipped a meaningful share of it.
+num() { echo "$resp" | sed -n 's/.*"'"$1"'": \([0-9]*\).*/\1/p' | head -n 1; }
+cand=$(num candidates); eval_=$(num evaluated)
+dom=$(num pruned_dominated); thr=$(num pruned_threshold)
+[ -n "$cand" ] && [ "$cand" -gt 0 ] ||
+  { echo "dse_smoke: no pruning tally in: $resp" >&2; exit 1; }
+[ $((eval_ + dom + thr)) -eq "$cand" ] ||
+  { echo "dse_smoke: prune tally does not partition: $eval_+$dom+$thr != $cand" >&2; exit 1; }
+[ $((dom + thr)) -ge $((cand * 3 / 10)) ] ||
+  { echo "dse_smoke: cuts skipped $((dom + thr))/$cand candidates, want >= 30%" >&2; exit 1; }
+
+# An identical request is answered from the memoized front.
+again=$(curl -sf -X POST -d "$body" "$base/v1/explore")
+echo "$again" | grep -q '"cached": true' ||
+  { echo "dse_smoke: repeated space exploration not served from memo" >&2; exit 1; }
+front "$again" > "$tmp/front2"
+cmp -s "$tmp/front" "$tmp/front2" ||
+  { echo "dse_smoke: memoized front differs from computed front" >&2; exit 1; }
+
+# The locked error codes answer malformed spaces.
+code_of() {
+  curl -s -X POST -d "$1" "$base/v1/explore" |
+    sed -n 's/.*"code": "\([a-z_]*\)".*/\1/p' | head -n 1
+}
+[ "$(code_of "{\"trace\":\"$digest\",\"space\":{\"topology\":\"ring\"}}")" = "invalid_space" ] ||
+  { echo "dse_smoke: bad topology did not answer invalid_space" >&2; exit 1; }
+[ "$(code_of "{\"trace\":\"$digest\",\"space\":{\"l1\":{\"policies\":[\"mru\"]}}}")" = "invalid_policy" ] ||
+  { echo "dse_smoke: unknown policy did not answer invalid_policy" >&2; exit 1; }
+[ "$(code_of "{\"trace\":\"$digest\",\"space\":{},\"sample_rate\":0.5}")" = "bad_request" ] ||
+  { echo "dse_smoke: space+sample_rate did not answer bad_request" >&2; exit 1; }
+
+points=$(grep -c '"misses"' "$tmp/front")
+echo "dse_smoke: OK ($points-point front, $eval_/$cand evaluated, $((dom + thr)) pruned)"
